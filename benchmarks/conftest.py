@@ -1,0 +1,57 @@
+"""Benchmark harness configuration.
+
+Each benchmark reproduces one of the paper's tables or figures and
+prints a paper-vs-measured comparison table.  Every experiment runs
+once per benchmark invocation (``rounds=1``) — the interesting output
+is the comparison, not the harness's own timing statistics.
+
+Scale with ``REPRO_SCALE=smoke|default|full`` (see
+:mod:`repro.experiments.scale`).  Set ``REPRO_BENCH_REPORT=<path>`` to
+also append every comparison table to a markdown report file.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.scale import active_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    s = active_scale()
+    print(f"\n[repro] running benchmarks at scale {s.name!r} "
+          f"(REPRO_SCALE to change)")
+    return s
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark, print the
+    resulting comparison table(s), and return them."""
+
+    def runner(fn, *args, **kwargs):
+        tables = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        report_path = os.environ.get("REPRO_BENCH_REPORT")
+        for table in _iter_tables(tables):
+            print()
+            print(table.render())
+            if report_path:
+                with open(report_path, "a") as fh:
+                    fh.write(table.render_markdown())
+                    fh.write("\n\n")
+        return tables
+
+    return runner
+
+
+def _iter_tables(result):
+    from repro.experiments.reporting import ComparisonTable
+    if isinstance(result, ComparisonTable):
+        yield result
+        return
+    if isinstance(result, tuple):
+        for item in result:
+            if isinstance(item, ComparisonTable):
+                yield item

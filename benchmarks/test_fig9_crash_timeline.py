@@ -1,0 +1,24 @@
+"""Fig. 9a/9b — CPU and power timeline around a crash (§VII).
+
+10 idle servers with RF 4; a random server is killed.  The paper
+measures: idle 25 % CPU (the polling core), a jump to ≈92 % cluster
+CPU during recovery, and ≈8 % extra power per node.
+"""
+
+from repro.experiments.recovery import run_fig9_crash_timeline
+
+
+def test_fig9_crash_timeline(run_once, scale):
+    table, result = run_once(run_fig9_crash_timeline, scale)
+    rows = {r.label: r.measured for r in table.rows}
+
+    assert abs(rows["idle cluster CPU"] - 25.0) < 2.0
+    assert rows["peak cluster CPU during recovery"] > 70.0
+    # Power rises during recovery over the idle ≈75 W baseline.
+    assert rows["peak surviving-node power"] > 90.0
+    assert result.recovery_time > 1.0
+    # After recovery, CPU returns toward idle.
+    end = result.recovery.finished_at
+    tail = [v for t, v in result.cluster_cpu.items() if t > end + 5.0]
+    if tail:
+        assert min(tail) < 40.0

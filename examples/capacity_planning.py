@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Capacity planning: how many servers should a workload get?
+
+The paper's headline tension (Findings 1 vs 4): for read-only traffic
+the most energy-efficient cluster is the *smallest* one that meets the
+load, but for update-heavy traffic with replication enabled, *more*
+servers are both faster and more efficient.  This example sweeps the
+cluster size for both traffic profiles and prints the trade-off table a
+capacity planner would use.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.cluster import ClusterSpec, ExperimentSpec, run_experiment
+from repro.ramcloud import ServerConfig
+from repro.ycsb import WORKLOAD_A, WORKLOAD_C
+
+CLIENTS = 48
+SIZES = (4, 8, 16)
+
+
+def sweep(label, workload, replication_factor):
+    print(f"\n== {label} ==")
+    print(f"{'servers':>8} {'throughput':>12} {'W/server':>9} "
+          f"{'op/joule':>9} {'energy (J)':>11}")
+    rows = []
+    for servers in SIZES:
+        spec = ExperimentSpec(
+            cluster=ClusterSpec(
+                num_servers=servers,
+                num_clients=CLIENTS,
+                server_config=ServerConfig(
+                    replication_factor=replication_factor),
+                seed=7,
+            ),
+            workload=workload.scaled(num_records=10_000, ops_per_client=500),
+        )
+        result = run_experiment(spec)
+        rows.append((servers, result))
+        print(f"{servers:>8} {result.throughput:>11,.0f}/s "
+              f"{result.avg_power_per_server:>8.1f}W "
+              f"{result.energy_efficiency:>8.0f} "
+              f"{result.total_energy_joules:>11.1f}")
+    best = max(rows, key=lambda r: r[1].energy_efficiency)
+    print(f"most energy-efficient size: {best[0]} servers "
+          f"({best[1].energy_efficiency:.0f} op/joule)")
+    return best[0]
+
+
+def main():
+    read_best = sweep(
+        f"read-only cache traffic ({CLIENTS} clients, replication off)",
+        WORKLOAD_C, replication_factor=0)
+    update_best = sweep(
+        f"session-store traffic ({CLIENTS} clients, 50% updates, RF 3)",
+        WORKLOAD_A, replication_factor=3)
+
+    print("\n== planner's conclusion ==")
+    print(f"read-only: the small cluster ({read_best} servers) is "
+          "dramatically more efficient — idle polling cores make every "
+          "extra server pure overhead (paper Finding 1).")
+    print(f"update-heavy with replication: throughput keeps growing with "
+          "servers while efficiency stays roughly flat, so scale out for "
+          "performance at little energy cost (the operational half of "
+          "paper Finding 4).")
+    print("either way: the right cluster size depends on the workload — "
+          "there is no single energy-optimal deployment.")
+
+
+if __name__ == "__main__":
+    main()

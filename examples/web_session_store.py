@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""A web session store on RAMCloud, with an energy bill.
+
+The paper's motivation: "large popular web applications ... strongly
+rely on main memory storage" with read-dominated traffic (§I, [3]
+reports GET/SET ≈ 30:1).  This example models that application
+directly: a fleet of web frontends doing session lookups with
+occasional session updates, and asks what the paper's instrumentation
+would show — throughput, tail latency, watts, and joules per million
+requests.
+
+It also demonstrates the custom-workload API: a 30:1 read/update mix
+with zipfian popularity (hot sessions), rather than the standard
+YCSB A/B/C presets.
+
+Run:  python examples/web_session_store.py
+"""
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.ramcloud import ServerConfig
+from repro.sim.distributions import RandomStream
+from repro.ycsb import WorkloadSpec, YcsbClient
+
+FRONTENDS = 12
+SERVERS = 6
+SESSIONS = 15_000
+SESSION_SIZE = 1024  # the paper's 1 KB records
+
+# The Facebook-style mix: GET/SET 30:1, hot sessions via zipfian.
+SESSION_WORKLOAD = WorkloadSpec(
+    name="session-store",
+    read_proportion=30 / 31,
+    update_proportion=1 / 31,
+    num_records=SESSIONS,
+    record_size=SESSION_SIZE,
+    ops_per_client=1_500,
+    request_distribution="zipfian",
+)
+
+
+def main():
+    cluster = Cluster(ClusterSpec(
+        num_servers=SERVERS,
+        num_clients=FRONTENDS,
+        server_config=ServerConfig(replication_factor=3),
+        seed=2026,
+    ))
+    table_id = cluster.create_table("sessions")
+    cluster.preload(table_id, SESSIONS, SESSION_SIZE)
+
+    frontends = []
+    for i, rc in enumerate(cluster.clients):
+        client = YcsbClient(cluster.sim, rc, table_id, SESSION_WORKLOAD,
+                            RandomStream(2026, f"frontend{i}"))
+        frontends.append(client)
+
+    # Scaled-down run (tens of milliseconds), so sample the PDUs at
+    # 1 kHz instead of the paper's 1 Hz.
+    cluster.start_metering(interval=0.001)
+    procs = [cluster.sim.process(f.run(), name=f"frontend{i}")
+             for i, f in enumerate(frontends)]
+    done = cluster.sim.all_of(procs)
+    while not done.triggered:
+        cluster.sim.step()
+    cluster.stop_metering()
+
+    total_ops = sum(f.stats.total_ops for f in frontends)
+    makespan = max(f.stats.finished_at for f in frontends)
+    reads = [lat for f in frontends for _t, lat in f.stats.reads.samples]
+    updates = [lat for f in frontends for _t, lat in f.stats.updates.samples]
+    reads.sort()
+    updates.sort()
+    energy = cluster.total_energy_joules()
+
+    print(f"session store: {SERVERS} servers (RF 3), "
+          f"{FRONTENDS} frontends, {SESSIONS:,} sessions of "
+          f"{SESSION_SIZE} B, GET/SET 30:1 zipfian\n")
+    print(f"  served            {total_ops:,} requests in "
+          f"{makespan * 1000:.1f} ms")
+    print(f"  throughput        {total_ops / makespan:,.0f} req/s")
+    print(f"  GET latency       p50 {reads[len(reads) // 2] * 1e6:.1f} µs   "
+          f"p99 {reads[int(0.99 * len(reads))] * 1e6:.1f} µs")
+    if updates:
+        print(f"  SET latency       p50 "
+              f"{updates[len(updates) // 2] * 1e6:.1f} µs   "
+              f"p99 {updates[int(0.99 * len(updates))] * 1e6:.1f} µs")
+    print(f"  power             {cluster.average_power_per_server():.1f} "
+          f"W/server average")
+    print(f"  energy            {energy:.1f} J total -> "
+          f"{energy / total_ops * 1e6:,.0f} J per million requests")
+    print(f"  server CPU        "
+          + ", ".join(f"{n.cpu.utilization_between(0, makespan):.0f}%"
+                      for n in cluster.server_nodes))
+    print("\nnote the paper's Finding 1 at work: per-server power barely "
+          "tracks load — the dispatch core polls at 100 % regardless.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Post-processing and presentation utilities.
+
+Renders the paper's figure types from experiment results: ASCII line
+charts of timelines (Fig. 9/10/12), Table-I-style min/avg/max CPU
+tables, and recovery reports — everything a user needs to eyeball a
+run without a plotting stack.
+"""
+
+from repro.analysis.charts import ascii_chart, ascii_multi_chart
+from repro.analysis.reports import (
+    cpu_usage_table,
+    crash_timeline_report,
+    energy_proportionality_index,
+)
+
+__all__ = [
+    "ascii_chart",
+    "ascii_multi_chart",
+    "cpu_usage_table",
+    "crash_timeline_report",
+    "energy_proportionality_index",
+]

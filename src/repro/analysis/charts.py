@@ -1,0 +1,95 @@
+"""Plain-text line charts for time series.
+
+A dependency-free renderer good enough to eyeball the paper's timeline
+figures (CPU/power around a crash, disk activity during recovery) in a
+terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_chart", "ascii_multi_chart"]
+
+Series = Sequence[Tuple[float, float]]
+
+_MARKS = "*o+x#@"
+
+
+def _bucketize(series: Series, x_min: float, x_max: float,
+               width: int) -> List[Optional[float]]:
+    """Average the series into ``width`` buckets over [x_min, x_max]."""
+    sums = [0.0] * width
+    counts = [0] * width
+    span = max(x_max - x_min, 1e-12)
+    for x, y in series:
+        if not x_min <= x <= x_max:
+            continue
+        bucket = min(width - 1, int((x - x_min) / span * width))
+        sums[bucket] += y
+        counts[bucket] += 1
+    return [sums[i] / counts[i] if counts[i] else None
+            for i in range(width)]
+
+
+def ascii_chart(series: Series, title: str = "", width: int = 68,
+                height: int = 14, y_label: str = "",
+                x_label: str = "") -> str:
+    """Render one series as an ASCII line chart."""
+    return ascii_multi_chart({y_label or "y": series}, title=title,
+                             width=width, height=height, x_label=x_label)
+
+
+def ascii_multi_chart(named_series: Dict[str, Series], title: str = "",
+                      width: int = 68, height: int = 14,
+                      x_label: str = "") -> str:
+    """Render several series on shared axes, one mark per series."""
+    if not named_series:
+        raise ValueError("no series to plot")
+    points = [p for series in named_series.values() for p in series]
+    if not points:
+        raise ValueError("all series are empty")
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, series) in enumerate(named_series.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        buckets = _bucketize(series, x_min, x_max, width)
+        for col, value in enumerate(buckets):
+            if value is None:
+                continue
+            frac = (value - y_min) / (y_max - y_min)
+            row = height - 1 - int(frac * (height - 1))
+            grid[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_max:.4g}"), len(f"{y_min:.4g}"))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_max:.4g}"
+        elif i == height - 1:
+            label = f"{y_min:.4g}"
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    axis = f"{'':>{label_width}} +" + "-" * width
+    lines.append(axis)
+    x_axis = (f"{'':>{label_width}}  {x_min:<.4g}"
+              + " " * max(1, width - len(f"{x_min:<.4g}")
+                          - len(f"{x_max:.4g}"))
+              + f"{x_max:.4g}")
+    lines.append(x_axis)
+    if x_label:
+        lines.append(f"{'':>{label_width}}  ({x_label})")
+    if len(named_series) > 1:
+        legend = "  ".join(f"{_MARKS[i % len(_MARKS)]} {name}"
+                           for i, name in enumerate(named_series))
+        lines.append(f"{'':>{label_width}}  {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Report builders over experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.analysis.charts import ascii_chart, ascii_multi_chart
+
+__all__ = ["cpu_usage_table", "crash_timeline_report",
+           "energy_proportionality_index"]
+
+
+def cpu_usage_table(results_by_config: Dict[str, Dict[str, float]]) -> str:
+    """A Table-I-style report: per configuration, the min/avg/max of the
+    per-node CPU utilizations.
+
+    ``results_by_config`` maps a configuration label to a
+    ``{node_name: cpu_percent}`` dict (e.g.
+    :attr:`~repro.cluster.experiment.ExperimentResult.cpu_util_per_node`).
+    """
+    if not results_by_config:
+        raise ValueError("no configurations")
+    width = max(len(label) for label in results_by_config)
+    lines = [f"{'configuration':<{width}}  {'min':>6}  {'avg':>6}  {'max':>6}",
+             "-" * (width + 24)]
+    for label, per_node in results_by_config.items():
+        values = list(per_node.values())
+        if not values:
+            raise ValueError(f"no per-node values for {label!r}")
+        lines.append(
+            f"{label:<{width}}  {min(values):>5.1f}%  "
+            f"{sum(values) / len(values):>5.1f}%  {max(values):>5.1f}%")
+    return "\n".join(lines)
+
+
+def crash_timeline_report(result, width: int = 68) -> str:
+    """Render a crash-experiment result the way the paper presents §VII:
+    Fig. 9a (cluster CPU), Fig. 9b (per-node power) and Fig. 12
+    (aggregate disk activity) as charts, plus the recovery summary."""
+    sections = []
+    recovery = result.recovery
+    header = [f"crash of {result.crashed_server} "
+              f"at t={result.spec.kill_at:.0f} s"]
+    if recovery is not None and recovery.finished_at is not None:
+        header.append(
+            f"recovered {recovery.bytes_to_recover / 2**20:.0f} MB in "
+            f"{recovery.duration:.1f} s across "
+            f"{len(recovery.recovery_masters)} recovery masters "
+            f"({recovery.segments} segments)")
+    sections.append("\n".join(header))
+
+    sections.append(ascii_chart(result.cluster_cpu.items(),
+                                title="cluster average CPU (%)  [Fig. 9a]",
+                                width=width, x_label="seconds"))
+    survivors = {name: series.items()
+                 for name, series in result.per_node_power.items()
+                 if name != result.crashed_server}
+    if survivors:
+        # Average the survivors into one power curve (Fig. 9b).
+        merged = {}
+        for series in survivors.values():
+            for t, v in series:
+                merged.setdefault(t, []).append(v)
+        avg_power = sorted((t, sum(v) / len(v)) for t, v in merged.items())
+        sections.append(ascii_chart(
+            avg_power, title="average surviving-node power (W)  [Fig. 9b]",
+            width=width, x_label="seconds"))
+    sections.append(ascii_multi_chart(
+        {"read": result.disk_read_mbps.items(),
+         "write": result.disk_write_mbps.items()},
+        title="aggregate disk activity (MB/s)  [Fig. 12]",
+        width=width, x_label="seconds"))
+    if result.client_latencies:
+        named = {}
+        for i, samples in enumerate(result.client_latencies):
+            named[f"client {i + 1}"] = [(t, lat * 1e6) for t, lat in samples]
+        sections.append(ascii_multi_chart(
+            named, title="per-op latency (µs, bucket means)  [Fig. 10]",
+            width=width, x_label="seconds"))
+    return "\n\n".join(sections)
+
+
+def energy_proportionality_index(loads: Sequence[float],
+                                 watts: Sequence[float]) -> float:
+    """How proportional is power to load, 0..1?
+
+    1 means perfectly proportional (power scales linearly from 0 at
+    idle); 0 means completely flat (the paper's Finding 1 pathology).
+    Defined as ``1 - idle_watts / peak_watts`` interpolated over the
+    measured (load, watts) curve, the standard EP metric.
+    """
+    if len(loads) != len(watts) or len(loads) < 2:
+        raise ValueError("need matched load/watts series of length >= 2")
+    pairs = sorted(zip(loads, watts))
+    idle = pairs[0][1]
+    peak = pairs[-1][1]
+    if peak <= 0:
+        raise ValueError("peak power must be positive")
+    return max(0.0, 1.0 - idle / peak)

@@ -1,0 +1,34 @@
+"""Cluster deployment and experiment orchestration.
+
+Builds simulated testbeds shaped like the paper's (§III-B): one
+coordinator node, N server nodes running collocated master+backup
+services (the PDU-metered nodes), and M client nodes; then runs
+workloads and collects the paper's metrics.
+"""
+
+from repro.cluster.deployment import Cluster, ClusterSpec
+from repro.cluster.experiment import (
+    Aggregate,
+    ExperimentResult,
+    ExperimentSpec,
+    repeat_experiment,
+    run_experiment,
+)
+from repro.cluster.crash import (
+    CrashExperimentResult,
+    CrashExperimentSpec,
+    run_crash_experiment,
+)
+
+__all__ = [
+    "Aggregate",
+    "Cluster",
+    "ClusterSpec",
+    "CrashExperimentResult",
+    "CrashExperimentSpec",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "repeat_experiment",
+    "run_crash_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,210 @@
+"""Building the simulated testbed.
+
+The paper reserves 131 Grid'5000 nodes: 40 PDU-equipped nodes for the
+RAMCloud cluster, one coordinator node, 90 client nodes.  A
+:class:`Cluster` builds the same topology at any size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.hardware.node import Node
+from repro.hardware.specs import GRID5000_NANCY_NODE, MachineSpec
+from repro.net.fabric import Fabric
+from repro.ramcloud.client import RamCloudClient
+from repro.ramcloud.config import CostModel, ServerConfig
+from repro.ramcloud.coordinator import Coordinator
+from repro.ramcloud.server import RamCloudServer
+from repro.sim.distributions import RandomStream
+from repro.sim.kernel import Simulator
+
+__all__ = ["ClusterSpec", "Cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Shape and configuration of one deployment."""
+
+    num_servers: int = 10
+    num_clients: int = 10
+    server_config: ServerConfig = field(default_factory=ServerConfig)
+    cost_model: CostModel = field(default_factory=CostModel)
+    machine: MachineSpec = GRID5000_NANCY_NODE
+    seed: int = 1
+    failure_detection: bool = False
+
+    def __post_init__(self):
+        if self.num_servers < 1:
+            raise ValueError("need at least one server")
+        if self.num_clients < 0:
+            raise ValueError("client count cannot be negative")
+        rf = self.server_config.replication_factor
+        if rf > 0 and self.num_servers < rf + 1:
+            raise ValueError(
+                f"replication factor {rf} needs at least {rf + 1} servers"
+            )
+
+    def with_(self, **overrides) -> "ClusterSpec":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+class Cluster:
+    """A running simulated deployment."""
+
+    def __init__(self, spec: ClusterSpec):
+        self.spec = spec
+        self.sim = Simulator()
+        self.fabric = Fabric(self.sim)
+        self.stream = RandomStream(spec.seed, "cluster")
+
+        self.coordinator_node = Node(self.sim, spec.machine, "coord")
+        self.fabric.attach(self.coordinator_node)
+        self.coordinator = Coordinator(
+            self.sim, self.fabric, self.coordinator_node,
+            spec.server_config, spec.cost_model,
+            RandomStream(spec.seed, "coordinator"),
+        )
+
+        self.server_nodes: List[Node] = []
+        self.servers: List[RamCloudServer] = []
+        for i in range(spec.num_servers):
+            node = Node(self.sim, spec.machine, f"server{i}")
+            self.fabric.attach(node)
+            server = RamCloudServer(
+                self.sim, self.fabric, node,
+                spec.server_config, spec.cost_model, self.coordinator,
+                RandomStream(spec.seed, f"server{i}"),
+            )
+            self.coordinator.enlist(server)
+            self.server_nodes.append(node)
+            self.servers.append(server)
+
+        self.client_nodes: List[Node] = []
+        self.clients: List[RamCloudClient] = []
+        for i in range(spec.num_clients):
+            node = Node(self.sim, spec.machine, f"client{i}")
+            self.fabric.attach(node)
+            self.client_nodes.append(node)
+            self.clients.append(
+                RamCloudClient(self.sim, node, self.coordinator))
+
+        if spec.failure_detection:
+            self.coordinator.start_failure_detector()
+
+    # -- table management ---------------------------------------------------
+
+    def create_table(self, name: str, span: Optional[int] = None) -> int:
+        """Create a table directly at the coordinator (experiment setup,
+        zero simulated time).  ``span`` defaults to the number of
+        servers, the paper's ServerSpan setting."""
+        table = self.coordinator.create_table(name, span)
+        return table.table_id
+
+    def preload(self, table_id: int, num_records: int, record_size: int,
+                key_fn=None) -> Dict[str, int]:
+        """Bulk-load records through the masters' fast path (§III-C:
+        "To run a workload, one needs to fill the data-store first.").
+
+        Returns per-server record counts.  Zero simulated time; backup
+        replica state is materialized, closed segments marked on disk.
+        """
+        if key_fn is None:
+            key_fn = default_key
+        per_server: Dict[str, List[Tuple[int, str, int]]] = {}
+        tablet_map = self.coordinator.tablet_map
+        for i in range(num_records):
+            key = key_fn(i)
+            tablet = tablet_map.tablet_for_key(table_id, key)
+            per_server.setdefault(tablet.server_id, []).append(
+                (table_id, key, record_size))
+        counts = {}
+        for server_id, items in per_server.items():
+            server = self.coordinator.lookup_server(server_id)
+            counts[server_id] = server.bulk_load(items)
+        return counts
+
+    # -- elastic scale-up ---------------------------------------------------
+
+    def add_server(self) -> RamCloudServer:
+        """Bring a new server machine online mid-run (the scale-up half
+        of §IX's coordinator-driven sizing).  The server enlists with
+        the coordinator; call
+        :meth:`~repro.ramcloud.coordinator.Coordinator.rebalance` to
+        move load onto it."""
+        index = len(self.server_nodes)
+        node = Node(self.sim, self.spec.machine, f"server{index}")
+        self.fabric.attach(node)
+        server = RamCloudServer(
+            self.sim, self.fabric, node,
+            self.spec.server_config, self.spec.cost_model, self.coordinator,
+            RandomStream(self.spec.seed, f"server{index}"),
+        )
+        self.coordinator.enlist(server)
+        self.server_nodes.append(node)
+        self.servers.append(server)
+        if any(len(n.power.series) for n in self.server_nodes[:index]):
+            node.start_metering()
+        return server
+
+    # -- power metering -------------------------------------------------------
+
+    def start_metering(self, interval: float = 1.0) -> None:
+        """Start the PDU sampling script on every *server* node (the
+        paper meters the 40 PDU-equipped RAMCloud nodes, not clients).
+
+        The paper samples at 1 Hz; scaled-down runs lasting well under a
+        second should pass a finer ``interval``."""
+        for node in self.server_nodes:
+            node.start_metering(interval=interval)
+
+    def stop_metering(self) -> None:
+        """Stop every server node's PDU sampler."""
+        for node in self.server_nodes:
+            node.stop_metering()
+
+    # -- failure injection -------------------------------------------------------
+
+    def kill_server(self, index: Optional[int] = None) -> RamCloudServer:
+        """Kill the RAMCloud process on one server node (random if
+        ``index`` is None, like the paper's §VII methodology)."""
+        live = [s for s in self.servers if not s.killed]
+        if not live:
+            raise RuntimeError("no live servers to kill")
+        if index is None:
+            victim = self.stream.choice(live)
+        else:
+            victim = self.servers[index]
+            if victim.killed:
+                raise ValueError(f"server {index} already killed")
+        victim.kill()
+        return victim
+
+    # -- aggregate statistics ------------------------------------------------
+
+    def total_ops_completed(self) -> int:
+        """Operations served across all masters."""
+        return sum(s.ops_completed for s in self.servers)
+
+    def total_energy_joules(self) -> float:
+        """Energy integral over every server node's power trace."""
+        return sum(n.power.energy_joules() for n in self.server_nodes)
+
+    def average_power_per_server(self) -> float:
+        """Mean PDU reading across server nodes (metering required)."""
+        values = [n.power.average_watts() for n in self.server_nodes
+                  if len(n.power.series) > 0]
+        if not values:
+            raise RuntimeError("no power samples; call start_metering()")
+        return sum(values) / len(values)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the simulation (to ``until``, or until idle)."""
+        self.sim.run(until=until)
+
+
+def default_key(i: int) -> str:
+    """YCSB-style record keys."""
+    return f"user{i}"

@@ -1,0 +1,195 @@
+"""Running one experiment configuration and collecting the paper's metrics.
+
+Follows the paper's measurement discipline (§III):
+
+* the data store is filled first (bulk preload);
+* power metering starts "right before running the benchmark" and stops
+  "after all clients finish";
+* metrics: aggregated throughput (requests served per second), average
+  power per server node, total energy consumed, energy efficiency
+  (operations per joule), per-node CPU utilization, per-client latency;
+* each reported value is an average over several seeded runs with error
+  bars (:func:`repeat_experiment`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.deployment import Cluster, ClusterSpec
+from repro.sim.distributions import RandomStream
+from repro.ycsb.client import YcsbClient
+from repro.ycsb.stats import OperationStats
+from repro.ycsb.workload import WorkloadSpec
+
+__all__ = ["ExperimentSpec", "ExperimentResult", "run_experiment",
+           "repeat_experiment", "Aggregate"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One cluster+workload configuration."""
+
+    cluster: ClusterSpec
+    workload: WorkloadSpec
+    table_span: Optional[int] = None  # default: num_servers (ServerSpan)
+    pdu_interval: float = 0.05  # finer than the paper's 1 Hz because our
+    # scaled-down runs are shorter; energy totals use exact integrals.
+    give_up_after: Optional[float] = None
+    warmup_fraction: float = 0.0
+
+    def with_(self, **overrides) -> "ExperimentSpec":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one run produces."""
+
+    spec: ExperimentSpec
+    total_ops: int = 0
+    makespan: float = 0.0
+    throughput: float = 0.0  # ops/second, aggregated over all clients
+    avg_power_per_server: float = 0.0  # watts
+    total_energy_joules: float = 0.0
+    energy_efficiency: float = 0.0  # ops/joule
+    cpu_util_per_node: Dict[str, float] = field(default_factory=dict)
+    per_client_stats: List[OperationStats] = field(default_factory=list)
+    client_errors: int = 0
+    clients_gave_up: int = 0
+    crashed: bool = False  # the paper's "experiments were always crashing"
+
+    @property
+    def cpu_util_min(self) -> float:
+        """Least-loaded node's CPU percent (Table I's min)."""
+        return min(self.cpu_util_per_node.values())
+
+    @property
+    def cpu_util_max(self) -> float:
+        """Most-loaded node's CPU percent (Table I's max)."""
+        return max(self.cpu_util_per_node.values())
+
+    @property
+    def cpu_util_avg(self) -> float:
+        """Mean CPU percent across server nodes."""
+        values = list(self.cpu_util_per_node.values())
+        return sum(values) / len(values)
+
+    def mean_latency(self) -> float:
+        """Mean op latency pooled over every client."""
+        merged = []
+        for stats in self.per_client_stats:
+            merged.extend(stats.all_latencies().latencies)
+        if not merged:
+            raise ValueError("no latency samples")
+        return sum(merged) / len(merged)
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Build the cluster, preload, run all clients, collect metrics."""
+    cluster = Cluster(spec.cluster)
+    table_id = cluster.create_table("usertable", span=spec.table_span)
+    cluster.preload(table_id, spec.workload.num_records,
+                    spec.workload.record_size)
+
+    clients = []
+    for i, rc in enumerate(cluster.clients):
+        stream = RandomStream(spec.cluster.seed, f"ycsb{i}")
+        clients.append(YcsbClient(cluster.sim, rc, table_id, spec.workload,
+                                  stream, give_up_after=spec.give_up_after))
+
+    for node in cluster.server_nodes:
+        node.start_metering(interval=spec.pdu_interval)
+
+    start = cluster.sim.now
+    start_busy = {n.name: n.cpu.busy_core_seconds()
+                  for n in cluster.server_nodes}
+    start_disk = {n.name: n.disk.busy_seconds for n in cluster.server_nodes}
+
+    procs = [cluster.sim.process(c.run(), name=f"ycsb:{i}")
+             for i, c in enumerate(clients)]
+    done = cluster.sim.all_of(procs)
+    while not done.triggered:
+        cluster.sim.step()
+    if not done.ok:
+        raise done.value
+    end = cluster.sim.now
+    cluster.stop_metering()
+
+    makespan = max(end - start, 1e-12)
+    result = ExperimentResult(spec=spec)
+    result.makespan = makespan
+    result.per_client_stats = [c.stats for c in clients]
+    result.total_ops = sum(c.stats.total_ops for c in clients)
+    result.throughput = result.total_ops / makespan
+    result.client_errors = sum(c.stats.errors for c in clients)
+    result.clients_gave_up = sum(1 for c in clients if c.gave_up)
+    result.crashed = result.clients_gave_up > 0
+
+    power_spec = spec.cluster.machine.power
+    cores = spec.cluster.machine.cpu.cores
+    total_energy = 0.0
+    watts = []
+    for node in cluster.server_nodes:
+        busy = node.cpu.busy_core_seconds() - start_busy[node.name]
+        util_pct = 100.0 * busy / (makespan * cores)
+        disk_busy = node.disk.busy_seconds - start_disk[node.name]
+        avg_watts = (power_spec.watts(min(util_pct, 100.0))
+                     + power_spec.disk_active_watts
+                     * min(disk_busy / makespan, 1.0))
+        watts.append(avg_watts)
+        total_energy += avg_watts * makespan
+        result.cpu_util_per_node[node.name] = util_pct
+    result.avg_power_per_server = sum(watts) / len(watts)
+    result.total_energy_joules = total_energy
+    result.energy_efficiency = (result.total_ops / total_energy
+                                if total_energy > 0 else 0.0)
+    return result
+
+
+@dataclass
+class Aggregate:
+    """Mean and error bar over repeated seeded runs, per metric."""
+
+    mean: float
+    stddev: float
+    values: Tuple[float, ...]
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Aggregate":
+        """Aggregate a list of per-seed values."""
+        if not values:
+            raise ValueError("no values to aggregate")
+        mean = sum(values) / len(values)
+        if len(values) > 1:
+            var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        else:
+            var = 0.0
+        return cls(mean=mean, stddev=math.sqrt(var), values=tuple(values))
+
+    def __format__(self, fmt: str) -> str:
+        return f"{format(self.mean, fmt)}±{format(self.stddev, fmt)}"
+
+
+def repeat_experiment(spec: ExperimentSpec, seeds: Sequence[int]
+                      ) -> Tuple[Dict[str, Aggregate], List[ExperimentResult]]:
+    """Run one configuration once per seed (the paper averages 5 runs);
+    returns aggregates over the headline metrics plus the raw results."""
+    results = []
+    for seed in seeds:
+        run_spec = spec.with_(cluster=spec.cluster.with_(seed=seed))
+        results.append(run_experiment(run_spec))
+    metrics = {
+        "throughput": Aggregate.of([r.throughput for r in results]),
+        "avg_power_per_server": Aggregate.of(
+            [r.avg_power_per_server for r in results]),
+        "total_energy_joules": Aggregate.of(
+            [r.total_energy_joules for r in results]),
+        "energy_efficiency": Aggregate.of(
+            [r.energy_efficiency for r in results]),
+        "makespan": Aggregate.of([r.makespan for r in results]),
+    }
+    return metrics, results

@@ -1,0 +1,22 @@
+"""Per-figure/table reproduction runners.
+
+Each module reproduces one section of the paper's evaluation and knows
+the paper's reported numbers, so every runner prints a
+paper-vs-measured comparison:
+
+* :mod:`repro.experiments.peak` — §IV: Fig. 1a/1b, Table I, Fig. 2
+* :mod:`repro.experiments.workloads` — §V: Table II, Fig. 3, Fig. 4a/4b
+* :mod:`repro.experiments.replication` — §VI: Fig. 5, 6a/6b, 7, 8
+* :mod:`repro.experiments.recovery` — §VII: Fig. 9a/9b, 10, 11a/11b, 12
+* :mod:`repro.experiments.throttling` — §IX: Fig. 13
+* :mod:`repro.experiments.ablations` — §IX design-choice ablations
+  (segment size, worker threads, relaxed-consistency replication)
+
+All runners accept a :class:`~repro.experiments.scale.Scale` so the
+benchmark harness can trade fidelity for runtime (DESIGN.md §5).
+"""
+
+from repro.experiments.scale import Scale, SMOKE, DEFAULT, FULL
+from repro.experiments.reporting import ComparisonTable
+
+__all__ = ["ComparisonTable", "Scale", "SMOKE", "DEFAULT", "FULL"]

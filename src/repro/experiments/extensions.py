@@ -1,0 +1,283 @@
+"""Extensions the paper names as future work (§X).
+
+* **Request distributions** — "We consider as well evaluating the
+  system with different request distributions": uniform vs YCSB's
+  scrambled-zipfian vs latest on the read-heavy workload.
+* **Network transport** — the companion study [24] examines the network
+  dimension; we compare the paper's Infiniband-20G against Gigabit
+  Ethernet on the same read-only workload.
+* **Scans** — "one could think of scans to assess the indexing
+  mechanism of the system": YCSB workload E over RAMCloud's MultiRead,
+  and its interaction with concurrent updates.
+* **Elastic sizing** — §IX's coordinator-driven scale-down: drain and
+  power off surplus servers under light load, measure the watts saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.cluster import ClusterSpec, ExperimentSpec, repeat_experiment
+from repro.experiments.reporting import ComparisonTable
+from repro.experiments.scale import DEFAULT, Scale
+from repro.hardware.specs import (
+    GIGABIT_ETHERNET,
+    GRID5000_NANCY_NODE,
+    INFINIBAND_20G,
+)
+from repro.ramcloud.config import ServerConfig
+from repro.ycsb.workload import WORKLOAD_B, WORKLOAD_C, WORKLOAD_E
+
+__all__ = ["run_request_distribution_extension", "run_transport_extension",
+           "run_scan_extension", "run_elastic_sizing_extension",
+           "run_correlated_failures_extension"]
+
+
+def run_request_distribution_extension(scale: Scale = DEFAULT,
+                                       distributions: Sequence[str] = (
+                                           "uniform", "zipfian", "latest"),
+                                       servers: int = 4, clients: int = 24,
+                                       ) -> ComparisonTable:
+    """Workloads under different request distributions, at saturation.
+
+    Two opposing effects emerge:
+
+    * read-only (C): skew imbalances per-server load, so the hottest
+      master saturates first and aggregate throughput drops below
+      uniform;
+    * read-heavy (B): skew *concentrates the update contention* on a
+      few masters, leaving the rest to serve cheap reads — aggregate
+      throughput can exceed the uniform case.
+    """
+    table = ComparisonTable(
+        "§X request distributions", f"throughput by request distribution "
+        f"({servers} servers, {clients} clients, saturated)")
+    for name, preset in (("C", WORKLOAD_C), ("B", WORKLOAD_B)):
+        for distribution in distributions:
+            workload = preset.scaled(
+                num_records=scale.num_records,
+                ops_per_client=scale.ops_per_client,
+                request_distribution=distribution)
+            spec = ExperimentSpec(
+                cluster=ClusterSpec(
+                    num_servers=servers, num_clients=clients,
+                    server_config=ServerConfig(replication_factor=0)),
+                workload=workload,
+            )
+            metrics, results = repeat_experiment(spec, scale.seeds)
+            table.add(f"workload {name} / {distribution}", None,
+                      metrics["throughput"].mean / 1000.0, "K",
+                      note=f"CPU spread "
+                           f"{min(results[0].cpu_util_per_node.values()):.0f}–"
+                           f"{max(results[0].cpu_util_per_node.values()):.0f}%")
+    table.note("read-only loses to imbalance under skew; read-heavy can "
+               "gain because write contention concentrates on few masters")
+    return table
+
+
+def run_transport_extension(scale: Scale = DEFAULT,
+                            servers: int = 5, clients: int = 10,
+                            ) -> ComparisonTable:
+    """Infiniband vs Gigabit Ethernet on read-only traffic.
+
+    The paper runs everything on RAMCloud's Infiniband transport and
+    defers the network dimension to [24]; this extension quantifies
+    what the slower NIC costs in our substrate.
+    """
+    table = ComparisonTable(
+        "§X transports", f"read-only throughput by transport "
+        f"({servers} servers, {clients} clients)")
+    for nic in (INFINIBAND_20G, GIGABIT_ETHERNET):
+        machine = replace(GRID5000_NANCY_NODE, nic=nic)
+        spec = ExperimentSpec(
+            cluster=ClusterSpec(
+                num_servers=servers, num_clients=clients,
+                server_config=ServerConfig(replication_factor=0),
+                machine=machine),
+            workload=WORKLOAD_C.scaled(num_records=scale.num_records,
+                                       ops_per_client=scale.ops_per_client),
+        )
+        metrics, results = repeat_experiment(spec, scale.seeds[:1])
+        table.add(nic.name, None, metrics["throughput"].mean / 1000.0, "K",
+                  note=f"mean latency "
+                       f"{results[0].mean_latency() * 1e6:.1f} µs")
+    table.note("one-way latency 2 µs vs 30 µs: Ethernet roughly doubles "
+               "the closed-loop op time, halving per-client throughput")
+    return table
+
+
+def run_scan_extension(scale: Scale = DEFAULT,
+                       scan_lengths: Sequence[int] = (10, 100, 500),
+                       servers: int = 5, clients: int = 10,
+                       ) -> ComparisonTable:
+    """Workload E (95 % scans / 5 % inserts) over MultiRead, by scan
+    length — the indexing-mechanism assessment the paper defers (§X).
+
+    Throughput is reported in *records* per second (a scan of length L
+    returns L records) so lengths are comparable.
+    """
+    table = ComparisonTable(
+        "§X scans", f"workload E: records/s by max scan length "
+        f"({servers} servers, {clients} clients)")
+    for max_len in scan_lengths:
+        workload = WORKLOAD_E.scaled(
+            num_records=scale.num_records,
+            ops_per_client=max(50, scale.ops_per_client // 4),
+            max_scan_length=max_len)
+        spec = ExperimentSpec(
+            cluster=ClusterSpec(
+                num_servers=servers, num_clients=clients,
+                server_config=ServerConfig(replication_factor=0)),
+            workload=workload,
+        )
+        metrics, _results = repeat_experiment(spec, scale.seeds[:1])
+        # A scan of length L returns L records: expected records per op.
+        records_per_op = (workload.scan_proportion * (max_len + 1) / 2
+                          + workload.insert_proportion)
+        table.add(f"max scan length {max_len}", None,
+                  metrics["throughput"].mean / 1000.0, "K ops/s",
+                  note=f"≈{metrics['throughput'].mean * records_per_op:,.0f}"
+                       " records/s")
+    table.note("longer scans amortize per-RPC costs: scans/s falls, "
+               "records/s rises")
+    return table
+
+
+def run_elastic_sizing_extension(scale: Scale = DEFAULT,
+                                 servers: int = 6,
+                                 keep: int = 3) -> ComparisonTable:
+    """§IX elastic scale-down: drain and power off surplus servers under
+    light read-only load; report the fleet watts before and after."""
+    from repro.cluster import Cluster
+    from repro.sim.distributions import RandomStream
+    from repro.ycsb.client import YcsbClient
+
+    cluster = Cluster(ClusterSpec(
+        num_servers=servers, num_clients=2,
+        server_config=ServerConfig(replication_factor=0), seed=3))
+    table_id = cluster.create_table("cache")
+    cluster.preload(table_id, scale.num_records, 1024)
+    cluster.start_metering(interval=0.05)
+
+    def run_load(tag):
+        clients = [YcsbClient(cluster.sim, rc, table_id,
+                              WORKLOAD_C.scaled(
+                                  num_records=scale.num_records,
+                                  ops_per_client=scale.ops_per_client),
+                              RandomStream(3, f"{tag}{i}"))
+                   for i, rc in enumerate(cluster.clients)]
+        procs = [cluster.sim.process(c.run()) for c in clients]
+        done = cluster.sim.all_of(procs)
+        while not done.triggered:
+            cluster.sim.step()
+        total = sum(c.stats.total_ops for c in clients)
+        span = (max(c.stats.finished_at for c in clients)
+                - min(c.stats.started_at for c in clients))
+        return total / span
+
+    def fleet_watts():
+        cluster.run(until=cluster.sim.now + 1.0)
+        now = cluster.sim.now
+        return sum(
+            node.power.series.window(now - 0.5, now).mean()
+            if len(node.power.series.window(now - 0.5, now)) else 0.0
+            for node in cluster.server_nodes)
+
+    before_thr = run_load("warm")
+    before_watts = fleet_watts()
+
+    def orchestrate():
+        for i in range(keep, servers):
+            yield from cluster.coordinator.decommission_server(f"server{i}")
+
+    proc = cluster.sim.process(orchestrate())
+    while proc.is_alive:
+        cluster.sim.step()
+    after_thr = run_load("post")
+    after_watts = fleet_watts()
+
+    table = ComparisonTable(
+        "§IX elastic sizing", f"scale {servers}→{keep} servers under "
+        "light read-only load")
+    table.add("fleet power before", None, before_watts, " W")
+    table.add("fleet power after", None, after_watts, " W")
+    table.add("power saved", None,
+              100.0 * (1 - after_watts / before_watts), " %")
+    table.add("throughput before", None, before_thr / 1000.0, "K")
+    table.add("throughput after", None, after_thr / 1000.0, "K")
+    table.note("live tablet migration: no crash recovery, no data loss; "
+               "the §IX 'smart coordinator' the paper proposes")
+    return table
+
+
+def run_correlated_failures_extension(scale: Scale = DEFAULT,
+                                      rfs: Sequence[int] = (1, 2, 3),
+                                      simultaneous: int = 3,
+                                      servers: int = 8,
+                                      trials: int = 5) -> ComparisonTable:
+    """Correlated failures — the paper's closing concern (§X: "An
+    interesting aspect to consider then would be correlated failures").
+
+    Kill ``simultaneous`` servers at the same instant (a rack/PDU event)
+    and count how often some segment lost the master AND every replica.
+    Random replica placement makes loss likely at low RF — the Copysets
+    problem the paper cites [28].
+    """
+    from repro.cluster import Cluster
+
+    table = ComparisonTable(
+        "§X correlated failures",
+        f"{simultaneous} simultaneous crashes on {servers} servers: "
+        "segment-loss probability by RF")
+    record_size = scale.recovery_record_size
+    for rf in rfs:
+        loss_events = 0
+        lost_segments = 0
+        total_segments = 0
+        for trial in range(trials):
+            cluster = Cluster(ClusterSpec(
+                num_servers=servers, num_clients=0,
+                server_config=ServerConfig(replication_factor=rf),
+                seed=100 + trial, failure_detection=True))
+            table_id = cluster.create_table("t")
+            cluster.preload(
+                table_id,
+                64 * 1024 * 1024 * servers // record_size, record_size)
+            cluster.run(until=1.0)
+            victims = [cluster.kill_server() for _ in range(simultaneous)]
+            total_segments += sum(len(v.log.segments) for v in victims)
+            cluster.run(until=400.0)
+            recoveries = cluster.coordinator.recoveries
+            lost = sum(r.lost_segments for r in recoveries)
+            lost_segments += lost
+            if lost:
+                loss_events += 1
+        table.add(f"RF {rf}: trials with data loss", None,
+                  100.0 * loss_events / trials, " %")
+        table.add(f"RF {rf}: segments lost", None,
+                  100.0 * lost_segments / max(total_segments, 1), " %")
+    table.note(f"{trials} seeded trials per RF; a segment dies only if "
+               f"the master AND all RF backups are among the "
+               f"{simultaneous} dead machines, so RF ≥ {simultaneous} is "
+               "safe here — but random placement makes lower RFs lose "
+               "data far more often than copyset placement would [28]")
+    return table
+
+
+def main():  # pragma: no cover - console entry point
+    from repro.experiments.scale import active_scale
+    scale = active_scale()
+    print(run_request_distribution_extension(scale).render())
+    print()
+    print(run_transport_extension(scale).render())
+    print()
+    print(run_scan_extension(scale).render())
+    print()
+    print(run_elastic_sizing_extension(scale).render())
+    print()
+    print(run_correlated_failures_extension(scale).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

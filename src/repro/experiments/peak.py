@@ -1,0 +1,156 @@
+"""§IV — the energy footprint of peak performance.
+
+Reproduces Fig. 1a (aggregated read-only throughput), Fig. 1b (average
+power per server), Table I (per-node CPU usage) and Fig. 2 (energy
+efficiency), with the paper's methodology: replication disabled,
+read-only workload, uniform data and request distribution, one client
+per machine, Infiniband.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.cluster import ClusterSpec, ExperimentSpec, repeat_experiment
+from repro.experiments.reporting import ComparisonTable
+from repro.experiments.scale import DEFAULT, Scale
+from repro.ramcloud.config import ServerConfig
+from repro.ycsb.workload import WORKLOAD_C
+
+__all__ = ["run_fig1_peak", "run_table1_cpu", "run_fig2_efficiency"]
+
+# Paper values.  Text-sourced numbers are exact; curve points without a
+# number in the text are digitized from the figures (marked ~ in notes).
+PAPER_FIG1A_KOPS = {  # (servers, clients) → Kop/s
+    (1, 1): 30, (1, 10): 300, (1, 30): 372,
+    (5, 1): 30, (5, 10): 310, (5, 30): 900,
+    (10, 1): 30, (10, 10): 310, (10, 30): 910,
+}
+PAPER_FIG1B_WATTS = {  # (servers, clients) → W/server
+    (1, 1): 92, (1, 10): 127, (1, 30): 127,
+    (5, 1): 93, (5, 10): 124, (5, 30): 124,
+    (10, 1): 95, (10, 10): 122, (10, 30): 122,
+}
+PAPER_TABLE1_CPU = {  # (servers, clients) → average CPU %
+    (1, 0): 25.0, (1, 1): 49.81, (1, 2): 74.16, (1, 3): 79.66,
+    (1, 4): 89.80, (1, 5): 94.34, (1, 10): 98.35, (1, 30): 99.26,
+    (5, 1): 49.7, (5, 5): 85.4, (5, 10): 97.2, (5, 30): 97.0,
+    (10, 1): 49.8, (10, 5): 76.4, (10, 10): 92.5, (10, 30): 95.4,
+}
+PAPER_FIG2_OPS_PER_JOULE = {  # (servers, clients) → op/joule
+    (1, 1): 320, (1, 10): 2400, (1, 30): 3000,
+    (5, 1): 65, (5, 10): 500, (5, 30): 1450,
+    (10, 1): 32, (10, 10): 250, (10, 30): 395,
+}
+
+
+def _peak_spec(servers: int, clients: int, scale: Scale,
+               seed: int = 1) -> ExperimentSpec:
+    return ExperimentSpec(
+        cluster=ClusterSpec(
+            num_servers=servers, num_clients=clients,
+            server_config=ServerConfig(replication_factor=0),
+            seed=seed),
+        workload=WORKLOAD_C.scaled(num_records=scale.num_records,
+                                   ops_per_client=scale.ops_per_client),
+    )
+
+
+def run_fig1_peak(scale: Scale = DEFAULT,
+                  server_counts: Sequence[int] = (1, 5, 10),
+                  client_counts: Sequence[int] = (1, 10, 30),
+                  ) -> Tuple[ComparisonTable, ComparisonTable]:
+    """Fig. 1a (throughput) and Fig. 1b (average power per server)."""
+    throughput = ComparisonTable(
+        "Fig. 1a", "read-only aggregated throughput (Kop/s)")
+    power = ComparisonTable(
+        "Fig. 1b", "average power per server (W)")
+    for servers in server_counts:
+        for clients in client_counts:
+            metrics, _results = repeat_experiment(
+                _peak_spec(servers, clients, scale), scale.seeds)
+            label = f"{servers} servers / {clients} clients"
+            throughput.add(label,
+                           PAPER_FIG1A_KOPS.get((servers, clients)),
+                           metrics["throughput"].mean / 1000.0, "K")
+            power.add(label,
+                      PAPER_FIG1B_WATTS.get((servers, clients)),
+                      metrics["avg_power_per_server"].mean, "W")
+    throughput.note("paper points without an exact number in the text "
+                    "are digitized from the figure")
+    power.note("power model calibrated on the paper's (CPU%, W) anchors "
+               "— DESIGN.md §4")
+    return throughput, power
+
+
+def run_table1_cpu(scale: Scale = DEFAULT,
+                   grid: Sequence[Tuple[int, int]] = (
+                       (1, 0), (1, 1), (1, 2), (1, 3), (1, 4), (1, 5),
+                       (1, 10), (1, 30), (5, 5), (5, 30), (10, 5), (10, 30)),
+                   ) -> ComparisonTable:
+    """Table I: average CPU usage per node for the read-only grid."""
+    table = ComparisonTable(
+        "Table I", "average per-node CPU usage, read-only workload (%)")
+    for servers, clients in grid:
+        if clients == 0:
+            # Idle measurement: no workload, just the running servers.
+            from repro.cluster import Cluster
+            cluster = Cluster(ClusterSpec(
+                num_servers=servers, num_clients=0,
+                server_config=ServerConfig(replication_factor=0)))
+            cluster.start_metering()
+            cluster.run(until=5.0)
+            measured = sum(
+                n.cpu.utilization_between(0.0, 5.0)
+                for n in cluster.server_nodes) / servers
+        else:
+            metrics, results = repeat_experiment(
+                _peak_spec(servers, clients, scale), scale.seeds)
+            measured = sum(r.cpu_util_avg for r in results) / len(results)
+        table.add(f"{servers} servers / {clients} clients",
+                  PAPER_TABLE1_CPU.get((servers, clients)), measured, "%")
+    table.note("the idle row is the pinned dispatch core: 1 of 4 cores "
+               "busy-polling = 25 %")
+    return table
+
+
+def run_fig2_efficiency(scale: Scale = DEFAULT,
+                        server_counts: Sequence[int] = (1, 5, 10),
+                        client_counts: Sequence[int] = (1, 10, 30),
+                        ) -> ComparisonTable:
+    """Fig. 2: energy efficiency (operations per joule)."""
+    table = ComparisonTable("Fig. 2", "energy efficiency (op/joule)")
+    measured_cache: Dict[Tuple[int, int], float] = {}
+    for servers in server_counts:
+        for clients in client_counts:
+            metrics, _results = repeat_experiment(
+                _peak_spec(servers, clients, scale), scale.seeds)
+            eff = metrics["energy_efficiency"].mean
+            measured_cache[(servers, clients)] = eff
+            table.add(f"{servers} servers / {clients} clients",
+                      PAPER_FIG2_OPS_PER_JOULE.get((servers, clients)),
+                      eff, " op/J")
+    # The paper's headline: 1 server at 30 clients is ≈7.6× more
+    # efficient than 10 servers at 30 clients.
+    if (1, 30) in measured_cache and (10, 30) in measured_cache:
+        table.add("efficiency ratio 1 vs 10 servers (30 clients)",
+                  7.6,
+                  measured_cache[(1, 30)] / measured_cache[(10, 30)])
+    return table
+
+
+def main():  # pragma: no cover - console entry point
+    from repro.experiments.scale import active_scale
+    scale = active_scale()
+    fig1a, fig1b = run_fig1_peak(scale)
+    print(fig1a.render())
+    print()
+    print(fig1b.render())
+    print()
+    print(run_table1_cpu(scale).render())
+    print()
+    print(run_fig2_efficiency(scale).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,236 @@
+"""§VII — crash recovery.
+
+Reproduces Fig. 9a/9b (cluster CPU and power timelines around a crash),
+Fig. 10 (per-operation latency of a lost-data and a live-data client),
+Fig. 11a/11b (recovery time and per-node energy vs replication factor)
+and Fig. 12 (aggregate disk activity during recovery).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.cluster import (
+    ClusterSpec,
+    CrashExperimentResult,
+    CrashExperimentSpec,
+    run_crash_experiment,
+)
+from repro.experiments.reporting import ComparisonTable
+from repro.experiments.scale import DEFAULT, Scale
+from repro.ramcloud.config import ServerConfig
+from repro.ycsb.workload import WORKLOAD_C
+
+__all__ = ["run_fig9_crash_timeline", "run_fig10_latency_crash",
+           "run_fig11_recovery_rf", "run_fig12_disk_activity"]
+
+# Paper anchors (§VII text + digitized curves).
+PAPER_FIG9A_PEAK_CPU = 92.0  # cluster average CPU % during recovery
+PAPER_FIG9A_IDLE_CPU = 25.0
+PAPER_FIG9B_PEAK_WATTS = 119.0
+PAPER_FIG10_BASE_LATENCY_US = 15.0
+PAPER_FIG10_RECOVERY_LATENCY_US = 35.0
+PAPER_FIG10_BLOCKED_SECONDS = 40.0
+PAPER_FIG11A_SECONDS = {1: 10.0, 2: 21.0, 3: 32.0, 4: 44.0, 5: 55.0}
+PAPER_FIG11B_KILOJOULES = {1: 1.2, 2: 2.4, 3: 3.7, 4: 5.1, 5: 6.4}
+PAPER_FIG12_PEAK_READ_MBPS = 100.0
+PAPER_FIG12_PEAK_WRITE_MBPS = 400.0
+
+
+def _crash_spec(scale: Scale, servers: int, rf: int,
+                bytes_per_server: int, kill_at: float = 60.0,
+                clients: int = 0, seed: int = 3,
+                **overrides) -> CrashExperimentSpec:
+    record_size = scale.recovery_record_size
+    num_records = bytes_per_server * servers // record_size
+    run_until = kill_at + 60.0 + 90.0 * rf
+    defaults = dict(
+        cluster=ClusterSpec(
+            num_servers=servers, num_clients=clients,
+            server_config=ServerConfig(replication_factor=rf),
+            seed=seed),
+        num_records=num_records,
+        record_size=record_size,
+        kill_at=kill_at,
+        run_until=run_until,
+    )
+    defaults.update(overrides)
+    return CrashExperimentSpec(**defaults)
+
+
+def run_fig9_crash_timeline(scale: Scale = DEFAULT,
+                            ) -> Tuple[ComparisonTable,
+                                       CrashExperimentResult]:
+    """Fig. 9a/9b: 10 idle servers, RF 4, random kill at t=60 s."""
+    spec = _crash_spec(scale, servers=10, rf=4,
+                       bytes_per_server=scale.crash_timeline_bytes_per_server)
+    result = run_crash_experiment(spec)
+    table = ComparisonTable(
+        "Fig. 9", "CPU and power timeline around a crash (10 servers, RF 4)")
+    kill_at = spec.kill_at
+    idle_cpu = [v for t, v in result.cluster_cpu.items() if t < kill_at]
+    recovery_cpu = [v for t, v in result.cluster_cpu.items()
+                    if result.recovery.started_at < t
+                    <= result.recovery.finished_at]
+    table.add("idle cluster CPU", PAPER_FIG9A_IDLE_CPU,
+              sum(idle_cpu) / len(idle_cpu), "%")
+    table.add("peak cluster CPU during recovery", PAPER_FIG9A_PEAK_CPU,
+              max(recovery_cpu), "%")
+    table.add("peak surviving-node power", PAPER_FIG9B_PEAK_WATTS,
+              result.avg_power_during_recovery(), "W")
+    table.add("recovery time", None, result.recovery_time, " s")
+    table.note("paper Fig. 9b shows a higher pre-crash baseline "
+               "(~100 W) than Fig. 1b's calibration anchors; we keep "
+               "the Fig. 1b calibration")
+    return table, result
+
+
+def run_fig10_latency_crash(scale: Scale = DEFAULT,
+                            ) -> Tuple[ComparisonTable,
+                                       CrashExperimentResult]:
+    """Fig. 10: two clients during a targeted crash — one pinned to the
+    victim's data (blocked for the whole recovery), one to live data
+    (1.4–2.4x latency during recovery)."""
+    servers = 10
+    record_size = scale.recovery_record_size
+    num_records = (scale.crash_timeline_bytes_per_server * servers
+                   // record_size)
+    # Throttled probes (the latency trace needs samples, not load):
+    # 1000 op/s per client keeps the event count bounded over the
+    # minutes-long recovery window.
+    foreground = WORKLOAD_C.scaled(num_records=num_records,
+                                   ops_per_client=10_000_000,
+                                   record_size=record_size,
+                                   ).throttled(1000.0)
+    spec = _crash_spec(
+        scale, servers=servers, rf=4,
+        bytes_per_server=scale.crash_timeline_bytes_per_server,
+        clients=2, victim_index=3, split_clients_by_victim=True,
+        foreground=foreground,
+    )
+    result = run_crash_experiment(spec)
+    table = ComparisonTable(
+        "Fig. 10", "per-op latency around a crash (2 clients)")
+    lost, live = result.client_latencies[0], result.client_latencies[1]
+    kill_at = spec.kill_at
+    end = result.recovery.finished_at
+
+    def mean_us(samples, lo, hi):
+        window = [lat for t, lat in samples if lo < t <= hi]
+        return 1e6 * sum(window) / len(window) if window else None
+
+    # The paper's baseline is 1 KB reads at ~15 µs; our recovery dataset
+    # uses larger records, so latency baselines scale with record size.
+    base_live = mean_us(live, 0.0, kill_at)
+    during_live = mean_us(live, kill_at, end)
+    blocked = max((lat for _t, lat in lost), default=None)
+    table.add("live-data client baseline latency",
+              PAPER_FIG10_BASE_LATENCY_US, base_live, " µs",
+              note=f"records are {scale.recovery_record_size // 1024} KB "
+                   "here, not 1 KB")
+    table.add("live-data client latency during recovery",
+              PAPER_FIG10_RECOVERY_LATENCY_US, during_live, " µs")
+    if base_live and during_live:
+        table.add("live-data slowdown during recovery", 2.0,
+                  during_live / base_live, "x",
+                  note="paper reports 1.4–2.4x")
+    table.add("lost-data client blocked for",
+              PAPER_FIG10_BLOCKED_SECONDS, blocked, " s",
+              note="equals the recovery time")
+    table.add("recovery time", 40.0, result.recovery_time, " s")
+    return table, result
+
+
+def run_fig11_recovery_rf(scale: Scale = DEFAULT,
+                          rfs: Sequence[int] = (1, 2, 3, 4, 5),
+                          servers: int = 9,
+                          ) -> Tuple[ComparisonTable, ComparisonTable]:
+    """Fig. 11a (recovery time vs RF) and Fig. 11b (per-node energy
+    during recovery vs RF); 9 servers, ≈1.085 GB to recover."""
+    time_table = ComparisonTable(
+        "Fig. 11a", f"recovery time vs replication factor ({servers} "
+        "servers, ~1.085 GB/server)")
+    energy_table = ComparisonTable(
+        "Fig. 11b", "per-node energy during recovery vs RF")
+    durations: Dict[int, float] = {}
+    for rf in rfs:
+        spec = _crash_spec(scale, servers=servers, rf=rf,
+                           bytes_per_server=scale.recovery_bytes_per_server,
+                           kill_at=10.0)
+        result = run_crash_experiment(spec)
+        if result.recovery is None or result.recovery.finished_at is None:
+            time_table.add(f"RF {rf}", PAPER_FIG11A_SECONDS.get(rf), None,
+                           " s", note="recovery did not finish")
+            continue
+        durations[rf] = result.recovery_time
+        time_table.add(f"RF {rf}", PAPER_FIG11A_SECONDS.get(rf),
+                       result.recovery_time, " s")
+        energy_table.add(
+            f"RF {rf}", PAPER_FIG11B_KILOJOULES.get(rf),
+            result.energy_per_node_during_recovery() / 1000.0, " kJ")
+    if len(durations) >= 2:
+        lo, hi = min(durations), max(durations)
+        time_table.add(f"growth RF{lo}→RF{hi}",
+                       PAPER_FIG11A_SECONDS[5] / PAPER_FIG11A_SECONDS[1]
+                       if (lo, hi) == (1, 5) else None,
+                       durations[hi] / durations[lo], "x")
+    time_table.note("Finding 6: recovery time grows with the replication "
+                    "factor because replay re-inserts data through the "
+                    "replicated write path")
+    return time_table, energy_table
+
+
+def run_fig12_disk_activity(scale: Scale = DEFAULT, rf: int = 4,
+                            servers: int = 9,
+                            ) -> Tuple[ComparisonTable,
+                                       CrashExperimentResult]:
+    """Fig. 12: aggregate disk read/write MB/s during recovery."""
+    spec = _crash_spec(scale, servers=servers, rf=rf,
+                       bytes_per_server=scale.recovery_bytes_per_server,
+                       kill_at=10.0)
+    result = run_crash_experiment(spec)
+    table = ComparisonTable(
+        "Fig. 12", f"aggregate disk activity during recovery "
+        f"({servers} nodes, RF {rf})")
+    start = result.recovery.started_at
+    end = result.recovery.finished_at
+    reads = [v for t, v in result.disk_read_mbps.items() if start < t <= end]
+    writes = [v for t, v in result.disk_write_mbps.items()
+              if start < t <= end]
+    table.add("peak aggregate read", PAPER_FIG12_PEAK_READ_MBPS,
+              max(reads, default=0.0), " MB/s")
+    table.add("peak aggregate write", PAPER_FIG12_PEAK_WRITE_MBPS,
+              max(writes, default=0.0), " MB/s")
+    read_total = sum(reads)
+    write_total = sum(writes)
+    if read_total:
+        table.add("write/read volume ratio", float(rf),
+                  write_total / read_total, "x",
+                  note="re-replication writes RF copies of what was read")
+    overlap = sum(1 for r, w in zip(reads, writes) if r > 0 and w > 0)
+    table.add("seconds with overlapping read+write", None, float(overlap),
+              " s", note="the head contention the paper blames for slow "
+                         "small-cluster recovery")
+    return table, result
+
+
+def main():  # pragma: no cover - console entry point
+    from repro.experiments.scale import active_scale
+    scale = active_scale()
+    fig9, _r = run_fig9_crash_timeline(scale)
+    print(fig9.render())
+    print()
+    fig10, _r = run_fig10_latency_crash(scale)
+    print(fig10.render())
+    print()
+    fig11a, fig11b = run_fig11_recovery_rf(scale)
+    print(fig11a.render())
+    print()
+    print(fig11b.render())
+    print()
+    fig12, _r = run_fig12_disk_activity(scale)
+    print(fig12.render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,103 @@
+"""Paper-vs-measured comparison tables.
+
+Every experiment runner returns a :class:`ComparisonTable`: rows of
+(configuration, paper value, measured value).  The same table renders
+the console output of the benchmarks and feeds EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["ComparisonRow", "ComparisonTable"]
+
+
+@dataclass
+class ComparisonRow:
+    """One (configuration, paper value, measured value) point."""
+    label: str
+    paper: Optional[float]
+    measured: Optional[float]
+    unit: str = ""
+    note: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """measured/paper, or None when either side is missing."""
+        if not self.paper or self.measured is None:
+            return None
+        return self.measured / self.paper
+
+
+@dataclass
+class ComparisonTable:
+    """One figure/table's worth of paper-vs-measured points."""
+
+    experiment_id: str  # e.g. "Fig. 5"
+    title: str
+    rows: List[ComparisonRow] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, label: str, paper: Optional[float],
+            measured: Optional[float], unit: str = "",
+            note: str = "") -> None:
+        """Append one comparison point."""
+        self.rows.append(ComparisonRow(label, paper, measured, unit, note))
+
+    def note(self, text: str) -> None:
+        """Attach a caveat shown under the table."""
+        self.notes.append(text)
+
+    def measured_series(self) -> List[float]:
+        """All measured values, in row order."""
+        return [r.measured for r in self.rows if r.measured is not None]
+
+    def paper_series(self) -> List[float]:
+        """All paper values, in row order."""
+        return [r.paper for r in self.rows if r.paper is not None]
+
+    def render(self) -> str:
+        """Fixed-width console table."""
+        width = max([len(r.label) for r in self.rows] + [13])
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        header = (f"{'configuration':<{width}}  {'paper':>12}  "
+                  f"{'measured':>12}  {'ratio':>6}  note")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            paper = _fmt(row.paper, row.unit)
+            measured = _fmt(row.measured, row.unit)
+            ratio = f"{row.ratio:.2f}" if row.ratio is not None else "-"
+            lines.append(f"{row.label:<{width}}  {paper:>12}  "
+                         f"{measured:>12}  {ratio:>6}  {row.note}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """Markdown table for EXPERIMENTS.md."""
+        lines = [f"### {self.experiment_id}: {self.title}", "",
+                 "| configuration | paper | measured | ratio |",
+                 "|---|---|---|---|"]
+        for row in self.rows:
+            ratio = f"{row.ratio:.2f}" if row.ratio is not None else "—"
+            lines.append(
+                f"| {row.label} | {_fmt(row.paper, row.unit)} "
+                f"| {_fmt(row.measured, row.unit)} | {ratio} |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*{note}*")
+        return "\n".join(lines)
+
+
+def _fmt(value: Optional[float], unit: str) -> str:
+    if value is None:
+        return "—"
+    if abs(value) >= 1000:
+        text = f"{value:,.0f}"
+    elif abs(value) >= 10:
+        text = f"{value:.1f}"
+    else:
+        text = f"{value:.2f}"
+    return f"{text}{unit}"

@@ -1,0 +1,35 @@
+"""Simulated machine substrate.
+
+The paper runs on Grid'5000 Nancy nodes (1× Intel Xeon X3440, 4 cores,
+16 GB RAM, 298 GB HDD, Infiniband-20G + GigE, per-machine PDU).  This
+package provides the simulated equivalent: multi-core CPUs with
+utilization accounting, an HDD model with head contention, DRAM/disk
+capacity tracking, NIC transports, and a calibrated utilization→watts
+power model.
+"""
+
+from repro.hardware.specs import (
+    CpuSpec,
+    DiskSpec,
+    GRID5000_NANCY_NODE,
+    MachineSpec,
+    NicSpec,
+    PowerSpec,
+)
+from repro.hardware.cpu import Cpu
+from repro.hardware.disk import Disk
+from repro.hardware.power import PowerModel
+from repro.hardware.node import Node
+
+__all__ = [
+    "Cpu",
+    "CpuSpec",
+    "Disk",
+    "DiskSpec",
+    "GRID5000_NANCY_NODE",
+    "MachineSpec",
+    "NicSpec",
+    "Node",
+    "PowerModel",
+    "PowerSpec",
+]

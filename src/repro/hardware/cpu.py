@@ -1,0 +1,180 @@
+"""The CPU model.
+
+A :class:`Cpu` is a pool of cores with utilization accounting.  Two
+behaviours matter for the reproduction:
+
+* **Pinned cores** — RAMCloud's dispatch thread busy-polls the NIC and
+  permanently occupies one core, which is why the paper measures 25 %
+  CPU on an idle 4-core server (Table I, row 0).  :meth:`pin_core`
+  removes a core from the schedulable pool and accounts it as 100 %
+  busy forever.
+* **Utilization windows** — the PDU power model and Table I both need
+  per-interval utilization; the embedded
+  :class:`~repro.sim.monitor.UtilizationTracker` provides it.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim.kernel import Simulator
+from repro.sim.monitor import UtilizationTracker
+from repro.sim.resources import Resource
+
+__all__ = ["Cpu"]
+
+
+class Cpu:
+    """A multi-core CPU shared by all threads of a simulated machine."""
+
+    def __init__(self, sim: Simulator, cores: int, name: str = ""):
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        self.sim = sim
+        self.cores = cores
+        self.name = name
+        self._pinned = 0
+        self._active = 0  # cores executing real work
+        self._spinning = 0  # threads busy-polling while they wait
+        self._pool = Resource(sim, cores, name=f"{name}:cores")
+        self.utilization = UtilizationTracker(sim, capacity=cores,
+                                              name=f"{name}:util")
+
+    def _update_busy(self) -> None:
+        """Utilization = pinned pollers + executing work + spin-waiting
+        threads, capped at the core count (a spinning thread yields the
+        instant real work needs the core, so spins never add latency —
+        they only burn watts, which is exactly what the paper's CPU and
+        power figures observe)."""
+        busy = min(float(self.cores),
+                   self._pinned + self._active + self._spinning)
+        self.utilization.set_busy(busy)
+
+    @property
+    def schedulable_cores(self) -> int:
+        """Cores available to workers (total minus pinned)."""
+        return self.cores - self._pinned
+
+    @property
+    def busy_cores(self) -> float:
+        """Currently-busy core count (pinned + executing + spinning)."""
+        return self.utilization.busy
+
+    @property
+    def run_queue_length(self) -> int:
+        """Threads runnable but not on a core."""
+        return self._pool.queue_length
+
+    def pin_core(self) -> None:
+        """Permanently dedicate one core to a busy-polling thread.
+
+        The core is accounted 100 % busy from now on (that is what
+        ``top`` reports for RAMCloud's dispatch thread) and is no longer
+        available to workers.
+        """
+        if self._pinned >= self.cores - 1:
+            raise ValueError(
+                f"cannot pin {self._pinned + 1} of {self.cores} cores: "
+                "at least one schedulable core must remain"
+            )
+        # Pinning must happen before workers pile in — which matches
+        # reality: the dispatch thread is pinned at server start-up.
+        if self._pool.count > self.cores - self._pinned - 1:
+            raise ValueError("pin_core() after workers already saturated the pool")
+        self._pinned += 1
+        self._pool.resize(self.schedulable_cores)
+        self._update_busy()
+
+    def unpin_core(self) -> None:
+        """Release a pinned core (the dispatch thread exited, e.g. the
+        RAMCloud process on this machine was killed)."""
+        if self._pinned < 1:
+            raise ValueError("no pinned cores to release")
+        self._pinned -= 1
+        self._update_busy()
+        self._pool.resize(self.schedulable_cores)
+
+    def execute(self, seconds: float) -> Generator:
+        """Run ``seconds`` of work on some core; queues if all are busy.
+
+        Use as ``yield from cpu.execute(t)`` inside a process.  Safe
+        against interrupts at any point (the core is released / the
+        queue entry withdrawn).
+        """
+        if seconds < 0:
+            raise ValueError(f"negative execution time: {seconds}")
+        if self.schedulable_cores < 1:
+            raise RuntimeError(f"{self.name}: no schedulable cores remain")
+        req = self._pool.request()
+        try:
+            yield req
+        except BaseException:
+            if req.triggered and req.ok:
+                self._pool.release(req)
+            else:
+                self._pool.cancel(req)
+            raise
+        self._active += 1
+        self._update_busy()
+        try:
+            yield self.sim.timeout(seconds)
+        finally:
+            self._active -= 1
+            self._update_busy()
+            self._pool.release(req)
+
+    def spinning(self, inner: Generator) -> Generator:
+        """Run ``inner`` (usually an RPC wait) while this thread
+        busy-polls: ``result = yield from cpu.spinning(call)``.
+
+        RAMCloud threads spin rather than sleep while waiting for
+        replies — during crash recovery this is what drives whole
+        machines to >90 % CPU (paper Fig. 9a) even though much of it is
+        polling, not useful work.  Spinning is accounting-only: it burns
+        utilization (and therefore watts) but never delays real work.
+        """
+        self._spinning += 1
+        self._update_busy()
+        try:
+            result = yield from inner
+        finally:
+            self._spinning -= 1
+            self._update_busy()
+        return result
+
+    def execute_sliced(self, seconds: float, slice_seconds: float = 2e-3
+                       ) -> Generator:
+        """Run ``seconds`` of work as preemptible time slices.
+
+        Long CPU bursts (recovery replay, cleaning) release the core
+        between slices so short requests interleave — the OS scheduler's
+        behaviour that keeps RAMCloud servicing reads (at degraded
+        latency) during crash recovery (paper Fig. 10).
+        """
+        if slice_seconds <= 0:
+            raise ValueError("slice must be positive")
+        remaining = seconds
+        while remaining > 0:
+            chunk = min(remaining, slice_seconds)
+            yield from self.execute(chunk)
+            remaining -= chunk
+
+    # -- measurement helpers -------------------------------------------
+
+    def busy_core_seconds(self) -> float:
+        """Cumulative core-seconds of work executed (including pinned
+        cores).  Experiment harnesses difference two snapshots to get
+        exact window utilization without samplers."""
+        return self.utilization._cumulative()
+
+    def mark(self) -> None:
+        """Checkpoint for per-interval utilization (called by the PDU)."""
+        self.utilization.mark()
+
+    def utilization_since_mark(self) -> float:
+        """Mean utilization (percent) since the last mark."""
+        return self.utilization.utilization_since_mark()
+
+    def utilization_between(self, start: float, end: float) -> float:
+        """Mean utilization (percent) over a marked window."""
+        return self.utilization.utilization_between(start, end)

@@ -1,0 +1,131 @@
+"""Machine specifications and calibration constants.
+
+``GRID5000_NANCY_NODE`` models the nodes the paper used (§III-B):
+1 CPU Intel Xeon X3440 (4 cores), 16 GB RAM, 298 GB HDD, Infiniband-20G
+and GigE NICs, and a per-machine PDU sampled at 1 Hz.
+
+The power calibration is a linear fit through the paper's reported
+(CPU-utilization, watts) anchor points — see DESIGN.md §4:
+
+* ≈50 % CPU → 92 W   (Fig. 1b: 1 server / 1 client, Table I: 49.8 %)
+* ≈98 % CPU → 125 W  (Fig. 1b: 10–30 clients, Table I: 98.4 %)
+
+which gives ``P = 57.5 + 0.69 × util_percent`` watts, plus a small
+adder when the disk is active (levels in Fig. 7 / Fig. 9b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CpuSpec",
+    "DiskSpec",
+    "NicSpec",
+    "PowerSpec",
+    "MachineSpec",
+    "GRID5000_NANCY_NODE",
+    "INFINIBAND_20G",
+    "GIGABIT_ETHERNET",
+    "KB",
+    "MB",
+    "GB",
+]
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A multi-core CPU."""
+
+    cores: int = 4
+
+    def __post_init__(self):
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """A spinning disk (the paper's nodes have a 298 GB HDD).
+
+    ``seek_time`` is charged per operation that is not sequential with
+    the previous one, which is how interleaved recovery reads and
+    re-replication writes contend (Fig. 12 discussion).
+    """
+
+    capacity_bytes: int = 298 * GB
+    sequential_bandwidth: float = 120 * MB  # bytes/second
+    seek_time: float = 8e-3  # seconds, per non-sequential op
+
+    def __post_init__(self):
+        if self.capacity_bytes <= 0:
+            raise ValueError("disk capacity must be positive")
+        if self.sequential_bandwidth <= 0:
+            raise ValueError("disk bandwidth must be positive")
+        if self.seek_time < 0:
+            raise ValueError("seek time cannot be negative")
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """A network transport: one-way latency plus serialization bandwidth."""
+
+    name: str
+    one_way_latency: float  # seconds
+    bandwidth: float  # bytes/second
+
+    def __post_init__(self):
+        if self.one_way_latency < 0:
+            raise ValueError("latency cannot be negative")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+
+# RAMCloud on Infiniband achieves ~5 µs round-trip reads; the paper uses
+# the Infiniband transport exclusively (§III-B).
+INFINIBAND_20G = NicSpec(name="infiniband-20g", one_way_latency=2.0e-6,
+                         bandwidth=2.3 * GB)
+GIGABIT_ETHERNET = NicSpec(name="gigabit-ethernet", one_way_latency=30.0e-6,
+                           bandwidth=118 * MB)
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Linear utilization→watts model with a disk-activity adder.
+
+    ``watts(util_pct) = idle_watts + slope_watts_per_pct * util_pct``
+    (+ ``disk_active_watts`` while the disk head is busy).
+    """
+
+    idle_watts: float = 57.5
+    slope_watts_per_pct: float = 0.69
+    disk_active_watts: float = 6.0
+
+    def watts(self, util_pct: float, disk_active: bool = False) -> float:
+        """Node power draw at the given CPU utilization."""
+        if not 0.0 <= util_pct <= 100.0 + 1e-9:
+            raise ValueError(f"utilization {util_pct} outside [0, 100]")
+        base = self.idle_watts + self.slope_watts_per_pct * util_pct
+        return base + (self.disk_active_watts if disk_active else 0.0)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete machine: the unit the cluster is built from."""
+
+    cpu: CpuSpec = field(default_factory=CpuSpec)
+    dram_bytes: int = 16 * GB
+    disk: DiskSpec = field(default_factory=DiskSpec)
+    nic: NicSpec = INFINIBAND_20G
+    power: PowerSpec = field(default_factory=PowerSpec)
+
+    def __post_init__(self):
+        if self.dram_bytes <= 0:
+            raise ValueError("dram_bytes must be positive")
+
+
+GRID5000_NANCY_NODE = MachineSpec()

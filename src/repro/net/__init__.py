@@ -1,0 +1,19 @@
+"""Message fabric and RPC layer.
+
+The paper uses RAMCloud's Infiniband transport exclusively (§III-B);
+Gigabit Ethernet is also modelled for completeness (the authors study
+the network dimension in a companion paper [24]).
+"""
+
+from repro.net.fabric import Fabric, NetworkPartitioned, NodeUnreachable
+from repro.net.rpc import RpcError, RpcRequest, RpcService, RpcTimeout
+
+__all__ = [
+    "Fabric",
+    "NetworkPartitioned",
+    "NodeUnreachable",
+    "RpcError",
+    "RpcRequest",
+    "RpcService",
+    "RpcTimeout",
+]

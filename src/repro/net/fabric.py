@@ -1,0 +1,99 @@
+"""Point-to-point message delivery between nodes.
+
+The fabric charges each message its serialization time (bytes divided
+by the sender NIC's bandwidth, with the sender's NIC modelled as a
+single transmit queue) plus the transport's one-way propagation
+latency.  Delivery to a crashed node raises :class:`NodeUnreachable`
+*after* the latency has elapsed — a sender cannot know faster than the
+network that the peer is gone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Set, Tuple
+
+from repro.hardware.node import Node
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Resource
+
+__all__ = ["Fabric", "NodeUnreachable", "NetworkPartitioned"]
+
+
+class NodeUnreachable(Exception):
+    """The destination machine is down (connection refused / timeout)."""
+
+
+class NetworkPartitioned(Exception):
+    """The two endpoints are in different partitions."""
+
+
+class Fabric:
+    """The switch connecting every node in the testbed."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._nodes: Dict[str, Node] = {}
+        self._tx_queues: Dict[str, Resource] = {}
+        self._partitions: Set[Tuple[str, str]] = set()
+        self.messages_delivered = 0
+        self.bytes_delivered = 0
+
+    def attach(self, node: Node) -> None:
+        """Connect a machine to the switch."""
+        if node.name in self._nodes:
+            raise ValueError(f"node {node.name!r} already attached")
+        self._nodes[node.name] = node
+        self._tx_queues[node.name] = Resource(self.sim, 1, name=f"{node.name}:tx")
+
+    def node(self, name: str) -> Node:
+        """Look an attached machine up by name."""
+        return self._nodes[name]
+
+    # -- partitions (used by failure-injection tests) --------------------
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut connectivity between two machines (both directions)."""
+        self._partitions.add((a, b))
+        self._partitions.add((b, a))
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore connectivity cut by :meth:`partition`."""
+        self._partitions.discard((a, b))
+        self._partitions.discard((b, a))
+
+    # -- transfer ---------------------------------------------------------
+
+    def transfer(self, src: Node, dst: Node, nbytes: int) -> Generator:
+        """``yield from fabric.transfer(src, dst, n)`` — move ``n`` bytes.
+
+        Completes when the last byte arrives at ``dst``.  Raises
+        :class:`NodeUnreachable` if ``dst`` is crashed on arrival, and
+        :class:`NetworkPartitioned` if a partition separates the pair.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative message size: {nbytes}")
+        if src.name not in self._nodes or dst.name not in self._nodes:
+            raise KeyError("both endpoints must be attached to the fabric")
+        if (src.name, dst.name) in self._partitions:
+            raise NetworkPartitioned(f"{src.name} cannot reach {dst.name}")
+
+        nic = src.spec.nic
+        tx = self._tx_queues[src.name]
+        req = tx.request()
+        try:
+            yield req
+        except BaseException:
+            if req.triggered and req.ok:
+                tx.release(req)
+            else:
+                tx.cancel(req)
+            raise
+        try:
+            yield self.sim.timeout(nbytes / nic.bandwidth)
+        finally:
+            tx.release(req)
+        yield self.sim.timeout(nic.one_way_latency)
+        if dst.crashed:
+            raise NodeUnreachable(f"{dst.name} is down")
+        self.messages_delivered += 1
+        self.bytes_delivered += nbytes

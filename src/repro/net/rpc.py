@@ -1,0 +1,130 @@
+"""Request/response RPC on top of the fabric.
+
+The caller transfers the request over the fabric, deposits it in the
+destination service's inbox, and waits on a per-request reply event.
+The service's dispatch thread drains the inbox (see
+:class:`repro.ramcloud.master.Master`), and whoever services the request
+triggers the reply.  Response network time is charged on the caller
+side after the reply fires, so the server worker is not occupied while
+response bytes serialize — matching RAMCloud, where the NIC drains the
+response asynchronously.
+
+Crash semantics: delivery to a crashed node raises
+:class:`~repro.net.fabric.NodeUnreachable`; requests already queued at a
+node that crashes are failed by the service's crash handler; a caller
+may additionally bound the wait with ``timeout``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.hardware.node import Node
+from repro.net.fabric import Fabric, NodeUnreachable
+from repro.sim.kernel import Event, Simulator
+from repro.sim.resources import Store
+
+__all__ = ["RpcError", "RpcTimeout", "RpcRequest", "RpcService"]
+
+
+class RpcError(Exception):
+    """Base class for RPC-level failures."""
+
+
+class RpcTimeout(RpcError):
+    """The reply did not arrive within the caller's deadline."""
+
+
+class RpcRequest:
+    """One in-flight RPC as seen by the receiving service."""
+
+    __slots__ = ("op", "args", "size_bytes", "response_bytes", "reply",
+                 "src", "issued_at")
+
+    def __init__(self, sim: Simulator, op: str, args: Any, size_bytes: int,
+                 response_bytes: int, src: Node):
+        self.op = op
+        self.args = args
+        self.size_bytes = size_bytes
+        self.response_bytes = response_bytes
+        self.reply: Event = Event(sim)
+        self.src = src
+        self.issued_at = sim.now
+
+    def respond(self, value: Any = None) -> None:
+        """Complete the RPC successfully with ``value``."""
+        self.reply.succeed(value)
+
+    def fail(self, exc: BaseException) -> None:
+        """Complete the RPC with an error raised at the caller."""
+        self.reply.fail(exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RpcRequest {self.op} from {self.src.name}>"
+
+
+class RpcService:
+    """A service endpoint bound to a node; owns an inbox of requests."""
+
+    def __init__(self, sim: Simulator, fabric: Fabric, node: Node, name: str):
+        self.sim = sim
+        self.fabric = fabric
+        self.node = node
+        self.name = name
+        self.inbox = Store(sim, name=f"{name}:inbox")
+        self._down = False
+        self.requests_received = 0
+
+    @property
+    def is_down(self) -> bool:
+        """True once shut down or the host machine crashed."""
+        return self._down or self.node.crashed
+
+    def deliver(self, request: RpcRequest) -> None:
+        """Enqueue an incoming request (fails it if the service is down)."""
+        if self.is_down:
+            request.fail(NodeUnreachable(f"{self.name} is down"))
+            return
+        self.requests_received += 1
+        self.inbox.put(request)
+
+    def shutdown(self, exc: Optional[BaseException] = None) -> None:
+        """Stop accepting requests and fail everything still queued."""
+        self._down = True
+        error = exc or NodeUnreachable(f"{self.name} shut down")
+        for request in self.inbox.drain():
+            if not request.reply.triggered:
+                request.fail(error)
+
+    # -- caller side ------------------------------------------------------
+
+    def call(self, src: Node, op: str, args: Any = None,
+             size_bytes: int = 128, response_bytes: int = 128,
+             timeout: Optional[float] = None) -> Generator:
+        """``result = yield from service.call(src, op, ...)``.
+
+        Runs in the calling process.  Raises the service's exception on
+        failure, :class:`RpcTimeout` past ``timeout``, and
+        :class:`~repro.net.fabric.NodeUnreachable` if the node is dead.
+        """
+        yield from self.fabric.transfer(src, self.node, size_bytes)
+        request = RpcRequest(self.sim, op, args, size_bytes,
+                             response_bytes, src)
+        self.deliver(request)
+        if timeout is None:
+            value = yield request.reply
+        else:
+            deadline = self.sim.timeout(timeout)
+            yield self.sim.any_of([request.reply, deadline])
+            if not request.reply.triggered:
+                raise RpcTimeout(
+                    f"{op} to {self.name} timed out after {timeout}s"
+                )
+            if not request.reply.ok:
+                raise request.reply.value
+            value = request.reply.value
+        # Response network time, charged caller-side (see module doc).
+        nic = self.node.spec.nic
+        yield self.sim.timeout(request.response_bytes / nic.bandwidth
+                               + nic.one_way_latency)
+        return value

@@ -1,0 +1,52 @@
+"""A from-scratch implementation of the RAMCloud storage system (§II-B).
+
+The architecture follows the paper's description exactly:
+
+* a **coordinator** maintaining metadata about storage servers, backup
+  servers and data location (tablet map), detecting failures and
+  scheduling crash recovery;
+* **storage servers** (masters) exposing DRAM as storage: an append-only
+  log-structured memory divided into 8 MB segments, indexed by a hash
+  table, with a cleaner that frees dead space;
+* **backups**, collocated with masters in the same server process,
+  buffering segment replicas in DRAM and spilling them to disk when the
+  segment closes.
+
+Threading model (the root of the paper's Findings 1 and 2): each server
+process pins a **dispatch thread** that busy-polls the NIC (one full
+core, always), plus a pool of worker threads servicing requests.  The
+write path serializes on the log-append critical section whose cost
+grows with the number of concurrently active workers.
+
+Replication (Finding 3): primary-backup, one replica in DRAM serving
+requests, ``replication_factor`` replicas pushed to backups; the master
+answers the client only after every backup acknowledged.
+
+Crash recovery (Findings 5 and 6): masters maintain a *will*
+partitioning their tablets; the coordinator detects the crash, assigns
+recovery masters, which read segment replicas from backups' disks and
+replay them through the normal (replicated) write path.
+"""
+
+from repro.ramcloud.config import CostModel, ServerConfig
+from repro.ramcloud.errors import (
+    ObjectDoesntExist,
+    RamCloudError,
+    RetryLater,
+    TableDoesntExist,
+)
+from repro.ramcloud.coordinator import Coordinator
+from repro.ramcloud.server import RamCloudServer
+from repro.ramcloud.client import RamCloudClient
+
+__all__ = [
+    "Coordinator",
+    "CostModel",
+    "ObjectDoesntExist",
+    "RamCloudClient",
+    "RamCloudError",
+    "RamCloudServer",
+    "RetryLater",
+    "ServerConfig",
+    "TableDoesntExist",
+]

@@ -1,0 +1,225 @@
+"""The RAMCloud client library.
+
+A client caches the coordinator's tablet map and routes each operation
+directly to the owning master.  On routing failures (crashed master,
+stale cache, tablet under recovery) it backs off, refreshes the map and
+retries — which is exactly why the paper's Fig. 10 client that requests
+lost data blocks for the whole duration of crash recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.hardware.node import Node
+from repro.net.fabric import NodeUnreachable
+from repro.net.rpc import RpcTimeout
+from repro.ramcloud.coordinator import Coordinator
+from repro.ramcloud.errors import (
+    ObjectDoesntExist,
+    RetryLater,
+    TableDoesntExist,
+    WrongServer,
+)
+from repro.sim.kernel import Simulator
+
+__all__ = ["RamCloudClient"]
+
+# Sizes of the RPC envelopes, matching RAMCloud's wire format closely
+# enough for the network model.
+READ_REQUEST_BYTES = 64
+WRITE_OVERHEAD_BYTES = 64
+RESPONSE_OVERHEAD_BYTES = 64
+
+
+class RamCloudClient:
+    """One application's connection to the cluster."""
+
+    def __init__(self, sim: Simulator, node: Node, coordinator: Coordinator,
+                 retry_backoff: float = 0.05,
+                 max_retries: Optional[int] = None):
+        self.sim = sim
+        self.node = node
+        self.coordinator = coordinator
+        self.retry_backoff = retry_backoff
+        self.max_retries = max_retries
+        self._map = None
+        self.rpc_timeout = coordinator.config.rpc_timeout
+        # statistics
+        self.ops_done = 0
+        self.retries = 0
+        self.timeouts = 0
+
+    # -- tablet map management ------------------------------------------
+
+    def refresh_map(self) -> Generator:
+        """Fetch a fresh tablet-map snapshot from the coordinator."""
+        self._map = yield from self.coordinator.call(
+            self.node, "get_tablet_map",
+            size_bytes=64, response_bytes=1024,
+        )
+        return self._map
+
+    def _route(self, table_id: int, key: str):
+        """Resolve (table, key) → (master service, span) from the cache."""
+        if self._map is None:
+            raise RuntimeError("call refresh_map() (or any op) first")
+        tablet = self._map.tablet_for_key(table_id, key)
+        table = self._map.tables_by_id[table_id]
+        server_id = tablet.owner_for_key(key, table.span)
+        master = self.coordinator.lookup_server(server_id)
+        if master is None:
+            raise NodeUnreachable(f"unknown server {server_id}")
+        return master, table.span
+
+    # -- administrative ops -------------------------------------------------
+
+    def create_table(self, name: str, span: int) -> Generator:
+        """Create a table via the coordinator; returns the table id."""
+        table_id = yield from self.coordinator.call(
+            self.node, "create_table", args=(name, span),
+            size_bytes=128, response_bytes=64,
+        )
+        yield from self.refresh_map()
+        return table_id
+
+    def table_id(self, name: str) -> int:
+        """Resolve a table name from the cached map."""
+        if self._map is None or name not in self._map.tables_by_name:
+            raise TableDoesntExist(name)
+        return self._map.tables_by_name[name].table_id
+
+    # -- data path ---------------------------------------------------------
+
+    def _with_retries(self, op: str, table_id: int, key: str,
+                      attempt) -> Generator:
+        """Run ``attempt(master, span)`` with the standard retry loop."""
+        if self._map is None:
+            yield from self.refresh_map()
+        tries = 0
+        while True:
+            try:
+                master, span = self._route(table_id, key)
+                result = yield from attempt(master, span)
+                self.ops_done += 1
+                return result
+            except (ObjectDoesntExist, TableDoesntExist):
+                raise
+            except (NodeUnreachable, WrongServer, RetryLater) as exc:
+                del exc
+            except RpcTimeout:
+                self.timeouts += 1
+            tries += 1
+            self.retries += 1
+            if self.max_retries is not None and tries > self.max_retries:
+                raise RpcTimeout(
+                    f"{op} t{table_id}/{key}: exhausted {tries} retries")
+            yield self.sim.timeout(self.retry_backoff)
+            yield from self.refresh_map()
+
+    def read(self, table_id: int, key: str) -> Generator:
+        """Read one object; returns ``(value, version, value_size)``."""
+
+        def attempt(master, span):
+            return master.call(
+                self.node, "read", args=(table_id, key, span),
+                size_bytes=READ_REQUEST_BYTES,
+                response_bytes=RESPONSE_OVERHEAD_BYTES
+                + self._expected_size(table_id, key),
+                timeout=self.rpc_timeout,
+            )
+
+        return self._with_retries("read", table_id, key, attempt)
+
+    def _expected_size(self, table_id: int, key: str) -> int:
+        # The response size is only known server-side; use a nominal
+        # 1 KB (the paper's record size) — refined after the first read.
+        return 1024
+
+    def write(self, table_id: int, key: str, value_size: int,
+              value: Optional[bytes] = None,
+              expected_version: Optional[int] = None) -> Generator:
+        """Write (insert or update) one object; returns the new version.
+
+        ``expected_version`` makes the write conditional (RAMCloud's
+        reject-rules): it only applies if the object is currently at
+        exactly that version (0 = must not exist), otherwise
+        :class:`~repro.ramcloud.errors.StaleVersion` is raised.
+        """
+
+        def attempt(master, span):
+            return master.call(
+                self.node, "write",
+                args=(table_id, key, value_size, value, span,
+                      expected_version),
+                size_bytes=WRITE_OVERHEAD_BYTES + value_size,
+                response_bytes=RESPONSE_OVERHEAD_BYTES,
+                timeout=self.rpc_timeout,
+            )
+
+        return self._with_retries("write", table_id, key, attempt)
+
+    def multiread(self, table_id: int, keys) -> Generator:
+        """Batched read of many keys (RAMCloud's MultiRead).
+
+        Keys are grouped by owning master and fetched with one RPC per
+        master, issued concurrently; returns ``{key: (value, version,
+        size)}`` with absent keys omitted.  YCSB's scans (workload E)
+        run on this path.
+        """
+        if self._map is None:
+            yield from self.refresh_map()
+        keys = list(keys)
+        if not keys:
+            return {}
+        table = self._map.tables_by_id[table_id]
+
+        while True:
+            by_master = {}
+            for key in keys:
+                tablet = self._map.tablet_for_key(table_id, key)
+                server_id = tablet.owner_for_key(key, table.span)
+                by_master.setdefault(server_id, []).append(key)
+            calls = []
+            for server_id, batch in by_master.items():
+                master = self.coordinator.lookup_server(server_id)
+                if master is None:
+                    calls = None
+                    break
+                request_bytes = READ_REQUEST_BYTES + 32 * len(batch)
+                response_bytes = (RESPONSE_OVERHEAD_BYTES
+                                  + 1024 * len(batch))
+                calls.append(self.sim.process(
+                    master.call(self.node, "multiread",
+                                args=(table_id, batch, table.span),
+                                size_bytes=request_bytes,
+                                response_bytes=response_bytes,
+                                timeout=self.rpc_timeout)))
+            if calls is not None:
+                gathered = self.sim.all_of(calls)
+                try:
+                    yield gathered
+                    merged = {}
+                    for call in calls:
+                        merged.update(call.value)
+                    self.ops_done += len(keys)
+                    return merged
+                except (NodeUnreachable, WrongServer, RetryLater,
+                        RpcTimeout):
+                    pass
+            self.retries += 1
+            yield self.sim.timeout(self.retry_backoff)
+            yield from self.refresh_map()
+
+    def delete(self, table_id: int, key: str) -> Generator:
+        """Delete one object; returns the tombstone's version."""
+
+        def attempt(master, span):
+            return master.call(
+                self.node, "delete", args=(table_id, key, span),
+                size_bytes=READ_REQUEST_BYTES,
+                response_bytes=RESPONSE_OVERHEAD_BYTES,
+                timeout=self.rpc_timeout,
+            )
+
+        return self._with_retries("delete", table_id, key, attempt)

@@ -1,0 +1,496 @@
+"""The RAMCloud coordinator (§II-B).
+
+"A coordinator maintaining meta-data information about storage servers,
+backup servers, and data location."
+
+Responsibilities reproduced here:
+
+* cluster membership (enlist / failure detection via ping timeouts);
+* the authoritative tablet map, served to clients;
+* crash-recovery orchestration: verify the crash, collect the crashed
+  master's will and the locations of its segment replicas, assign the
+  will's partitions to recovery masters, and update the tablet map when
+  they finish (§VII: "When a server is suspected to be crashed, the
+  coordinator will check whether that server truly crashed. If it
+  happens to be the case, the coordinator will schedule a recovery,
+  after checking that the data held by that server is available on
+  backups.").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from repro.hardware.node import Node
+from repro.net.fabric import Fabric, NodeUnreachable
+from repro.net.rpc import RpcRequest, RpcService, RpcTimeout
+from repro.ramcloud.config import CostModel, ServerConfig
+from repro.ramcloud.tablets import TabletMap, TabletStatus
+from repro.sim.distributions import RandomStream
+from repro.sim.kernel import Simulator
+
+__all__ = ["Coordinator", "RecoveryStats"]
+
+
+@dataclass
+class RecoveryStats:
+    """What happened during one crash recovery."""
+
+    crashed_id: str
+    detected_at: float
+    started_at: float
+    finished_at: Optional[float] = None
+    partitions: int = 0
+    segments: int = 0
+    # Segments of the crashed master with no surviving replica anywhere
+    # (correlated failures, the paper's §X closing concern): their data
+    # is permanently lost.  ``plan_lost_segments`` had no live replica
+    # at planning time; ``runtime_lost_segment_ids`` lost their last
+    # replica mid-recovery.
+    plan_lost_segments: int = 0
+    runtime_lost_segment_ids: Set[int] = field(default_factory=set)
+    bytes_to_recover: int = 0
+    recovery_masters: List[str] = field(default_factory=list)
+
+    @property
+    def lost_segments(self) -> int:
+        """Distinct segments whose data is permanently gone."""
+        return self.plan_lost_segments + len(self.runtime_lost_segment_ids)
+
+    @property
+    def data_was_lost(self) -> bool:
+        """True if any segment had no surviving replica."""
+        return self.lost_segments > 0
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Recovery wall time, or None while unfinished."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    @property
+    def unavailability(self) -> Optional[float]:
+        """Client-visible outage: from the crash being detectable to the
+        data being served again."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.detected_at
+
+
+class Coordinator(RpcService):
+    """The (single) coordinator service on its own node."""
+
+    def __init__(self, sim: Simulator, fabric: Fabric, node: Node,
+                 config: ServerConfig, cost: CostModel,
+                 stream: RandomStream,
+                 ping_interval: float = 0.5,
+                 ping_timeout: float = 0.4,
+                 detection_misses: int = 2):
+        super().__init__(sim, fabric, node, name="coordinator")
+        self.config = config
+        self.cost = cost
+        self.stream = stream
+        self.ping_interval = ping_interval
+        self.ping_timeout = ping_timeout
+        self.detection_misses = detection_misses
+        # How many segments each recovery master fetches/replays/
+        # re-replicates concurrently.  RAMCloud pipelines deeply enough
+        # to keep recovery masters CPU-bound (Fig. 9a: >90 % CPU).
+        self.recovery_pipeline_width = 6
+
+        self.tablet_map = TabletMap()
+        self._servers: Dict[str, object] = {}  # server_id → RamCloudServer
+        self._live: Dict[str, bool] = {}
+        self._missed_pings: Dict[str, int] = {}
+        self.recoveries: List[RecoveryStats] = []
+        self._detector = None
+
+        sim.process(self._serve_loop(), name="coordinator:serve")
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def enlist(self, server) -> None:
+        """Register a storage server (object handle kept for metadata
+        lookups; all timed interactions still go through RPC)."""
+        if server.server_id in self._servers:
+            raise ValueError(f"server {server.server_id!r} already enlisted")
+        self._servers[server.server_id] = server
+        self._live[server.server_id] = True
+        self._missed_pings[server.server_id] = 0
+
+    def lookup_server(self, server_id: str):
+        """The server object handle, or None if never enlisted."""
+        return self._servers.get(server_id)
+
+    def live_server_ids(self) -> List[str]:
+        """Ids of servers currently believed alive."""
+        return [sid for sid, alive in self._live.items() if alive]
+
+    def is_live(self, server_id: str) -> bool:
+        """Whether the coordinator believes the server is alive."""
+        return self._live.get(server_id, False)
+
+    # ------------------------------------------------------------------
+    # coordinator RPC service
+    # ------------------------------------------------------------------
+
+    def _serve_loop(self) -> Generator:
+        """Single-threaded service loop (the coordinator is not on the
+        data path, one thread suffices)."""
+        while True:
+            request = yield self.inbox.get()
+            yield from self.node.cpu.execute(self.cost.coordinator_service)
+            try:
+                self._serve(request)
+            except Exception as exc:  # surface as RPC error, keep serving
+                if not request.reply.triggered:
+                    request.fail(exc)
+
+    def _serve(self, request: RpcRequest) -> None:
+        if request.op == "get_tablet_map":
+            request.respond(self.tablet_map.snapshot())
+        elif request.op == "create_table":
+            name, span = request.args
+            table = self.create_table(name, span)
+            request.respond(table.table_id)
+        elif request.op == "drop_table":
+            self.tablet_map.drop_table(request.args)
+            request.respond("ok")
+        else:
+            request.fail(ValueError(f"unknown coordinator op {request.op!r}"))
+
+    # ------------------------------------------------------------------
+    # tables
+    # ------------------------------------------------------------------
+
+    def create_table(self, name: str, span: Optional[int] = None):
+        """Create a table spanning ``span`` servers (the paper sets
+        ServerSpan equal to the number of servers)."""
+        live = self.live_server_ids()
+        if span is None:
+            span = len(live)
+        if not live:
+            raise RuntimeError("cannot create a table with no live servers")
+        table = self.tablet_map.create_table(name, span, live)
+        for tablet in self.tablet_map.all_tablets():
+            if tablet.table_id == table.table_id:
+                self._servers[tablet.server_id].take_tablet(
+                    (tablet.table_id, tablet.index, 0), shard_count=1,
+                    ready=True)
+        return table
+
+    # ------------------------------------------------------------------
+    # elastic sizing (§IX "How to choose the right cluster size?")
+    # ------------------------------------------------------------------
+
+    def drain_server(self, server_id: str) -> Generator:
+        """Migrate every (tablet, shard) unit off ``server_id`` onto the
+        least-loaded live servers; ``yield from`` inside a process.
+
+        This is the mechanism behind the paper's §IX suggestion of "a
+        smart approach ... at the coordinator level, which can decide
+        whether to add or remove nodes depending on the workload".
+        """
+        source = self._servers[server_id]
+        moved = 0
+        for tablet, shard in self.tablet_map.tablets_of_server(server_id):
+            table = self.tablet_map.table_by_id(tablet.table_id)
+            target_id = self._least_loaded(exclude=server_id)
+            target = self._servers[target_id]
+            unit = (tablet.table_id, tablet.index, shard)
+            self.tablet_map.reassign_shard(tablet.tablet_id, shard,
+                                           target_id,
+                                           TabletStatus.RECOVERING)
+            yield from source.migrate_shard_out(
+                unit, tablet.shard_count, table.span, target)
+            self.tablet_map.set_shard_status(tablet.tablet_id, shard,
+                                             TabletStatus.NORMAL)
+            moved += 1
+        return moved
+
+    def _least_loaded(self, exclude: str) -> str:
+        candidates = [sid for sid in self.live_server_ids()
+                      if sid != exclude]
+        if not candidates:
+            raise RuntimeError("no live server to migrate onto")
+        load = {sid: 0 for sid in candidates}
+        for tablet in self.tablet_map.all_tablets():
+            for owner in tablet.shards:
+                if owner in load:
+                    load[owner] += 1
+        return min(sorted(candidates), key=load.get)
+
+    def rebalance(self) -> Generator:
+        """Even out tablet-shard ownership over the live servers by live
+        migration (run after :meth:`~repro.cluster.deployment.Cluster.
+        add_server`); ``yield from`` inside a process.  Returns how many
+        units moved."""
+        moved = 0
+        while True:
+            load: Dict[str, int] = {sid: 0 for sid in self.live_server_ids()}
+            for tablet in self.tablet_map.all_tablets():
+                for owner in tablet.shards:
+                    if owner in load:
+                        load[owner] += 1
+            if not load:
+                return moved
+            busiest = max(sorted(load), key=load.get)
+            idlest = min(sorted(load), key=load.get)
+            if load[busiest] - load[idlest] <= 1:
+                return moved
+            tablet, shard = self.tablet_map.tablets_of_server(busiest)[0]
+            table = self.tablet_map.table_by_id(tablet.table_id)
+            unit = (tablet.table_id, tablet.index, shard)
+            source = self._servers[busiest]
+            target = self._servers[idlest]
+            self.tablet_map.reassign_shard(tablet.tablet_id, shard,
+                                           idlest, TabletStatus.RECOVERING)
+            yield from source.migrate_shard_out(
+                unit, tablet.shard_count, table.span, target)
+            self.tablet_map.set_shard_status(tablet.tablet_id, shard,
+                                             TabletStatus.NORMAL)
+            moved += 1
+
+    def decommission_server(self, server_id: str) -> Generator:
+        """Gracefully remove a server: drain its tablets, retire it from
+        membership (no crash recovery fires) and power the machine off —
+        the Sierra/Rabbit-style energy lever the paper's §IX cites."""
+        moved = yield from self.drain_server(server_id)
+        self._live[server_id] = False
+        server = self._servers[server_id]
+        server.kill()
+        server.node.power.powered_off = True
+        return moved
+
+    # ------------------------------------------------------------------
+    # failure detection
+    # ------------------------------------------------------------------
+
+    def start_failure_detector(self) -> None:
+        """Begin the periodic ping loop (idempotent)."""
+        if self._detector is None:
+            self._detector = self.sim.process(self._ping_loop(),
+                                              name="coordinator:pings")
+
+    def stop_failure_detector(self) -> None:
+        """Halt the ping loop; crashes go undetected afterwards."""
+        if self._detector is not None:
+            self._detector.interrupt("detector stopped")
+            self._detector = None
+
+    def _ping_loop(self) -> Generator:
+        while True:
+            yield self.sim.timeout(self.ping_interval)
+            for server_id in self.live_server_ids():
+                self.sim.process(self._ping_one(server_id),
+                                 name=f"coordinator:ping:{server_id}")
+
+    def _ping_one(self, server_id: str) -> Generator:
+        server = self._servers[server_id]
+        try:
+            yield from server.call(self.node, "ping",
+                                   timeout=self.ping_timeout)
+            self._missed_pings[server_id] = 0
+        except (NodeUnreachable, RpcTimeout):
+            if not self._live.get(server_id, False):
+                return
+            self._missed_pings[server_id] += 1
+            if self._missed_pings[server_id] >= self.detection_misses:
+                self._on_server_suspected(server_id)
+
+    def _on_server_suspected(self, server_id: str) -> None:
+        """Verified-dead path: schedule a recovery exactly once."""
+        if not self._live.get(server_id, False):
+            return
+        server = self._servers[server_id]
+        if not server.killed:
+            return  # transient timeout, not a real crash
+        self._live[server_id] = False
+        stats = RecoveryStats(crashed_id=server_id,
+                              detected_at=self.sim.now,
+                              started_at=self.sim.now)
+        self.recoveries.append(stats)
+        self.sim.process(self._run_recovery(server_id, stats),
+                         name=f"coordinator:recovery:{server_id}")
+
+    # ------------------------------------------------------------------
+    # crash recovery orchestration
+    # ------------------------------------------------------------------
+
+    def _recovery_plan(self, server_id: str, stats: RecoveryStats):
+        """Build per-partition recovery plans from the crashed master's
+        will and the backups' replica inventories.
+
+        The will splits each of the crashed master's (tablet, shard)
+        units into enough subshards that the number of recovery
+        partitions ≈ the number of survivors ("to have as many machines
+        performing the crash-recovery as possible", §II-B).
+        """
+        # Exclude servers that are dead but not yet detected (their own
+        # recoveries are seconds behind this one): the coordinator
+        # verifies candidates before using them as sources or recovery
+        # masters, exactly as it verified the crash itself.
+        survivors = [sid for sid in self.live_server_ids()
+                     if not self._servers[sid].killed]
+        if not survivors:
+            raise RuntimeError("no survivors to recover onto")
+
+        owned = self.tablet_map.tablets_of_server(server_id)
+        if not owned:
+            stats.finished_at = self.sim.now
+            return {}, [], {}
+
+        # How many ways to split each owned unit.
+        split = max(1, -(-len(survivors) // len(owned)))  # ceil division
+
+        # units: (table_id, index, shard, shard_count) → recovery master
+        offset = self.stream.randint(0, max(len(survivors) - 1, 0))
+        partitions: Dict[str, List[Tuple[int, int, int, int]]] = {}
+        unit_no = 0
+        for tablet, shard in owned:
+            if tablet.shard_count == 1 and split > 1:
+                owners = []
+                for sub in range(split):
+                    master = survivors[(offset + unit_no) % len(survivors)]
+                    owners.append(master)
+                    partitions.setdefault(master, []).append(
+                        (tablet.table_id, tablet.index, sub, split))
+                    unit_no += 1
+                self.tablet_map.split_shard(tablet.tablet_id, 0, owners,
+                                            TabletStatus.RECOVERING)
+            else:
+                master = survivors[(offset + unit_no) % len(survivors)]
+                partitions.setdefault(master, []).append(
+                    (tablet.table_id, tablet.index, shard,
+                     tablet.shard_count))
+                unit_no += 1
+                self.tablet_map.reassign_shard(tablet.tablet_id, shard,
+                                               master,
+                                               TabletStatus.RECOVERING)
+
+        # Locate every segment replica of the crashed master.  Spread
+        # reads across the backups that hold each segment.
+        segment_sources: Dict[int, Tuple[str, int]] = {}
+        for sid in survivors:
+            backup = self._servers[sid]
+            for (master_id, segment_id), replica in backup.replicas.items():
+                if master_id != server_id:
+                    continue
+                nbytes = max(replica.nbytes, replica.segment.bytes_used)
+                if segment_id not in segment_sources:
+                    segment_sources[segment_id] = (sid, nbytes)
+                elif self.stream.uniform() < 0.5:
+                    segment_sources[segment_id] = (sid, nbytes)
+
+        spans = {}
+        for tablet, _shard in owned:
+            table = self.tablet_map.table_by_id(tablet.table_id)
+            spans[tablet.table_id] = table.span
+
+        segments = [(seg_id, src, nbytes)
+                    for seg_id, (src, nbytes) in sorted(segment_sources.items())]
+        stats.partitions = sum(len(u) for u in partitions.values())
+        stats.segments = len(segments)
+        # Segments with no live replica cannot be recovered: correlated
+        # failures took the master and every backup of those segments.
+        # Only data-bearing segments count — a freshly-opened empty head
+        # has nothing to lose (and no replicas yet).
+        crashed = self._servers[server_id]
+        data_segments = sum(1 for s in crashed.log.segments.values()
+                            if s.bytes_used > 0)
+        stats.plan_lost_segments = max(0, data_segments - len(segments))
+        stats.bytes_to_recover = sum(n for _s, _b, n in segments)
+        stats.recovery_masters = sorted(partitions)
+        return partitions, segments, spans
+
+    def _run_recovery(self, server_id: str,
+                      stats: RecoveryStats) -> Generator:
+        partitions, segments, spans = self._recovery_plan(server_id, stats)
+        if not partitions:
+            return
+        total_units = sum(len(u) for u in partitions.values())
+        completed: Dict[str, List] = {}
+
+        # Recovery masters can themselves die mid-recovery; real
+        # RAMCloud restarts the affected partitions on other servers,
+        # so we retry failed partitions for a few rounds.
+        for _round in range(4):
+            waits = []
+            for master_id, units in partitions.items():
+                master = self._servers[master_id]
+                plan = {
+                    "crashed_id": server_id,
+                    "units": units,
+                    "spans": spans,
+                    "segments": segments,
+                    "share": len(units) / total_units,
+                    "pipeline_width": self.recovery_pipeline_width,
+                }
+                waits.append((master_id, units, self.sim.process(
+                    self._recover_on(master, plan, stats),
+                    name=f"coordinator:recover-on:{master_id}",
+                )))
+            failed_units: List = []
+            for master_id, units, proc in waits:
+                ok = yield proc
+                if ok:
+                    completed.setdefault(master_id, []).extend(units)
+                else:
+                    failed_units.extend(units)
+            if not failed_units:
+                break
+            survivors = [sid for sid in self.live_server_ids()
+                         if not self._servers[sid].killed]
+            if not survivors:
+                stats.recovery_masters.append("FAILED: no survivors")
+                return
+            partitions = {}
+            offset = self.stream.randint(0, len(survivors) - 1)
+            for i, unit in enumerate(failed_units):
+                master_id = survivors[(offset + i) % len(survivors)]
+                partitions.setdefault(master_id, []).append(unit)
+                self.tablet_map.reassign_shard(
+                    (unit[0], unit[1]), unit[2], master_id,
+                    TabletStatus.RECOVERING)
+        else:
+            stats.recovery_masters.append("FAILED: retries exhausted")
+            return
+        # Flip shard statuses in the tablet map; recovery masters already
+        # marked their units ready locally.
+        for master_id, units in completed.items():
+            for table_id, index, shard, _count in units:
+                self.tablet_map.reassign_shard((table_id, index), shard,
+                                               master_id,
+                                               TabletStatus.NORMAL)
+        # "At the end of the recovery the segments are cleaned from old
+        # backups" (§II-B).
+        for sid in self.live_server_ids():
+            backup = self._servers[sid]
+            doomed = [key for key in backup.replicas if key[0] == server_id]
+            for key in doomed:
+                replica = backup.replicas.pop(key)
+                if replica.on_disk:
+                    nbytes = max(replica.nbytes, replica.segment.bytes_used)
+                    backup.node.disk.space.take(
+                        min(backup.node.disk.space.level, nbytes))
+        stats.finished_at = self.sim.now
+
+    def _recover_on(self, master, plan, stats: RecoveryStats) -> Generator:
+        """Drive one recovery master; returns True on success, False if
+        the master itself became unreachable (never raises, so the
+        orchestrator can always collect every partition's outcome)."""
+        try:
+            _status, lost_ids = yield from master.call(
+                self.node, "recover_partition", args=plan,
+                size_bytes=1024, response_bytes=64, timeout=600.0)
+        except (NodeUnreachable, RpcTimeout):
+            return False
+        # Segments whose every replica died mid-recovery (correlated
+        # failures) are gone for good.  De-duplicated across recovery
+        # masters: each of them fetches every segment.
+        stats.runtime_lost_segment_ids.update(lost_ids)
+        return True

@@ -1,0 +1,42 @@
+"""RAMCloud error types, mirroring the real system's client-visible errors."""
+
+from __future__ import annotations
+
+__all__ = [
+    "RamCloudError",
+    "TableDoesntExist",
+    "ObjectDoesntExist",
+    "RetryLater",
+    "WrongServer",
+    "LogOutOfMemory",
+    "StaleVersion",
+]
+
+
+class RamCloudError(Exception):
+    """Base class for RAMCloud-level errors."""
+
+
+class TableDoesntExist(RamCloudError):
+    """The table id is unknown to the coordinator."""
+
+
+class ObjectDoesntExist(RamCloudError):
+    """Read/delete of a key that has no live object."""
+
+
+class RetryLater(RamCloudError):
+    """The tablet is temporarily unavailable (crash recovery in
+    progress); the client should back off and retry."""
+
+
+class WrongServer(RamCloudError):
+    """The contacted master does not own the tablet (stale client cache)."""
+
+
+class LogOutOfMemory(RamCloudError):
+    """The master's log is full and the cleaner cannot reclaim space."""
+
+
+class StaleVersion(RamCloudError):
+    """Conditional write rejected: the object's version moved on."""

@@ -1,0 +1,73 @@
+"""The master's in-memory index: (table, key) → log position.
+
+RAMCloud indexes its log with a hash table; every read goes through it
+and every write updates it.  We model it as a dict keyed by
+``(table_id, key)`` whose values are ``(segment, entry)`` pairs, with
+live/dead bookkeeping so the cleaner can tell what to copy forward.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.ramcloud.segment import LogEntry, Segment
+
+__all__ = ["HashTable"]
+
+
+class HashTable:
+    """Maps live objects to their current log entry."""
+
+    def __init__(self):
+        self._index: Dict[Tuple[int, str], Tuple[Segment, LogEntry]] = {}
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def lookup(self, table_id: int, key: str) -> Optional[Tuple[Segment, LogEntry]]:
+        """The live (segment, entry) for a key, or None."""
+        return self._index.get((table_id, key))
+
+    def insert(self, table_id: int, key: str, segment: Segment,
+               entry: LogEntry) -> Optional[LogEntry]:
+        """Point (table, key) at a new entry; returns the displaced
+        entry (now dead) if the key existed."""
+        old = self._index.get((table_id, key))
+        self._index[(table_id, key)] = (segment, entry)
+        if old is not None:
+            old_entry = old[1]
+            old_entry.live = False
+            return old_entry
+        return None
+
+    def remove(self, table_id: int, key: str) -> Optional[LogEntry]:
+        """Drop the index entry (object deleted); returns the dead entry."""
+        old = self._index.pop((table_id, key), None)
+        if old is None:
+            return None
+        old[1].live = False
+        return old[1]
+
+    def relocate(self, table_id: int, key: str, segment: Segment,
+                 entry: LogEntry) -> None:
+        """Repoint a live object after the cleaner copied it forward.
+
+        Unlike :meth:`insert` this must only be called for an object the
+        cleaner verified is still the current version.
+        """
+        current = self._index.get((table_id, key))
+        if current is None:
+            raise KeyError(f"relocate of unindexed object t{table_id}/{key}")
+        self._index[(table_id, key)] = (segment, entry)
+
+    def keys_for_table(self, table_id: int) -> Iterator[str]:
+        """Iterate the live keys of one table."""
+        return (key for (tid, key) in self._index if tid == table_id)
+
+    def drop_table(self, table_id: int) -> int:
+        """Remove every object of a table; returns how many were dropped."""
+        doomed = [(tid, key) for (tid, key) in self._index if tid == table_id]
+        for pair in doomed:
+            self._index[pair][1].live = False
+            del self._index[pair]
+        return len(doomed)

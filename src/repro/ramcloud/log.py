@@ -1,0 +1,136 @@
+"""The append-only log-structured memory (§II-B).
+
+"A server uses an append-only log-structured memory to store its data
+and a hash-table to index it. The log-structured memory of each server
+is divided into 8MB segments."
+
+The log tracks segment lifecycle: the head segment receives appends;
+when full it is *closed* (backups then flush their replica to disk) and
+a new head is opened (backups for it are chosen by the owner via the
+``on_open`` callback).  The cleaner returns segments to the free pool.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ramcloud.config import ServerConfig
+from repro.ramcloud.errors import LogOutOfMemory
+from repro.ramcloud.segment import LogEntry, Segment
+
+__all__ = ["Log"]
+
+
+class Log:
+    """One master's log-structured memory."""
+
+    # Segments kept back for the cleaner: without headroom to copy live
+    # data into, a full log could never be cleaned (RAMCloud reserves
+    # "survivor" segments for exactly this reason).
+    RESERVED_SEGMENTS = 2
+
+    def __init__(self, config: ServerConfig,
+                 on_open: Optional[Callable[[Segment], Tuple[str, ...]]] = None,
+                 on_close: Optional[Callable[[Segment], None]] = None):
+        self.config = config
+        self.segment_size = config.segment_size
+        self.max_segments = config.total_segments
+        self._on_open = on_open
+        self._on_close = on_close
+        self.segments: Dict[int, Segment] = {}
+        self._next_segment_id = 0
+        self.head: Segment = self._open_segment()
+        self.appended_bytes = 0
+
+    # -- segment lifecycle ------------------------------------------------
+
+    def _open_segment(self, privileged: bool = False) -> Segment:
+        limit = self.max_segments
+        if not privileged and self.max_segments > self.RESERVED_SEGMENTS:
+            limit = self.max_segments - self.RESERVED_SEGMENTS
+        if len(self.segments) >= limit:
+            raise LogOutOfMemory(
+                f"log full: {len(self.segments)} segments of "
+                f"{self.segment_size} bytes (limit {limit})"
+            )
+        segment = Segment(self._next_segment_id, self.segment_size)
+        self._next_segment_id += 1
+        self.segments[segment.segment_id] = segment
+        if self._on_open is not None:
+            segment.replica_backups = tuple(self._on_open(segment))
+        return segment
+
+    def _roll_head(self, privileged: bool = False) -> Segment:
+        """Close the head and open a new one; returns the closed segment."""
+        new_head = self._open_segment(privileged)  # may raise: head intact
+        closed = self.head
+        closed.close()
+        if self._on_close is not None:
+            self._on_close(closed)
+        self.head = new_head
+        return closed
+
+    def free_segment(self, segment: Segment) -> None:
+        """Return a (cleaned or recovered-from) segment to the free pool."""
+        if segment is self.head:
+            raise ValueError("cannot free the head segment")
+        if segment.segment_id not in self.segments:
+            raise KeyError(f"segment {segment.segment_id} not in this log")
+        del self.segments[segment.segment_id]
+
+    # -- appending ----------------------------------------------------------
+
+    def append(self, table_id: int, key: str, value_size: int, version: int,
+               value: Optional[bytes] = None,
+               is_tombstone: bool = False,
+               privileged: bool = False) -> Tuple[Segment, LogEntry,
+                                                  Optional[Segment]]:
+        """Append an entry; returns ``(segment, entry, closed_segment)``.
+
+        ``closed_segment`` is non-None when this append rolled the head,
+        so the caller can push the close to backups.  ``privileged``
+        appends (the cleaner's survivor copies) may dip into the
+        reserved segments.
+        """
+        entry = LogEntry(table_id, key, value_size, version, value=value,
+                         is_tombstone=is_tombstone)
+        if entry.log_bytes > self.segment_size:
+            raise ValueError(
+                f"object of {entry.log_bytes}B exceeds segment size "
+                f"{self.segment_size}B"
+            )
+        closed = None
+        if not self.head.fits(entry):
+            closed = self._roll_head(privileged)
+        self.head.append(entry)
+        self.appended_bytes += entry.log_bytes
+        return self.head, entry, closed
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes of DRAM held by allocated segments."""
+        return len(self.segments) * self.segment_size
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes of live (indexed) data across all segments."""
+        return sum(seg.live_bytes for seg in self.segments.values())
+
+    @property
+    def memory_utilization(self) -> float:
+        """Fraction of the log memory budget in use (cleaner trigger)."""
+        return self.used_bytes / (self.max_segments * self.segment_size)
+
+    def closed_segments(self) -> List[Segment]:
+        """Segments no longer accepting appends."""
+        return [s for s in self.segments.values() if s.closed]
+
+    def cleanable_segments(self) -> List[Segment]:
+        """Closed segments with any dead data, best candidates first
+        (lowest live fraction — the cost/benefit policy RAMCloud uses)."""
+        candidates = [s for s in self.segments.values()
+                      if s.closed and s.dead_bytes > 0]
+        candidates.sort(key=lambda s: s.utilization)
+        return candidates

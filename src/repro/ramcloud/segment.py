@@ -1,0 +1,120 @@
+"""Log entries and segments.
+
+The log-structured memory is divided into fixed-size segments (8 MB in
+the paper, §II-B).  A segment is append-only; deleting or overwriting
+an object leaves a dead entry behind (plus a tombstone for deletes) that
+only the cleaner reclaims.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = ["LogEntry", "Segment", "ENTRY_HEADER_BYTES"]
+
+# Per-entry log overhead (entry header + checksum), as in RAMCloud.
+ENTRY_HEADER_BYTES = 40
+
+
+class LogEntry:
+    """One object record (or tombstone) in the log."""
+
+    __slots__ = ("table_id", "key", "value_size", "version", "value",
+                 "is_tombstone", "live")
+
+    def __init__(self, table_id: int, key: str, value_size: int,
+                 version: int, value: Optional[bytes] = None,
+                 is_tombstone: bool = False):
+        if value_size < 0:
+            raise ValueError(f"negative value size: {value_size}")
+        self.table_id = table_id
+        self.key = key
+        self.value_size = value_size
+        self.version = version
+        self.value = value
+        self.is_tombstone = is_tombstone
+        # A live entry is reachable from the hash table; overwrites and
+        # deletes mark the old entry dead for the cleaner.
+        self.live = not is_tombstone
+
+    @property
+    def log_bytes(self) -> int:
+        """Bytes this entry occupies in the log."""
+        return ENTRY_HEADER_BYTES + len(self.key) + self.value_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "tombstone" if self.is_tombstone else "object"
+        return (f"<LogEntry {kind} t{self.table_id}/{self.key} "
+                f"v{self.version} {self.value_size}B>")
+
+
+class Segment:
+    """A fixed-size append-only region of the in-memory log."""
+
+    __slots__ = ("segment_id", "capacity", "bytes_used", "entries",
+                 "closed", "replica_backups")
+
+    def __init__(self, segment_id: int, capacity: int):
+        if capacity <= ENTRY_HEADER_BYTES:
+            raise ValueError(f"segment capacity too small: {capacity}")
+        self.segment_id = segment_id
+        self.capacity = capacity
+        self.bytes_used = 0
+        self.entries: List[LogEntry] = []
+        self.closed = False
+        # Backup server ids holding replicas of this segment (chosen at
+        # open time — §II-B: "a random backup in the cluster is chosen
+        # for each new segment").
+        self.replica_backups: Tuple[str, ...] = ()
+
+    @property
+    def free_bytes(self) -> int:
+        """Capacity remaining for appends."""
+        return self.capacity - self.bytes_used
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes of still-indexed entries."""
+        return sum(e.log_bytes for e in self.entries if e.live)
+
+    @property
+    def dead_bytes(self) -> int:
+        """Bytes of overwritten/deleted entries (cleaner fodder)."""
+        return self.bytes_used - self.live_bytes
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of used bytes still live (cleaner candidate metric)."""
+        if self.bytes_used == 0:
+            return 0.0
+        return self.live_bytes / self.bytes_used
+
+    def fits(self, entry: LogEntry) -> bool:
+        """Whether the entry fits in the remaining space."""
+        return entry.log_bytes <= self.free_bytes
+
+    def append(self, entry: LogEntry) -> None:
+        """Add an entry; the segment must be open and have room."""
+        if self.closed:
+            raise ValueError(f"append to closed segment {self.segment_id}")
+        if not self.fits(entry):
+            raise ValueError(
+                f"entry of {entry.log_bytes}B does not fit in segment "
+                f"{self.segment_id} ({self.free_bytes}B free)"
+            )
+        self.entries.append(entry)
+        self.bytes_used += entry.log_bytes
+
+    def close(self) -> None:
+        """Seal the segment (backups flush their replica to disk)."""
+        self.closed = True
+
+    def live_entries(self) -> Iterator[LogEntry]:
+        """Iterate the entries still reachable from the hash table."""
+        return (e for e in self.entries if e.live)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else "open"
+        return (f"<Segment {self.segment_id} {state} "
+                f"{self.bytes_used}/{self.capacity}B "
+                f"{len(self.entries)} entries>")

@@ -1,0 +1,1071 @@
+"""The RAMCloud server process: collocated master + backup services.
+
+"Usually, storage servers and backups are collocated within a same
+physical machine" (§II-B) — and in RAMCloud they share one process, one
+dispatch thread and one worker pool.  That sharing is the mechanism
+behind the paper's Finding 3: replication requests from other masters
+contend with client requests for the same worker CPU.
+
+Threading model
+---------------
+* One **dispatch thread**, pinned to a core, busy-polling the NIC
+  (Table I: 25 % CPU on an idle 4-core server).  It charges a small
+  per-request handoff cost and feeds the worker queue.
+* ``worker_threads`` **workers** (3 on the paper's 4-core nodes), each a
+  process that executes request service code on the CPU.
+* The write path serializes on the log-append critical section; its
+  cost grows with the number of concurrently active workers
+  (:meth:`~repro.ramcloud.config.CostModel.write_crit`) — RAMCloud's
+  "poor thread handling" under concurrent updates (Finding 2).
+
+Replication
+-----------
+Each open segment has ``replication_factor`` backups chosen at random
+when the segment is opened.  Every update is pushed to each backup in
+turn and the master answers the client only after the last
+acknowledgement (§VI: "it has to wait for the acknowledgements from the
+backups before answering the client ... crucial for providing strong
+consistency guarantees").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.hardware.node import Node
+from repro.net.fabric import Fabric, NodeUnreachable
+from repro.net.rpc import RpcRequest, RpcService, RpcTimeout
+from repro.ramcloud.config import CostModel, ServerConfig
+from repro.ramcloud.errors import (
+    LogOutOfMemory,
+    ObjectDoesntExist,
+    RamCloudError,
+    RetryLater,
+    StaleVersion,
+    WrongServer,
+)
+from repro.ramcloud.hashtable import HashTable
+from repro.ramcloud.log import Log
+from repro.ramcloud.segment import LogEntry, Segment
+from repro.ramcloud.tablets import TabletStatus, key_hash
+from repro.sim.distributions import RandomStream
+from repro.sim.kernel import Interrupt, Process, Simulator
+from repro.sim.resources import Mutex, Store
+
+__all__ = ["RamCloudServer", "SegmentReplica"]
+
+
+def _wait(event):
+    """Tiny adapter: wait on one event inside ``yield from`` pipelines."""
+    result = yield event
+    return result
+
+
+class SegmentReplica:
+    """A backup's copy of one master segment.
+
+    Open replicas live in the backup's DRAM; when the master closes the
+    segment the backup flushes the replica to disk and frees the DRAM
+    (§II-B).  The ``segment`` reference stands in for the byte copy —
+    conceptually the backup holds its own bytes.
+    """
+
+    __slots__ = ("master_id", "segment", "nbytes", "closed", "on_disk",
+                 "cached")
+
+    def __init__(self, master_id: str, segment: Segment):
+        self.master_id = master_id
+        self.segment = segment
+        self.nbytes = 0
+        self.closed = False
+        self.on_disk = False
+        # True once a recovery read pulled the replica back into DRAM;
+        # later recovery masters fetching their share skip the disk.
+        self.cached = False
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """(master_id, segment_id) identifying this replica."""
+        return (self.master_id, self.segment.segment_id)
+
+
+class RamCloudServer(RpcService):
+    """One storage server: master role + backup role in one process."""
+
+    def __init__(self, sim: Simulator, fabric: Fabric, node: Node,
+                 config: ServerConfig, cost: CostModel, coordinator,
+                 stream: RandomStream):
+        super().__init__(sim, fabric, node, name=f"server:{node.name}")
+        self.server_id = node.name
+        self.config = config
+        self.cost = cost
+        self.coordinator = coordinator
+        self.stream = stream
+
+        # ---- master state ----
+        self._bulk_loading = False
+        self.log = Log(config, on_open=self._choose_backups_lenient,
+                       on_close=self._segment_closed)
+        self.hashtable = HashTable()
+        self.log_lock = Mutex(sim, name=f"{self.server_id}:log")
+        # One replication/replay pipeline per master: during recovery the
+        # replay→re-replicate stream is serialized on this lock (it is a
+        # single log being re-built), so recovery *time* grows with the
+        # replication factor, not just CPU (Finding 6).
+        self.replay_lock = Mutex(sim, name=f"{self.server_id}:replay")
+        # (table_id, tablet_index, shard) → status
+        self.tablets: Dict[Tuple[int, int, int], str] = {}
+        # (table_id, tablet_index) → shard count of that tablet
+        self.tablet_shards: Dict[Tuple[int, int], int] = {}
+        self._next_version = 1
+
+        # ---- backup state ----
+        self.replicas: Dict[Tuple[str, int], SegmentReplica] = {}
+
+        # ---- threading ----
+        self.worker_queue = Store(sim, name=f"{self.server_id}:work",
+                                  lifo_getters=True)
+        self.backup_queue = Store(sim, name=f"{self.server_id}:backup-work",
+                                  lifo_getters=True)
+        self.active_workers = 0
+        self._threads: List[Process] = []
+        self._background: List[Process] = []
+        self.killed = False
+
+        # ---- statistics ----
+        self.ops_completed = 0
+        self.reads_completed = 0
+        self.writes_completed = 0
+        self.replications_handled = 0
+        self.recovery_bytes_replayed = 0
+
+        self.node.cpu.pin_core()  # the dispatch thread's core
+        self._threads.append(
+            sim.process(self._dispatch_loop(), name=f"{self.name}:dispatch"))
+        for i in range(config.worker_threads):
+            self._threads.append(
+                sim.process(self._worker_loop(i), name=f"{self.name}:worker{i}"))
+        for i in range(config.backup_worker_threads):
+            self._threads.append(
+                sim.process(self._backup_worker_loop(i),
+                            name=f"{self.name}:backup-worker{i}"))
+        self._cleaner = sim.process(self._cleaner_loop(),
+                                    name=f"{self.name}:cleaner")
+        self._threads.append(self._cleaner)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def kill(self) -> None:
+        """Kill the RAMCloud process on this machine (the paper's crash
+        injection: "we kill RAMCloud process on that node").
+
+        The machine itself stays up; the PDU keeps metering it.
+        """
+        if self.killed:
+            return
+        self.killed = True
+        self.shutdown(NodeUnreachable(f"{self.server_id} crashed"))
+        for request in self.worker_queue.drain() + self.backup_queue.drain():
+            if not request.reply.triggered:
+                request.fail(NodeUnreachable(f"{self.server_id} crashed"))
+        for proc in self._threads + self._background:
+            proc.interrupt("killed")
+        self.node.cpu.unpin_core()
+
+    def _spawn(self, generator, name: str) -> Process:
+        """Track a background process so kill() can reap it."""
+        proc = self.sim.process(generator, name=name)
+        self._background.append(proc)
+        if len(self._background) > 64:
+            self._background = [p for p in self._background if p.is_alive]
+        return proc
+
+    # ------------------------------------------------------------------
+    # tablet ownership
+    # ------------------------------------------------------------------
+
+    def take_tablet(self, unit: Tuple[int, int, int], shard_count: int = 1,
+                    ready: bool = True) -> None:
+        """Own one (tablet, shard) unit.  ``unit`` is
+        ``(table_id, tablet_index, shard)``."""
+        table_id, index, _shard = unit
+        self.tablets[unit] = (TabletStatus.NORMAL if ready
+                              else TabletStatus.RECOVERING)
+        self.tablet_shards[(table_id, index)] = shard_count
+
+    def drop_tablet(self, unit: Tuple[int, int, int]) -> None:
+        """Stop owning one (tablet, shard) unit."""
+        self.tablets.pop(unit, None)
+
+    def _check_ownership(self, table_id: int, key: str, span: int) -> None:
+        h = key_hash(key)
+        index = h % span
+        shard_count = self.tablet_shards.get((table_id, index), 1)
+        shard = (h // span) % shard_count
+        unit = (table_id, index, shard)
+        status = self.tablets.get(unit)
+        if status is None:
+            raise WrongServer(
+                f"{self.server_id} does not own tablet shard {unit}")
+        if status == TabletStatus.RECOVERING:
+            raise RetryLater(f"tablet shard {unit} is recovering")
+
+    # ------------------------------------------------------------------
+    # replica placement
+    # ------------------------------------------------------------------
+
+    def _choose_backups(self, segment: Segment) -> Tuple[str, ...]:
+        """Pick ``replication_factor`` random distinct backups for a new
+        segment (§II-B: random selection so recovery parallelizes)."""
+        rf = self.config.replication_factor
+        if rf == 0:
+            return ()
+        candidates = [sid for sid in self.coordinator.live_server_ids()
+                      if sid != self.server_id]
+        if len(candidates) < rf:
+            raise RuntimeError(
+                f"replication factor {rf} needs {rf} live backups, "
+                f"have {len(candidates)}"
+            )
+        return tuple(self.stream.sample(candidates, rf))
+
+    def _choose_backups_lenient(self, segment: Segment) -> Tuple[str, ...]:
+        """Segment-open callback.  During cluster bootstrap the first
+        head segment opens before peers have enlisted; it gets its
+        backups assigned lazily by :meth:`_ensure_head_replicated` on
+        the first actual append."""
+        rf = self.config.replication_factor
+        candidates = [sid for sid in self.coordinator.live_server_ids()
+                      if sid != self.server_id]
+        if rf == 0 or len(candidates) < rf:
+            return ()
+        return tuple(self.stream.sample(candidates, rf))
+
+    def _ensure_head_replicated(self) -> None:
+        if (self.config.replication_factor > 0
+                and not self.log.head.replica_backups):
+            self.log.head.replica_backups = self._choose_backups(self.log.head)
+
+    def _segment_closed(self, segment: Segment) -> None:
+        """Log head rolled: tell this segment's backups to flush."""
+        if self.killed or self._bulk_loading:
+            return
+        for backup_id in segment.replica_backups:
+            backup = self.coordinator.lookup_server(backup_id)
+            if backup is None or backup.killed:
+                continue
+            self._spawn(
+                self._send_close(backup, segment),
+                name=f"{self.name}:close-seg{segment.segment_id}",
+            )
+
+    def _send_close(self, backup: "RamCloudServer",
+                    segment: Segment) -> Generator:
+        try:
+            yield from backup.call(
+                self.node, "replicate_close",
+                args=(self.server_id, segment.segment_id),
+                size_bytes=64, response_bytes=64,
+                timeout=self.config.rpc_timeout,
+            )
+        except (NodeUnreachable, RpcTimeout, Interrupt):
+            pass  # backup died; re-replication is out of scope here
+
+    # ------------------------------------------------------------------
+    # dispatch and workers
+    # ------------------------------------------------------------------
+
+    # Ops served by the collocated backup service's own threads (they
+    # never issue nested RPCs, which is what makes the split
+    # deadlock-free; see ServerConfig.backup_worker_threads).
+    _BACKUP_OPS = frozenset({
+        "replicate_append", "replicate_close", "replicate_segment",
+        "recovery_read", "free_replica", "ping",
+    })
+
+    def _dispatch_loop(self) -> Generator:
+        """The pinned polling thread: inbox → per-request handoff cost →
+        worker queue.  Its core is accounted 100 % busy by pin_core().
+
+        Bulk data arriving for this server (recovery segment fetches)
+        also crosses the dispatch thread (``_rx`` pseudo-requests),
+        stalling the dispatch of concurrent client requests — the
+        paper's Fig. 10 collateral damage on live-data reads.
+        """
+        while True:
+            request = yield self.inbox.get()
+            # Handoff cost on the dispatch core (already pinned, so this
+            # is pure latency/serialization, not extra utilization).
+            yield self.sim.timeout(self.cost.dispatch_per_request)
+            if request.op == "_rx":
+                yield self.sim.timeout(request.args)
+                request.respond(None)
+            elif request.op in self._BACKUP_OPS:
+                self.backup_queue.put(request)
+            else:
+                self.worker_queue.put(request)
+
+    def _dispatch_rx(self, nbytes: int) -> Generator:
+        """Pass ``nbytes`` of received bulk data through the dispatch
+        thread (see :meth:`_dispatch_loop`)."""
+        rx = RpcRequest(self.sim, "_rx", self.cost.dispatch_rx_per_byte
+                        * nbytes, 0, 0, self.node)
+        self.inbox.put(rx)
+        yield rx.reply
+
+    def _worker_loop(self, index: int) -> Generator:
+        yield from self._serve_queue(self.worker_queue)
+
+    def _backup_worker_loop(self, index: int) -> Generator:
+        yield from self._serve_queue(self.backup_queue)
+
+    def _serve_queue(self, queue: Store) -> Generator:
+        while True:
+            get = queue.get()
+            if not get.triggered:
+                # Spin-then-sleep: busy-poll briefly for the next request
+                # before blocking (RAMCloud's nanoscheduling; see
+                # CostModel.worker_spin).
+                deadline = self.sim.timeout(self.cost.worker_spin)
+                yield from self.node.cpu.spinning(
+                    _wait(self.sim.any_of([get, deadline])))
+            request = yield get
+            self.active_workers += 1
+            try:
+                yield from self._handle(request)
+            except Interrupt:
+                if not request.reply.triggered:
+                    request.fail(NodeUnreachable(f"{self.server_id} crashed"))
+                raise
+            except (NodeUnreachable, RpcTimeout, RamCloudError) as exc:
+                if not request.reply.triggered:
+                    request.fail(exc)
+            finally:
+                self.active_workers -= 1
+
+    def _handle(self, request: RpcRequest) -> Generator:
+        handler = self._HANDLERS.get(request.op)
+        if handler is None:
+            request.fail(ValueError(f"unknown op {request.op!r}"))
+            return
+        yield from handler(self, request)
+
+    # ------------------------------------------------------------------
+    # master ops
+    # ------------------------------------------------------------------
+
+    def _handle_read(self, request: RpcRequest) -> Generator:
+        table_id, key, span = request.args
+        yield from self.node.cpu.execute(self.cost.read_service)
+        try:
+            self._check_ownership(table_id, key, span)
+        except (WrongServer, RetryLater) as exc:
+            request.fail(exc)
+            return
+        found = self.hashtable.lookup(table_id, key)
+        if found is None:
+            request.fail(ObjectDoesntExist(f"t{table_id}/{key}"))
+            return
+        _segment, entry = found
+        self.ops_completed += 1
+        self.reads_completed += 1
+        request.respond((entry.value, entry.version, entry.value_size))
+
+    def _append_locked(self, table_id: int, key: str, value_size: int,
+                       value: Optional[bytes],
+                       is_tombstone: bool) -> Generator:
+        """The serialized log-append critical section.
+
+        Returns ``(segment, entry, closed_segment)``.  The critical
+        section's CPU cost scales with concurrently-active workers —
+        the contention the paper blames for update-heavy collapse.
+        """
+        self._ensure_head_replicated()
+        charged_crit = False
+        for _attempt in range(200):
+            token = self.log_lock.acquire()
+            try:
+                # Contending writers busy-poll on the log head (the
+                # active contention — cache-line bouncing, futex storms —
+                # that makes update-heavy draw MORE power than read-only
+                # per node, paper Fig. 4a).
+                yield from self.node.cpu.spinning(_wait(token))
+            except BaseException:
+                self.log_lock.abort(token)
+                raise
+            try:
+                if not charged_crit:
+                    writers = self.log_lock.queue_length + 1
+                    other_active = max(0, self.active_workers - writers)
+                    crit = self.cost.write_crit(
+                        writers, other_active,
+                        queued=len(self.worker_queue))
+                    yield from self.node.cpu.execute(crit)
+                    charged_crit = True
+                try:
+                    version = self._next_version
+                    segment, entry, closed = self.log.append(
+                        table_id, key, value_size, version,
+                        value=value, is_tombstone=is_tombstone)
+                except LogOutOfMemory:
+                    segment = None
+                else:
+                    self._next_version += 1
+                    if is_tombstone:
+                        self.hashtable.remove(table_id, key)
+                    else:
+                        self.hashtable.insert(table_id, key, segment, entry)
+            finally:
+                self.log_lock.release(token)
+            if segment is not None:
+                return segment, entry, closed
+            # Log full: stall until the cleaner frees space (RAMCloud
+            # blocks writes behind the cleaner rather than failing).
+            yield self.sim.timeout(0.02)
+        raise RetryLater(f"{self.server_id}: log full, cleaner starved")
+
+    def _replicate_entry(self, segment: Segment,
+                         entry: LogEntry) -> Generator:
+        """Push one appended entry to every backup of its segment.
+
+        Default (``async_replication=False``): wait for every backup's
+        acknowledgement before returning — the strong-consistency rule
+        the paper identifies as a major cost ("it has to wait for the
+        acknowledgements from the backups ... crucial for providing
+        strong consistency guarantees", §VI).
+
+        With ``async_replication=True`` (the §IX relaxed-consistency
+        ablation): spend the send CPU, fire the replication RPCs in the
+        background and return immediately.
+        """
+        for slot, backup_id in enumerate(segment.replica_backups):
+            backup = self.coordinator.lookup_server(backup_id)
+            if backup is None or backup.killed:
+                backup = yield from self._replace_backup(segment, slot)
+                if backup is None:
+                    continue  # degraded: no replacement available
+            yield from self.node.cpu.execute(self.cost.replication_send)
+            call = backup.call(
+                self.node, "replicate_append",
+                args=(self.server_id, segment.segment_id, entry.log_bytes),
+                size_bytes=entry.log_bytes + 64, response_bytes=64,
+                timeout=self.config.rpc_timeout,
+            )
+            if self.config.async_replication:
+                self._spawn(self._background_replicate(call),
+                            name=f"{self.name}:async-repl")
+                continue
+            try:
+                # The worker busy-polls for the backup's acknowledgement
+                # (RPC waits spin in RAMCloud): replication raises power
+                # per node with the replication factor (paper Fig. 7).
+                yield from self.node.cpu.spinning(call)
+            except (NodeUnreachable, RpcTimeout):
+                # The backup died mid-replication: replace it (which
+                # re-replicates the whole segment, entry included).
+                yield from self._replace_backup(segment, slot)
+
+    def _replace_backup(self, segment: Segment, slot: int):
+        """A backup of ``segment`` is dead: pick a live replacement and
+        re-replicate the segment's current contents to it (RAMCloud's
+        backup-failure handling keeps every segment at full replication).
+
+        Returns the new backup server, or None if no candidate exists.
+        """
+        current = list(segment.replica_backups)
+        candidates = [sid for sid in self.coordinator.live_server_ids()
+                      if sid != self.server_id and sid not in current]
+        if not candidates:
+            return None
+        new_id = self.stream.choice(candidates)
+        current[slot] = new_id
+        segment.replica_backups = tuple(current)
+        backup = self.coordinator.lookup_server(new_id)
+        yield from self.node.cpu.execute(self.cost.replication_send)
+        try:
+            yield from backup.call(
+                self.node, "replicate_segment",
+                args=(self.server_id, segment.segment_id,
+                      max(segment.bytes_used, 1)),
+                size_bytes=segment.bytes_used + 64, response_bytes=64,
+                timeout=self.config.rpc_timeout,
+            )
+        except (NodeUnreachable, RpcTimeout):
+            return None
+        return backup
+
+    def _background_replicate(self, call) -> Generator:
+        try:
+            yield from call
+        except (NodeUnreachable, RpcTimeout, Interrupt):
+            pass  # fire-and-forget: the §IX trade-off accepts this risk
+
+    def _handle_write(self, request: RpcRequest) -> Generator:
+        """Write one object.  ``expected_version`` (if not None) makes
+        the write conditional — RAMCloud's reject-rules, the primitive
+        its linearizable read-modify-write builds on [10]."""
+        table_id, key, value_size, value, span, expected_version = request.args
+        try:
+            self._check_ownership(table_id, key, span)
+        except (WrongServer, RetryLater) as exc:
+            request.fail(exc)
+            return
+        if expected_version is not None:
+            found = self.hashtable.lookup(table_id, key)
+            current = found[1].version if found else 0
+            if current != expected_version:
+                yield from self.node.cpu.execute(self.cost.read_service)
+                request.fail(StaleVersion(
+                    f"t{table_id}/{key}: expected v{expected_version}, "
+                    f"at v{current}"))
+                return
+        segment, entry, closed = yield from self._append_locked(
+            table_id, key, value_size, value, is_tombstone=False)
+        del closed  # backups were notified by the on_close callback
+        yield from self.node.cpu.execute(self.cost.write_service)
+        if self.config.replication_factor > 0:
+            yield from self._replicate_entry(segment, entry)
+        self.ops_completed += 1
+        self.writes_completed += 1
+        request.respond(entry.version)
+
+    def _handle_delete(self, request: RpcRequest) -> Generator:
+        table_id, key, span = request.args
+        try:
+            self._check_ownership(table_id, key, span)
+        except (WrongServer, RetryLater) as exc:
+            request.fail(exc)
+            return
+        if self.hashtable.lookup(table_id, key) is None:
+            request.fail(ObjectDoesntExist(f"t{table_id}/{key}"))
+            return
+        segment, entry, _closed = yield from self._append_locked(
+            table_id, key, 0, None, is_tombstone=True)
+        yield from self.node.cpu.execute(self.cost.write_service)
+        if self.config.replication_factor > 0:
+            yield from self._replicate_entry(segment, entry)
+        self.ops_completed += 1
+        self.writes_completed += 1
+        request.respond(entry.version)
+
+    def _handle_multiread(self, request: RpcRequest) -> Generator:
+        """Batched read (RAMCloud's MultiRead RPC): one dispatch, one
+        worker pass over many keys.  YCSB's scans map onto this."""
+        table_id, keys, span = request.args
+        yield from self.node.cpu.execute(
+            self.cost.multiread_batch_overhead
+            + self.cost.multiread_per_key * len(keys))
+        results = {}
+        for key in keys:
+            try:
+                self._check_ownership(table_id, key, span)
+            except (WrongServer, RetryLater) as exc:
+                request.fail(exc)
+                return
+            found = self.hashtable.lookup(table_id, key)
+            if found is not None:
+                entry = found[1]
+                results[key] = (entry.value, entry.version, entry.value_size)
+        self.ops_completed += len(keys)
+        self.reads_completed += len(keys)
+        request.respond(results)
+
+    def _handle_ping(self, request: RpcRequest) -> Generator:
+        yield from self.node.cpu.execute(1.0e-6)
+        request.respond("pong")
+
+    # ------------------------------------------------------------------
+    # backup ops
+    # ------------------------------------------------------------------
+
+    def _replica_for(self, master_id: str, segment: Segment) -> SegmentReplica:
+        key = (master_id, segment.segment_id)
+        replica = self.replicas.get(key)
+        if replica is None:
+            replica = SegmentReplica(master_id, segment)
+            self.replicas[key] = replica
+        return replica
+
+    def _handle_replicate_append(self, request: RpcRequest) -> Generator:
+        master_id, segment_id, nbytes = request.args
+        load = (len(self.backup_queue) + len(self.worker_queue)
+                + self.active_workers - 1)
+        yield from self.node.cpu.execute(self.cost.replication_cost(load))
+        master = self.coordinator.lookup_server(master_id)
+        if master is not None:
+            segment = master.log.segments.get(segment_id)
+            if segment is not None:
+                replica = self._replica_for(master_id, segment)
+                replica.nbytes += nbytes
+        self.replications_handled += 1
+        request.respond("ack")
+
+    def _handle_replicate_close(self, request: RpcRequest) -> Generator:
+        master_id, segment_id = request.args
+        yield from self.node.cpu.execute(2.0e-6)
+        replica = self.replicas.get((master_id, segment_id))
+        if replica is not None and not replica.closed:
+            replica.closed = True
+            self._spawn(self._flush_replica(replica),
+                        name=f"{self.name}:flush-{master_id}-{segment_id}")
+        request.respond("ack")
+
+    def _flush_replica(self, replica: SegmentReplica) -> Generator:
+        """Spill a closed replica to disk and free its DRAM (§II-B:
+        backups keep a segment copy in DRAM "until it fills. Only then,
+        they will flush the segment to disk and remove it from DRAM")."""
+        nbytes = max(replica.nbytes, replica.segment.bytes_used)
+        yield from self.node.disk.write(nbytes, stream_id=replica.key)
+        replica.on_disk = True
+        if self.node.disk.space.free >= nbytes:
+            self.node.disk.space.put(nbytes)
+
+    def _handle_replicate_segment(self, request: RpcRequest) -> Generator:
+        """Whole-segment replication during recovery re-replication.
+
+        Unlike steady-state appends, recovery replicas are flushed to
+        disk before acknowledging: a recovery that buffered everything
+        in DRAM would leave the cluster one failure away from data
+        loss, so RAMCloud forces recovery segments down early — this is
+        the write burst of Fig. 12.
+        """
+        master_id, segment_id, nbytes = request.args
+        yield from self.node.cpu.execute(
+            self.cost.replication_segment_per_byte * nbytes)
+        master = self.coordinator.lookup_server(master_id)
+        if master is not None:
+            segment = master.log.segments.get(segment_id)
+            if segment is not None:
+                replica = self._replica_for(master_id, segment)
+                replica.nbytes = nbytes
+                replica.closed = True
+                replica.on_disk = True
+        yield from self.node.disk.write(nbytes, stream_id=(master_id, "recov"))
+        if self.node.disk.space.free >= nbytes:
+            self.node.disk.space.put(nbytes)
+        self.replications_handled += 1
+        request.respond("ack")
+
+    def _handle_recovery_read(self, request: RpcRequest) -> Generator:
+        """Serve a crashed master's segment to a recovery master.
+
+        The first read of a segment pays the disk read; the backup then
+        keeps it partitioned in memory, so other recovery masters
+        fetching their share of the same segment skip the disk.
+        """
+        master_id, segment_id, share = request.args
+        replica = self.replicas.get((master_id, segment_id))
+        if replica is None:
+            request.fail(ObjectDoesntExist(
+                f"no replica of {master_id}/seg{segment_id}"))
+            return
+        nbytes = max(replica.nbytes, replica.segment.bytes_used)
+        if replica.on_disk and not replica.cached:
+            yield from self.node.disk.read(nbytes, stream_id=replica.key)
+            replica.cached = True
+        served = max(1, int(nbytes * share))
+        yield from self.node.cpu.execute(
+            self.cost.recovery_read_per_byte * served)
+        entries = list(replica.segment.entries)
+        request.respond((entries, served))
+
+    def _handle_migrate_in(self, request: RpcRequest) -> Generator:
+        """Receive a migrating tablet shard: bulk-append the entries and
+        take ownership (RAMCloud's MigrateTablet, used by the paper's
+        §IX elastic-sizing discussion)."""
+        unit, shard_count, entries, nbytes = request.args
+        table_id, index, shard = unit
+        yield from self._dispatch_rx(nbytes)
+        replay_cpu = (len(entries) * self.cost.replay_per_entry
+                      + nbytes * self.cost.replay_per_byte)
+        yield from self.node.cpu.execute_sliced(replay_cpu)
+        token = self.log_lock.acquire()
+        yield token
+        try:
+            for entry in entries:
+                segment, new_entry, _closed = self.log.append(
+                    entry.table_id, entry.key, entry.value_size,
+                    entry.version, value=entry.value)
+                self.hashtable.insert(entry.table_id, entry.key,
+                                      segment, new_entry)
+        finally:
+            self.log_lock.release(token)
+        self.take_tablet(unit, shard_count, ready=True)
+        request.respond("migrated")
+
+    def migrate_shard_out(self, unit, shard_count: int,
+                          span: int, target) -> Generator:
+        """Push one owned (tablet, shard) unit to ``target`` and drop it
+        locally; ``yield from`` this from an orchestration process."""
+        table_id, index, shard = unit
+        if self.tablets.get(unit) is None:
+            raise WrongServer(f"{self.server_id} does not own {unit}")
+        moving = []
+        nbytes = 0
+        for key in list(self.hashtable.keys_for_table(table_id)):
+            h = key_hash(key)
+            if h % span != index:
+                continue
+            if (h // span) % shard_count != shard:
+                continue
+            _segment, entry = self.hashtable.lookup(table_id, key)
+            moving.append(entry)
+            nbytes += entry.log_bytes
+        # Stop serving the unit while it moves (brief unavailability;
+        # clients retry through the map refresh).
+        self.tablets[unit] = TabletStatus.RECOVERING
+        yield from self.node.cpu.execute_sliced(
+            nbytes * self.cost.replay_per_byte)
+        yield from target.call(
+            self.node, "migrate_in",
+            args=(unit, shard_count, moving, nbytes),
+            size_bytes=nbytes + 256, response_bytes=64,
+            timeout=60.0,
+        )
+        # Dead entries stay behind for the cleaner.
+        for entry in moving:
+            self.hashtable.remove(entry.table_id, entry.key)
+        self.drop_tablet(unit)
+        return len(moving)
+
+    def _handle_free_replica(self, request: RpcRequest) -> Generator:
+        master_id, segment_id = request.args
+        yield from self.node.cpu.execute(1.0e-6)
+        replica = self.replicas.pop((master_id, segment_id), None)
+        if replica is not None and replica.on_disk:
+            taken = min(self.node.disk.space.level,
+                        max(replica.nbytes, replica.segment.bytes_used))
+            self.node.disk.space.take(taken)
+        request.respond("ack")
+
+    # ------------------------------------------------------------------
+    # crash recovery (recovery-master role)
+    # ------------------------------------------------------------------
+
+    def _handle_recover_partition(self, request: RpcRequest) -> Generator:
+        """Coordinator RPC: replay a partition of a crashed master.
+
+        The replay runs as a dedicated background process — NOT holding
+        a worker thread for the whole recovery, mirroring RAMCloud's
+        recovery threads.  The worker only pays the scheduling cost; the
+        background process answers the coordinator when the partition is
+        durable.
+        """
+        plan = request.args
+        self._spawn(self._run_recovery(request, plan),
+                    name=f"{self.name}:recover")
+        yield from self.node.cpu.execute(2.0e-6)
+
+    def _run_recovery(self, request: RpcRequest, plan) -> Generator:
+        try:
+            lost = yield from self._recover_partition(plan)
+        except Interrupt:
+            if not request.reply.triggered:
+                request.fail(NodeUnreachable(f"{self.server_id} crashed"))
+            raise
+        except BaseException as exc:
+            if not request.reply.triggered:
+                request.fail(exc)
+            return
+        request.respond(("recovered", lost))
+
+    def _recover_partition(self, plan) -> Generator:
+        """Fetch, filter, replay and re-replicate one recovery partition.
+
+        ``plan`` carries: the crashed master id, the tablet ids this
+        partition covers, the table spans, and for each segment the
+        backup to read it from.  Replays go through the normal write
+        path semantics (append + index + replicate) but batched per
+        source segment, and pipelined ``pipeline_width`` segments deep —
+        RAMCloud overlaps segment fetch, replay and re-replication,
+        which is why recovery drives CPUs to >90 % (Fig. 9a).
+        """
+        crashed_id = plan["crashed_id"]
+        # units: [(table_id, tablet_index, shard, shard_count)]
+        units = list(plan["units"])
+        spans = plan["spans"]  # table_id → span
+        assignments = plan["segments"]  # [(segment_id, backup_id, nbytes)]
+        share = plan.get("share", 1.0)
+        pipeline_width = plan.get("pipeline_width", 3)
+
+        # (table_id, index) → (shard_count, set of shards we recover)
+        unit_filter: Dict[Tuple[int, int], Tuple[int, set]] = {}
+        for table_id, index, shard, shard_count in units:
+            entry = unit_filter.setdefault((table_id, index),
+                                           (shard_count, set()))
+            entry[1].add(shard)
+
+        pending = list(assignments)
+        lost_ids = set()
+
+        def pump():
+            while pending:
+                segment_id, backup_id, nbytes = pending.pop(0)
+                sources = [backup_id]
+                recovered = False
+                while True:
+                    try:
+                        yield from self._recover_one_segment(
+                            crashed_id, segment_id, sources[-1], nbytes,
+                            unit_filter, spans, share)
+                        recovered = True
+                        break
+                    except (NodeUnreachable, RpcTimeout,
+                            ObjectDoesntExist):
+                        # The designated source died mid-recovery: fall
+                        # back to any other live holder of this segment.
+                        alternative = self._find_live_replica_source(
+                            crashed_id, segment_id, exclude=sources)
+                        if alternative is None:
+                            break
+                        sources.append(alternative)
+                if not recovered:
+                    # Master and every replica are gone: correlated
+                    # failure, this segment's data is lost.
+                    lost_ids.add(segment_id)
+
+        lanes = [self._spawn(pump(), name=f"{self.name}:recover-lane{i}")
+                 for i in range(min(pipeline_width, max(1, len(pending))))]
+        yield self.sim.all_of(lanes)
+        # Partition replayed and durable: this master now owns the units.
+        for table_id, index, shard, shard_count in units:
+            self.take_tablet((table_id, index, shard), shard_count,
+                             ready=True)
+        return sorted(lost_ids)
+
+    def _find_live_replica_source(self, crashed_id: str, segment_id: int,
+                                  exclude) -> Optional[str]:
+        for sid in self.coordinator.live_server_ids():
+            if sid in exclude:
+                continue
+            backup = self.coordinator.lookup_server(sid)
+            if backup is None or backup.killed:
+                continue
+            if (crashed_id, segment_id) in backup.replicas:
+                return sid
+        return None
+
+    def _recover_one_segment(self, crashed_id: str, segment_id: int,
+                             backup_id: str, nbytes: int,
+                             unit_filter, spans, share: float) -> Generator:
+        backup = self.coordinator.lookup_server(backup_id)
+        if backup is None:
+            raise NodeUnreachable(f"backup {backup_id} gone")
+        # The backup partitions the segment and ships only this
+        # partition's share of the bytes (the disk read, paid once, is
+        # of course the whole segment).  The fetching thread busy-polls
+        # while it waits — RAMCloud's polling discipline, which drives
+        # whole machines past 90 % CPU during recovery (Fig. 9a).
+        fetched = max(1, int(nbytes * share))
+        entries, _actual_bytes = yield from self.node.cpu.spinning(
+            backup.call(
+                self.node, "recovery_read",
+                args=(crashed_id, segment_id, share),
+                size_bytes=64, response_bytes=fetched,
+                timeout=30.0,
+            ))
+        # The fetched bytes cross this master's dispatch thread.
+        yield from self._dispatch_rx(fetched)
+        mine = []
+        my_bytes = 0
+        for entry in entries:
+            if not entry.live:
+                continue
+            span = spans[entry.table_id]
+            h = key_hash(entry.key)
+            spec = unit_filter.get((entry.table_id, h % span))
+            if spec is None:
+                continue
+            shard_count, shards = spec
+            if (h // span) % shard_count in shards:
+                mine.append(entry)
+                my_bytes += entry.log_bytes
+        if not mine:
+            return
+        # Data is re-inserted through the normal write path: one
+        # serialized replay→re-replicate pipeline per master (Finding 6:
+        # "data is re-inserted in the same fashion", so the Finding 3
+        # degradation applies to recovery too).
+        stream_token = self.replay_lock.acquire()
+        try:
+            # Recovery threads poll while queueing for the stream.
+            yield from self.node.cpu.spinning(_wait(stream_token))
+        except BaseException:
+            self.replay_lock.abort(stream_token)
+            raise
+        try:
+            rf = self.config.replication_factor
+            replay_cpu = (len(mine) * self.cost.replay_per_entry
+                          + my_bytes * self.cost.replay_per_byte
+                          + my_bytes * rf * self.cost.replay_replication_per_byte)
+            yield from self.node.cpu.execute_sliced(replay_cpu)
+            token = self.log_lock.acquire()
+            yield token
+            try:
+                for entry in mine:
+                    segment, new_entry, _closed = self.log.append(
+                        entry.table_id, entry.key, entry.value_size,
+                        entry.version, value=entry.value)
+                    self.hashtable.insert(entry.table_id, entry.key,
+                                          segment, new_entry)
+            finally:
+                self.log_lock.release(token)
+            self.recovery_bytes_replayed += my_bytes
+            # Ship the replayed batch to the new backups ("As the
+            # segments are written to a server's memory, they are
+            # replicated to new backups", §II-B), spinning through the
+            # ack waits.
+            if rf > 0:
+                targets = self._choose_backups_for_bytes()
+                for backup_id2 in targets:
+                    target = self.coordinator.lookup_server(backup_id2)
+                    if target is None or target.killed:
+                        continue
+                    yield from self.node.cpu.execute(
+                        self.cost.replication_send)
+                    yield from self.node.cpu.spinning(target.call(
+                        self.node, "replicate_segment",
+                        args=(self.server_id, self.log.head.segment_id,
+                              my_bytes),
+                        size_bytes=my_bytes + 64, response_bytes=64,
+                        timeout=30.0,
+                    ))
+        finally:
+            self.replay_lock.release(stream_token)
+
+    def _choose_backups_for_bytes(self) -> Tuple[str, ...]:
+        rf = self.config.replication_factor
+        candidates = [sid for sid in self.coordinator.live_server_ids()
+                      if sid != self.server_id]
+        if len(candidates) < rf:
+            return tuple(candidates)
+        return tuple(self.stream.sample(candidates, rf))
+
+    # ------------------------------------------------------------------
+    # cleaner
+    # ------------------------------------------------------------------
+
+    def _cleaner_loop(self) -> Generator:
+        """Wake periodically; clean while memory utilization exceeds the
+        threshold (§II-B: "a cleaning mechanism is triggered whenever a
+        server reaches a certain memory utilization threshold")."""
+        while True:
+            yield self.sim.timeout(0.1)
+            while (self.log.memory_utilization
+                   >= self.config.cleaner_threshold
+                   and not self.killed):
+                cleaned = yield from self._clean_one_segment()
+                if not cleaned:
+                    break
+                if (self.log.memory_utilization
+                        < self.config.cleaner_low_watermark):
+                    break
+
+    def _clean_one_segment(self) -> Generator:
+        candidates = self.log.cleanable_segments()
+        if not candidates:
+            return False
+        victim = candidates[0]
+        live = [e for e in victim.live_entries()]
+        live_bytes = sum(e.log_bytes for e in live)
+        # Copy-forward cost on a worker core, preemptible.
+        yield from self.node.cpu.execute_sliced(
+            max(live_bytes, 1) * self.cost.cleaner_per_byte)
+        token = self.log_lock.acquire()
+        yield token
+        try:
+            for entry in live:
+                if not entry.live:
+                    continue  # overwritten while we copied
+                segment, new_entry, _closed = self.log.append(
+                    entry.table_id, entry.key, entry.value_size,
+                    entry.version, value=entry.value, privileged=True)
+                entry.live = False
+                self.hashtable.relocate(entry.table_id, entry.key,
+                                        segment, new_entry)
+            self.log.free_segment(victim)
+        finally:
+            self.log_lock.release(token)
+        for backup_id in victim.replica_backups:
+            backup = self.coordinator.lookup_server(backup_id)
+            if backup is None or backup.killed:
+                continue
+            self._spawn(self._send_free_replica(backup, victim),
+                        name=f"{self.name}:free-seg{victim.segment_id}")
+        return True
+
+    def _send_free_replica(self, backup: "RamCloudServer",
+                           victim: Segment) -> Generator:
+        try:
+            yield from backup.call(
+                self.node, "free_replica",
+                args=(self.server_id, victim.segment_id),
+                size_bytes=64, response_bytes=64,
+                timeout=self.config.rpc_timeout,
+            )
+        except (NodeUnreachable, RpcTimeout, Interrupt):
+            pass
+
+    # ------------------------------------------------------------------
+    # bulk loading (experiment setup fast path)
+    # ------------------------------------------------------------------
+
+    def bulk_load(self, items) -> int:
+        """Populate this master directly, bypassing the simulated RPC
+        path (zero simulated time).
+
+        The paper's measurement window starts *after* the YCSB load
+        phase; this fast path reproduces the post-load state — log
+        segments populated, backup replicas placed and flushed —
+        without simulating millions of load RPCs.
+
+        ``items`` is an iterable of ``(table_id, key, value_size)``.
+        Returns the number of objects loaded.
+        """
+        count = 0
+        self._bulk_loading = True
+        try:
+            self._ensure_head_replicated()
+            for table_id, key, value_size in items:
+                version = self._next_version
+                self._next_version += 1
+                segment, entry, _closed = self.log.append(
+                    table_id, key, value_size, version)
+                self.hashtable.insert(table_id, key, segment, entry)
+                count += 1
+        finally:
+            self._bulk_loading = False
+        # Materialize backup replica state for every segment so far.
+        for segment in self.log.segments.values():
+            for backup_id in segment.replica_backups:
+                backup = self.coordinator.lookup_server(backup_id)
+                if backup is None:
+                    continue
+                replica = backup._replica_for(self.server_id, segment)
+                replica.nbytes = segment.bytes_used
+                if segment.closed:
+                    replica.closed = True
+                    if not replica.on_disk:
+                        replica.on_disk = True
+                        if backup.node.disk.space.free >= segment.bytes_used:
+                            backup.node.disk.space.put(segment.bytes_used)
+        return count
+
+    # ------------------------------------------------------------------
+
+    _HANDLERS = {
+        "read": _handle_read,
+        "multiread": _handle_multiread,
+        "write": _handle_write,
+        "delete": _handle_delete,
+        "ping": _handle_ping,
+        "replicate_append": _handle_replicate_append,
+        "replicate_close": _handle_replicate_close,
+        "replicate_segment": _handle_replicate_segment,
+        "recovery_read": _handle_recovery_read,
+        "free_replica": _handle_free_replica,
+        "recover_partition": _handle_recover_partition,
+        "migrate_in": _handle_migrate_in,
+    }

@@ -1,0 +1,242 @@
+"""Tables, tablets and the tablet map.
+
+Data in RAMCloud is stored in tables that can span multiple storage
+servers (§II-B).  The paper configures ``ServerSpan`` equal to the
+number of servers so each table is split uniformly: we model a table as
+``span`` tablets, tablet *i* owning all keys with ``key_hash % span ==
+i``, assigned round-robin over the live servers.
+
+The coordinator owns the authoritative :class:`TabletMap`; clients keep
+epoch-stamped copies and refresh on routing failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+__all__ = ["Table", "Tablet", "TabletMap", "TabletStatus", "key_hash"]
+
+
+def key_hash(key: str) -> int:
+    """Stable hash used for key→tablet routing (never Python's salted
+    ``hash``, which would break run-to-run determinism)."""
+    h = 14695981039346656037
+    for byte in key.encode():
+        h ^= byte
+        h = (h * 1099511628211) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+class TabletStatus:
+    """Shard states: NORMAL serves requests, RECOVERING rejects with RetryLater."""
+    NORMAL = "normal"
+    RECOVERING = "recovering"
+
+
+@dataclass
+class Tablet:
+    """One shard of a table: keys with ``key_hash % span == index``.
+
+    Normally one server owns the whole tablet.  Crash recovery *splits*
+    a tablet into subshards (the crashed master's will partitions its
+    data so "as many machines as possible" participate, §II-B): after a
+    recovery, ``shards`` lists one owner per subshard and key routing
+    adds a second hash level.
+    """
+
+    table_id: int
+    index: int
+    shards: List[str] = field(default_factory=list)  # owner per subshard
+    statuses: List[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.shards:
+            raise ValueError("tablet needs at least one shard owner")
+        if not self.statuses:
+            self.statuses = [TabletStatus.NORMAL] * len(self.shards)
+        if len(self.statuses) != len(self.shards):
+            raise ValueError("statuses must match shards")
+
+    @property
+    def tablet_id(self) -> Tuple[int, int]:
+        """(table_id, tablet_index)."""
+        return (self.table_id, self.index)
+
+    @property
+    def shard_count(self) -> int:
+        """Number of subshards (1 unless split by recovery)."""
+        return len(self.shards)
+
+    @property
+    def server_id(self) -> str:
+        """Owner of an unsplit tablet (the common case)."""
+        if len(self.shards) != 1:
+            raise ValueError(
+                f"tablet {self.tablet_id} is split over {self.shards}")
+        return self.shards[0]
+
+    @property
+    def status(self) -> str:
+        """RECOVERING if any shard is recovering."""
+        for s in self.statuses:
+            if s != TabletStatus.NORMAL:
+                return s
+        return TabletStatus.NORMAL
+
+    def shard_for_key(self, key: str, span: int) -> int:
+        """Which subshard of this tablet owns ``key``."""
+        return (key_hash(key) // span) % self.shard_count
+
+    def owner_for_key(self, key: str, span: int) -> str:
+        """Server id serving ``key``."""
+        return self.shards[self.shard_for_key(key, span)]
+
+    def clone(self) -> "Tablet":
+        """An independent copy (for client snapshots)."""
+        return Tablet(self.table_id, self.index, list(self.shards),
+                      list(self.statuses))
+
+
+@dataclass
+class Table:
+    """A named table split into ``span`` tablets."""
+    table_id: int
+    name: str
+    span: int
+
+
+class TabletMap:
+    """The coordinator's table/tablet directory."""
+
+    def __init__(self):
+        self.epoch = 0
+        self._tables_by_id: Dict[int, Table] = {}
+        self._tables_by_name: Dict[str, Table] = {}
+        self._tablets: Dict[Tuple[int, int], Tablet] = {}
+        self._next_table_id = 1
+
+    # -- tables ---------------------------------------------------------
+
+    def create_table(self, name: str, span: int,
+                     server_ids: List[str]) -> Table:
+        """Create a table of ``span`` tablets over ``server_ids``
+        round-robin (the paper's uniform ServerSpan distribution)."""
+        if name in self._tables_by_name:
+            raise ValueError(f"table {name!r} already exists")
+        if span < 1:
+            raise ValueError(f"span must be >= 1, got {span}")
+        if not server_ids:
+            raise ValueError("no servers to place tablets on")
+        table = Table(self._next_table_id, name, span)
+        self._next_table_id += 1
+        self._tables_by_id[table.table_id] = table
+        self._tables_by_name[name] = table
+        for i in range(span):
+            owner = server_ids[i % len(server_ids)]
+            self._tablets[(table.table_id, i)] = Tablet(table.table_id, i,
+                                                        [owner])
+        self.epoch += 1
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and its tablets."""
+        table = self._tables_by_name.pop(name, None)
+        if table is None:
+            raise KeyError(f"no table {name!r}")
+        del self._tables_by_id[table.table_id]
+        for i in range(table.span):
+            del self._tablets[(table.table_id, i)]
+        self.epoch += 1
+
+    def table(self, name: str) -> Optional[Table]:
+        """Look a table up by name."""
+        return self._tables_by_name.get(name)
+
+    def table_by_id(self, table_id: int) -> Optional[Table]:
+        """Look a table up by id."""
+        return self._tables_by_id.get(table_id)
+
+    # -- routing ----------------------------------------------------------
+
+    def tablet_for_key(self, table_id: int, key: str) -> Tablet:
+        """Route a key to its tablet (first hash level)."""
+        table = self._tables_by_id.get(table_id)
+        if table is None:
+            raise KeyError(f"no table id {table_id}")
+        index = key_hash(key) % table.span
+        return self._tablets[(table_id, index)]
+
+    def tablets_of_server(self, server_id: str) -> List[Tuple[Tablet, int]]:
+        """Every (tablet, shard_index) the server owns."""
+        owned = []
+        for tablet in self._tablets.values():
+            for shard, owner in enumerate(tablet.shards):
+                if owner == server_id:
+                    owned.append((tablet, shard))
+        return owned
+
+    def all_tablets(self) -> List[Tablet]:
+        """Every tablet of every table."""
+        return list(self._tablets.values())
+
+    def split_shard(self, tablet_id: Tuple[int, int], shard: int,
+                    new_owners: List[str], status: str) -> None:
+        """Split one shard of a tablet into ``len(new_owners)`` subshards
+        (recovery partitioning).  Only unsplit tablets can be split
+        further — recovered shards stay atomic in later recoveries."""
+        tablet = self._tablets[tablet_id]
+        if tablet.shard_count == 1:
+            tablet.shards = list(new_owners)
+            tablet.statuses = [status] * len(new_owners)
+        else:
+            if len(new_owners) != 1:
+                raise ValueError(
+                    "a subshard cannot be split again; pass one owner")
+            tablet.shards[shard] = new_owners[0]
+            tablet.statuses[shard] = status
+        self.epoch += 1
+
+    def reassign_shard(self, tablet_id: Tuple[int, int], shard: int,
+                       new_server: str,
+                       status: str = TabletStatus.NORMAL) -> None:
+        """Point one subshard at a new owner."""
+        tablet = self._tablets[tablet_id]
+        tablet.shards[shard] = new_server
+        tablet.statuses[shard] = status
+        self.epoch += 1
+
+    def set_shard_status(self, tablet_id: Tuple[int, int], shard: int,
+                         status: str) -> None:
+        """Change one subshard's serving status."""
+        self._tablets[tablet_id].statuses[shard] = status
+        self.epoch += 1
+
+    # -- client snapshots ----------------------------------------------------
+
+    def snapshot(self) -> "TabletMapSnapshot":
+        """An immutable copy for a client cache."""
+        tablets = {tid: t.clone() for tid, t in self._tablets.items()}
+        tables_by_name = dict(self._tables_by_name)
+        tables_by_id = dict(self._tables_by_id)
+        return TabletMapSnapshot(self.epoch, tables_by_name, tables_by_id,
+                                 tablets)
+
+
+@dataclass
+class TabletMapSnapshot:
+    """A client's cached view of the tablet map."""
+
+    epoch: int
+    tables_by_name: Dict[str, Table]
+    tables_by_id: Dict[int, Table]
+    tablets: Dict[Tuple[int, int], Tablet]
+
+    def tablet_for_key(self, table_id: int, key: str) -> Tablet:
+        """Route a key to its tablet in this snapshot."""
+        table = self.tables_by_id.get(table_id)
+        if table is None:
+            raise KeyError(f"no table id {table_id}")
+        index = key_hash(key) % table.span
+        return self.tablets[(table_id, index)]

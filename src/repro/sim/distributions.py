@@ -1,0 +1,140 @@
+"""Seeded random streams.
+
+Every stochastic component (key choice, backup selection, service-time
+jitter, crash victim choice) draws from its own named stream derived
+from the experiment seed, so experiments are reproducible and
+individually perturbable.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Sequence, TypeVar
+
+__all__ = ["RandomStream", "ZipfianGenerator", "ScrambledZipfianGenerator"]
+
+T = TypeVar("T")
+
+# Fixed YCSB constants for scrambled-zipfian (from the YCSB source).
+ZIPFIAN_CONSTANT = 0.99
+FNV_OFFSET_BASIS_64 = 0xCBF29CE484222325
+FNV_PRIME_64 = 0x100000001B3
+
+
+def fnv1a_64(value: int) -> int:
+    """64-bit FNV-1a hash of an integer, as YCSB uses to scramble keys."""
+    h = FNV_OFFSET_BASIS_64
+    for _ in range(8):
+        octet = value & 0xFF
+        value >>= 8
+        h ^= octet
+        h = (h * FNV_PRIME_64) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+class RandomStream:
+    """A named, seeded RNG with the distributions this project needs."""
+
+    def __init__(self, seed: int, name: str = ""):
+        self.name = name
+        # Derive a stream-specific seed so streams with the same base
+        # seed but different names are independent.
+        self._rng = random.Random(f"{seed}\x00{name}")
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """Uniform float in [low, high)."""
+        return self._rng.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        return self._rng.randint(low, high)
+
+    def exponential(self, mean: float) -> float:
+        """Exponentially-distributed positive float with ``mean``."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        return self._rng.expovariate(1.0 / mean)
+
+    def normal(self, mean: float, stddev: float) -> float:
+        """Gaussian sample."""
+        return self._rng.gauss(mean, stddev)
+
+    def lognormal_jitter(self, mean: float, cv: float) -> float:
+        """A positive jittered value with the given mean and coefficient
+        of variation — used for service-time noise."""
+        if cv <= 0:
+            return mean
+        sigma2 = math.log(1.0 + cv * cv)
+        mu = math.log(mean) - sigma2 / 2.0
+        return self._rng.lognormvariate(mu, math.sqrt(sigma2))
+
+    def choice(self, seq: Sequence[T]) -> T:
+        """One uniformly-chosen element."""
+        return self._rng.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> list:
+        """``k`` distinct uniformly-chosen elements."""
+        return self._rng.sample(seq, k)
+
+    def shuffle(self, seq: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        self._rng.shuffle(seq)
+
+    def fork(self, name: str) -> "RandomStream":
+        """Derive an independent child stream."""
+        child = RandomStream(0, name)
+        child._rng = random.Random(f"{self._rng.random()}\x00{name}")
+        return child
+
+
+class ZipfianGenerator:
+    """Zipfian-distributed integers in [0, n), YCSB/Gray et al. algorithm.
+
+    Item 0 is the most popular.  ``theta`` defaults to YCSB's 0.99.
+    """
+
+    def __init__(self, n: int, theta: float = ZIPFIAN_CONSTANT,
+                 stream: Optional[RandomStream] = None):
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.n = n
+        self.theta = theta
+        self._stream = stream or RandomStream(0, "zipfian")
+        self._alpha = 1.0 / (1.0 - theta)
+        self._zetan = self._zeta(n, theta)
+        self._zeta2 = self._zeta(2, theta)
+        if n > 2:
+            self._eta = ((1.0 - math.pow(2.0 / n, 1.0 - theta))
+                         / (1.0 - self._zeta2 / self._zetan))
+        else:
+            # For n <= 2 the first two branches of next() cover the whole
+            # unit interval, so the tail formula (and eta) is unreachable.
+            self._eta = 0.0
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / math.pow(i, theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        """The next zipf-distributed index in [0, n)."""
+        u = self._stream.uniform()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + math.pow(0.5, self.theta):
+            return 1
+        return int(self.n * math.pow(self._eta * u - self._eta + 1.0, self._alpha))
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian popularity spread over the keyspace by FNV hashing, as in
+    YCSB's default request distribution option ``zipfian``."""
+
+    def __init__(self, n: int, stream: Optional[RandomStream] = None):
+        self.n = n
+        self._zipf = ZipfianGenerator(n, stream=stream)
+
+    def next(self) -> int:
+        """The next scrambled index in [0, n)."""
+        return fnv1a_64(self._zipf.next()) % self.n

@@ -1,0 +1,423 @@
+"""The discrete-event simulation kernel.
+
+Processes are Python generators that ``yield`` :class:`Event` objects.
+When a yielded event triggers, the process resumes; if the event failed,
+the failure's exception is thrown into the generator.  Simulated time is
+a float in **seconds**.
+
+Design notes
+------------
+* The scheduler is a binary heap of ``(time, priority, seq, event)``
+  tuples.  ``seq`` is a monotonically increasing tie-breaker, which makes
+  the whole simulation deterministic: two events scheduled for the same
+  instant fire in scheduling order.
+* Events are single-shot.  Once triggered they hold a value (or an
+  exception) forever, and late waiters resume immediately.
+* :class:`Process` is itself an event that triggers when the generator
+  returns (value = generator return value) or raises.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Simulator",
+    "SimulationError",
+]
+
+# Scheduling priorities: URGENT events (resource handoffs) fire before
+# NORMAL events scheduled for the same instant, which keeps resource
+# accounting exact at time boundaries.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (double triggering, running without events)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries whatever the interruptor passed in —
+    in this reproduction, typically a :class:`~repro.ramcloud.failure.ServerCrash`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A single-shot occurrence in simulated time.
+
+    An event is *triggered* when :meth:`succeed` or :meth:`fail` is
+    called; its callbacks then run at the current simulation instant.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once succeed() or fail() was called."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True for a successful trigger; raises if still pending."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception; raises if pending."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger successfully; waiters resume with ``value``."""
+        if self._ok is not None:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, PRIORITY_NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger with an error; ``exception`` is thrown into waiters."""
+        if self._ok is not None:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, PRIORITY_NORMAL, 0.0)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)``; runs immediately if already processed."""
+        if self.callbacks is None:
+            # Already processed: deliver on the spot, preserving "late
+            # waiters resume immediately" semantics.
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "ok" if self._ok else ("failed" if self._ok is False else "pending")
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, PRIORITY_NORMAL, delay)
+
+
+class _ConditionValue:
+    """Mapping from the constituent events of a condition to their values."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Tuple[Event, ...]):
+        self.events = events
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(event)
+        return event.value
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def values(self) -> List[Any]:
+        """Values of the triggered constituent events, in order."""
+        return [e.value for e in self.events if e.triggered]
+
+
+class AllOf(Event):
+    """Triggers when every constituent event has triggered.
+
+    Fails as soon as any constituent fails (fail-fast), mirroring a
+    master RPC fan-out where one backup error aborts the wait.
+    """
+
+    __slots__ = ("_events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = tuple(events)
+        self._pending = len(self._events)
+        if self._pending == 0:
+            self.succeed(_ConditionValue(self._events))
+            return
+        for ev in self._events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(_ConditionValue(self._events))
+
+
+class AnyOf(Event):
+    """Triggers when the first constituent event triggers (ok or failed)."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = tuple(events)
+        if not self._events:
+            raise ValueError("AnyOf requires at least one event")
+        for ev in self._events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev.ok:
+            self.succeed(_ConditionValue(self._events))
+        else:
+            self.fail(ev.value)
+
+
+class Process(Event):
+    """A generator-based simulated process.
+
+    The process triggers (as an event) when its generator returns; the
+    event value is the generator's return value.  If the generator
+    raises, the process fails with that exception — unless nothing is
+    watching, in which case the exception propagates out of
+    :meth:`Simulator.run` so bugs never pass silently.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on", "_interrupts")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        self._interrupts: List[Interrupt] = []
+        # Kick off at the current instant.
+        bootstrap = Event(sim)
+        bootstrap.succeed()
+        bootstrap.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Interrupting a dead process is a no-op, which makes crash
+        injection idempotent.
+        """
+        if not self.is_alive:
+            return
+        self._interrupts.append(Interrupt(cause))
+        wakeup = Event(self.sim)
+        wakeup.succeed()
+        wakeup.add_callback(self._deliver_interrupt)
+
+    def _deliver_interrupt(self, _ev: Event) -> None:
+        if not self.is_alive or not self._interrupts:
+            return
+        interrupt = self._interrupts.pop(0)
+        # Detach from whatever we were waiting on; the stale event may
+        # still fire later, _resume ignores it via the _waiting_on check.
+        self._waiting_on = None
+        self._step(interrupt, throw=True)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        if self._waiting_on is not None and event is not self._waiting_on:
+            return  # stale wakeup from an event we were detached from
+        self._waiting_on = None
+        if event.ok:
+            self._step(event.value, throw=False)
+        else:
+            self._step(event.value, throw=True)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        try:
+            if throw:
+                target = self.generator.throw(value)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An unhandled interrupt terminates the process cleanly: this
+            # is the normal way a crashed server's threads die.
+            self.succeed(None)
+            return
+        except BaseException as exc:
+            if self.callbacks:
+                self.fail(exc)
+            else:
+                # Nobody is watching this process: surface the crash.
+                self.sim._crash(exc)
+            return
+        if not isinstance(target, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+            self.sim._crash(error)
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.is_alive else "done"
+        return f"<Process {self.name} {state}>"
+
+
+class Simulator:
+    """The event loop: owns simulated time and the scheduling heap."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._fatal: Optional[BaseException] = None
+        # Optional callback(now, event), invoked as each event fires —
+        # see repro.sim.trace.Tracer.
+        self.tracer: Optional[Callable[[float, Event], None]] = None
+
+    # -- scheduling ---------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} already scheduled")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+
+    def _crash(self, exc: BaseException) -> None:
+        """Record a fatal error; re-raised from :meth:`run`/:meth:`step`."""
+        if self._fatal is None:
+            self._fatal = exc
+
+    # -- public factory helpers ---------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a generator as a simulated process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event that fires when every given event has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event that fires when the first given event fires."""
+        return AnyOf(self, events)
+
+    # -- execution -----------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._heap:
+            raise SimulationError("step() with an empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("scheduler heap corrupted: time went backwards")
+        self.now = when
+        if self.tracer is not None:
+            self.tracer(when, event)
+        event._run_callbacks()
+        if self._fatal is not None:
+            exc, self._fatal = self._fatal, None
+            raise exc
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the schedule drains or ``until`` (exclusive of later events).
+
+        When ``until`` is given, ``now`` is advanced to exactly ``until``
+        even if no event falls on it, so back-to-back ``run(until=...)``
+        calls see monotonically increasing time.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return
+        if until < self.now:
+            raise ValueError(f"run(until={until}) is in the past (now={self.now})")
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self.now = until
+
+    def run_process(self, process: Process, until: Optional[float] = None) -> Any:
+        """Run until ``process`` finishes; return its value or raise its error."""
+        while process.is_alive:
+            if until is not None and self.peek() > until:
+                raise SimulationError(
+                    f"process {process.name!r} did not finish by t={until}"
+                )
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: process {process.name!r} alive with empty schedule"
+                )
+            self.step()
+        if not process.ok:
+            raise process.value
+        return process.value

@@ -1,0 +1,293 @@
+"""Queueing primitives built on the kernel.
+
+These model every point of contention in the reproduced system: CPU
+cores (``Resource``), the log-append critical section (``Mutex``), disk
+queues (``PriorityResource``), mailbox-style handoff between dispatch
+and worker threads (``Store``), and DRAM/disk capacity (``Container``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.sim.kernel import Event, SimulationError, Simulator
+
+__all__ = ["Request", "Resource", "PriorityResource", "Mutex", "Store", "Container"]
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "priority", "enqueued_at")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+        self.enqueued_at = resource.sim.now
+
+
+class Resource:
+    """A FIFO multi-server queue (e.g. a pool of CPU cores).
+
+    Usage::
+
+        req = cores.request()
+        yield req
+        yield sim.timeout(service_time)
+        cores.release(req)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._users: List[Request] = []
+        self._queue: Deque[Request] = deque()
+        # Cumulative statistics for monitoring.
+        self.total_requests = 0
+        self.total_wait_time = 0.0
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; the returned event fires when granted."""
+        req = Request(self, priority)
+        self.total_requests += 1
+        if len(self._users) < self.capacity:
+            self._grant(req)
+        else:
+            self._enqueue(req)
+        return req
+
+    def _enqueue(self, req: Request) -> None:
+        self._queue.append(req)
+
+    def _dequeue(self) -> Optional[Request]:
+        return self._queue.popleft() if self._queue else None
+
+    def _grant(self, req: Request) -> None:
+        self._users.append(req)
+        self.total_wait_time += self.sim.now - req.enqueued_at
+        req.succeed(req)
+
+    def release(self, req: Request) -> None:
+        """Return a granted slot; the next waiter (if any) is granted."""
+        try:
+            self._users.remove(req)
+        except ValueError:
+            raise SimulationError(
+                f"release of a request not holding {self.name or 'resource'}"
+            ) from None
+        nxt = self._dequeue()
+        if nxt is not None:
+            self._grant(nxt)
+
+    def cancel(self, req: Request) -> None:
+        """Withdraw a request that has not been granted (e.g. on interrupt)."""
+        try:
+            self._queue.remove(req)
+        except ValueError:
+            pass
+
+    def resize(self, capacity: int) -> None:
+        """Change capacity; extra waiters are granted immediately on growth.
+
+        Shrinking never revokes current holders — the reduced capacity
+        takes effect as they release.
+        """
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        while len(self._users) < self.capacity:
+            nxt = self._dequeue()
+            if nxt is None:
+                break
+            self._grant(nxt)
+
+
+class PriorityResource(Resource):
+    """A resource whose queue is ordered by ``priority`` (lower first).
+
+    Ties are FIFO.  Used by the disk model so that recovery reads and
+    normal flush writes can be prioritized differently.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = ""):
+        super().__init__(sim, capacity, name)
+        self._pqueue: List[Tuple[int, int, Request]] = []
+        self._pseq = 0
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a slot."""
+        return len(self._pqueue)
+
+    def _enqueue(self, req: Request) -> None:
+        self._pseq += 1
+        heapq.heappush(self._pqueue, (req.priority, self._pseq, req))
+
+    def _dequeue(self) -> Optional[Request]:
+        while self._pqueue:
+            _prio, _seq, req = heapq.heappop(self._pqueue)
+            if not req.triggered:  # skip cancelled entries
+                return req
+        return None
+
+    def cancel(self, req: Request) -> None:
+        """Withdraw an ungranted request (lazy: the heap entry stays and
+        ``_dequeue`` skips it because the request is now triggered)."""
+        if not req.triggered:
+            req.fail(SimulationError("request cancelled"))
+
+
+class Mutex:
+    """A single-holder lock with FIFO handoff.
+
+    Models the serialized sections of a RAMCloud master: the log-append
+    critical path and the hash-table bucket locks.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self._resource = Resource(sim, 1, name)
+
+    @property
+    def locked(self) -> bool:
+        """True while some holder owns the lock."""
+        return self._resource.count > 0
+
+    @property
+    def queue_length(self) -> int:
+        """Threads waiting for the lock."""
+        return self._resource.queue_length
+
+    def acquire(self) -> Request:
+        """Claim the lock; the returned event fires when granted."""
+        return self._resource.request()
+
+    def release(self, req: Request) -> None:
+        """Hand the lock to the next waiter."""
+        self._resource.release(req)
+
+    def abort(self, req: Request) -> None:
+        """Clean up a request after an interrupt: release it if it was
+        granted, withdraw it if it was still queued."""
+        if req.triggered and req.ok:
+            self._resource.release(req)
+        else:
+            self._resource.cancel(req)
+
+
+class Store:
+    """An unbounded FIFO mailbox of items (dispatch → worker handoff).
+
+    Items are always delivered in FIFO order.  ``lifo_getters=True``
+    wakes the *most recently arrived* waiting getter instead of the
+    oldest — the policy a work-stealing/nanoscheduling runtime uses to
+    keep one worker thread hot instead of round-robining over the pool.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "",
+                 lifo_getters: bool = False):
+        self.sim = sim
+        self.name = name
+        self.lifo_getters = lifo_getters
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item; wakes a waiting getter, if any."""
+        while self._getters:
+            if self.lifo_getters:
+                getter = self._getters.pop()
+            else:
+                getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                return
+        self._items.append(item)
+        if len(self._items) > self.max_occupancy:
+            self.max_occupancy = len(self._items)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def drain(self) -> List[Any]:
+        """Remove and return all queued items without waiting."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+
+class Container:
+    """A continuous quantity with a fixed capacity (bytes of DRAM/disk).
+
+    ``put``/``take`` are immediate and raise on violation rather than
+    blocking: in this system running out of memory or disk is an error
+    condition handled by the caller (the cleaner, the flush path), not a
+    queueing point.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float, initial: float = 0.0,
+                 name: str = ""):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= initial <= capacity:
+            raise ValueError(f"initial {initial} outside [0, {capacity}]")
+        self.sim = sim
+        self.capacity = capacity
+        self.level = initial
+        self.name = name
+
+    @property
+    def free(self) -> float:
+        """Remaining capacity."""
+        return self.capacity - self.level
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of capacity in use."""
+        return self.level / self.capacity
+
+    def put(self, amount: float) -> None:
+        """Add ``amount``; raises OverflowError past capacity."""
+        if amount < 0:
+            raise ValueError(f"negative put: {amount}")
+        if self.level + amount > self.capacity + 1e-9:
+            raise OverflowError(
+                f"{self.name or 'container'} overflow: "
+                f"{self.level} + {amount} > {self.capacity}"
+            )
+        self.level = min(self.capacity, self.level + amount)
+
+    def take(self, amount: float) -> None:
+        """Remove ``amount``; raises ValueError below zero."""
+        if amount < 0:
+            raise ValueError(f"negative take: {amount}")
+        if amount > self.level + 1e-9:
+            raise ValueError(
+                f"{self.name or 'container'} underflow: take {amount} of {self.level}"
+            )
+        self.level = max(0.0, self.level - amount)

@@ -1,0 +1,94 @@
+"""Execution tracing for debugging simulations.
+
+Attach a :class:`Tracer` to a simulator to record which events fire
+when — filtered, bounded, and cheap enough to leave on in tests:
+
+    with Tracer(sim, name_filter="server0") as trace:
+        sim.run(until=1.0)
+    print(trace.format())
+
+Traces record ``(time, kind, name)`` tuples where ``kind`` is the event
+class name and ``name`` is the process name for process events (empty
+otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.sim.kernel import Process, Simulator
+
+__all__ = ["Tracer", "TraceRecord"]
+
+TraceRecord = Tuple[float, str, str]
+
+
+class Tracer:
+    """Records fired events from a simulator, optionally filtered."""
+
+    def __init__(self, sim: Simulator, name_filter: str = "",
+                 max_records: int = 100_000):
+        if max_records < 1:
+            raise ValueError("max_records must be positive")
+        self.sim = sim
+        self.name_filter = name_filter
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+        self._attached = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def attach(self) -> "Tracer":
+        """Start recording (one tracer per simulator)."""
+        if self.sim.tracer is not None:
+            raise RuntimeError("simulator already has a tracer attached")
+        self.sim.tracer = self._on_event
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        """Stop recording; records are kept."""
+        if self._attached:
+            self.sim.tracer = None
+            self._attached = False
+
+    def __enter__(self) -> "Tracer":
+        return self.attach()
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    # -- recording ----------------------------------------------------------
+
+    def _on_event(self, now: float, event) -> None:
+        name = event.name if isinstance(event, Process) else ""
+        if self.name_filter and self.name_filter not in name:
+            return
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append((now, type(event).__name__, name))
+
+    # -- inspection ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def between(self, start: float, end: float) -> List[TraceRecord]:
+        """Records with ``start <= time <= end``."""
+        return [r for r in self.records if start <= r[0] <= end]
+
+    def processes_seen(self) -> List[str]:
+        """Distinct process names that fired, sorted."""
+        return sorted({name for _t, _k, name in self.records if name})
+
+    def format(self, limit: int = 50) -> str:
+        """Human-readable listing of up to ``limit`` records."""
+        lines = [f"{t:>12.6f}s  {kind:<8}  {name}"
+                 for t, kind, name in self.records[:limit]]
+        if len(self.records) > limit:
+            lines.append(f"... {len(self.records) - limit} more")
+        if self.dropped:
+            lines.append(f"... {self.dropped} dropped (max_records)")
+        return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""A YCSB-compatible workload substrate.
+
+The paper drives RAMCloud with the Yahoo! Cloud Serving Benchmark
+(§III-C): workloads A (update-heavy, 50/50), B (read-heavy, 95/5) and
+C (read-only), uniform request distribution, one client process per
+client node, a fixed number of 1 KB records loaded first and a fixed
+number of requests per client.
+
+This package reimplements the relevant parts of YCSB: the standard
+core-workload definitions, the key-choosing distributions (uniform,
+zipfian with YCSB's scrambling, latest, sequential), the closed-loop
+client driver with optional throttling (used by the paper's Fig. 13),
+and latency/throughput statistics.
+"""
+
+from repro.ycsb.keyspace import (
+    LatestKeyChooser,
+    SequentialKeyChooser,
+    UniformKeyChooser,
+    ZipfianKeyChooser,
+    make_key_chooser,
+)
+from repro.ycsb.workload import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    WORKLOAD_E,
+    WORKLOAD_F,
+    WorkloadSpec,
+)
+from repro.ycsb.client import YcsbClient
+from repro.ycsb.stats import LatencyRecorder, OperationStats
+
+__all__ = [
+    "LatencyRecorder",
+    "LatestKeyChooser",
+    "OperationStats",
+    "SequentialKeyChooser",
+    "UniformKeyChooser",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WORKLOAD_C",
+    "WORKLOAD_D",
+    "WORKLOAD_E",
+    "WORKLOAD_F",
+    "WorkloadSpec",
+    "YcsbClient",
+    "ZipfianKeyChooser",
+    "make_key_chooser",
+]

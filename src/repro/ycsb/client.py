@@ -1,0 +1,157 @@
+"""The closed-loop YCSB client driver.
+
+One :class:`YcsbClient` corresponds to one YCSB process on one client
+node (§III-C: "launching simultaneously one instance of a YCSB client
+on each client node ... We use a single client per machine").  The
+client issues operations synchronously; each operation pays a
+client-side overhead (``CLIENT_OVERHEAD``) that models the YCSB/Java
+stack — the dominant term in the paper's per-client op rates (e.g.
+236 Kop/s across 10 clients on an unloaded 10-server cluster, i.e.
+≈42 µs per op of which only ≈12 µs is server+network).
+
+Optional throttling implements the paper's Fig. 13 client-side rate
+limiting (``target_ops_per_second``).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.net.rpc import RpcTimeout
+from repro.ramcloud.client import RamCloudClient
+from repro.ramcloud.errors import ObjectDoesntExist
+from repro.sim.distributions import RandomStream
+from repro.sim.kernel import Simulator
+from repro.ycsb.keyspace import LatestKeyChooser, make_key_chooser
+from repro.ycsb.stats import OperationStats
+from repro.ycsb.workload import WorkloadSpec
+
+__all__ = ["YcsbClient", "CLIENT_OVERHEAD"]
+
+# Per-operation client-side cost (request generation, (de)serialization,
+# benchmark bookkeeping).  Calibrated so an unloaded read takes ≈42 µs
+# end to end, matching Table II's per-client read-only rates.
+CLIENT_OVERHEAD = 30.0e-6
+
+
+class YcsbClient:
+    """One YCSB client process bound to a client node."""
+
+    def __init__(self, sim: Simulator, rc_client: RamCloudClient,
+                 table_id: int, workload: WorkloadSpec,
+                 stream: RandomStream,
+                 client_overhead: float = CLIENT_OVERHEAD,
+                 give_up_after: Optional[float] = None):
+        self.sim = sim
+        self.rc = rc_client
+        self.table_id = table_id
+        self.workload = workload
+        self.stream = stream
+        self.client_overhead = client_overhead
+        # Abort the run if a single op stays unserviceable this long
+        # (models the paper's runs "always crashing ... because of
+        # excessive timeouts", §VI).  Also bounds the underlying retry
+        # loop so an op that can never complete is abandoned.
+        self.give_up_after = give_up_after
+        if give_up_after is not None and rc_client.max_retries is None:
+            rc_client.max_retries = (
+                int(give_up_after / rc_client.retry_backoff) + 1)
+        self.stats = OperationStats()
+        self.keys = make_key_chooser(workload.request_distribution,
+                                     workload.num_records, stream)
+        self._insert_counter = workload.num_records
+        self.gave_up = False
+
+    # -- operation mix ---------------------------------------------------
+
+    def _choose_op(self) -> str:
+        w = self.workload
+        roll = self.stream.uniform()
+        if roll < w.read_proportion:
+            return "read"
+        roll -= w.read_proportion
+        if roll < w.update_proportion:
+            return "update"
+        roll -= w.update_proportion
+        if roll < w.insert_proportion:
+            return "insert"
+        roll -= w.insert_proportion
+        if roll < w.scan_proportion:
+            return "scan"
+        return "rmw"
+
+    def _next_insert_key(self) -> str:
+        if isinstance(self.keys, LatestKeyChooser):
+            return self.keys.record_insert()
+        key = f"user{self._insert_counter}"
+        self._insert_counter += 1
+        return key
+
+    # -- the run phase ------------------------------------------------------
+
+    def run(self) -> Generator:
+        """Execute ``ops_per_client`` operations; returns the stats."""
+        w = self.workload
+        yield from self.rc.refresh_map()
+        self.stats.started_at = self.sim.now
+        start = self.sim.now
+        rate = w.target_ops_per_second
+        for i in range(w.ops_per_client):
+            if rate > 0:
+                # Token-bucket pacing: operation i may not start before
+                # its scheduled slot.
+                slot = start + i / rate
+                if self.sim.now < slot:
+                    yield self.sim.timeout(slot - self.sim.now)
+            yield self.sim.timeout(self.client_overhead)
+            op = self._choose_op()
+            issued = self.sim.now
+            try:
+                yield from self._execute(op)
+            except ObjectDoesntExist:
+                self.stats.errors += 1
+                continue
+            except RpcTimeout:
+                # max_retries exhausted (only when configured).
+                self.stats.errors += 1
+                self.gave_up = True
+                break
+            latency = self.sim.now - issued
+            if (self.give_up_after is not None
+                    and latency > self.give_up_after):
+                self.gave_up = True
+                break
+            recorder = {"read": self.stats.reads,
+                        "update": self.stats.updates,
+                        "insert": self.stats.inserts,
+                        "scan": self.stats.scans,
+                        "rmw": self.stats.updates}[op]
+            recorder.record(self.sim.now, latency)
+        self.stats.finished_at = self.sim.now
+        return self.stats
+
+    def _execute(self, op: str) -> Generator:
+        w = self.workload
+        if op == "read":
+            yield from self.rc.read(self.table_id, self.keys.next_key())
+        elif op == "update":
+            yield from self.rc.write(self.table_id, self.keys.next_key(),
+                                     w.record_size)
+        elif op == "insert":
+            yield from self.rc.write(self.table_id, self._next_insert_key(),
+                                     w.record_size)
+        elif op == "scan":
+            # YCSB scan: from a random start key, fetch a uniformly
+            # random number of consecutive records (mapped onto
+            # RAMCloud's MultiRead, as the real YCSB binding does).
+            start = self.stream.randint(0, w.num_records - 1)
+            length = self.stream.randint(1, w.max_scan_length)
+            keys = [f"user{(start + i) % w.num_records}"
+                    for i in range(length)]
+            yield from self.rc.multiread(self.table_id, keys)
+        elif op == "rmw":
+            key = self.keys.next_key()
+            yield from self.rc.read(self.table_id, key)
+            yield from self.rc.write(self.table_id, key, w.record_size)
+        else:  # pragma: no cover - _choose_op is exhaustive
+            raise ValueError(f"unknown op {op!r}")

@@ -1,0 +1,96 @@
+"""Latency and throughput statistics for YCSB clients."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["LatencyRecorder", "OperationStats"]
+
+
+class LatencyRecorder:
+    """Collects (time, latency) samples for one operation type."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, time: float, latency: float) -> None:
+        """Append one (completion time, latency) sample."""
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency}")
+        self.samples.append((time, latency))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def latencies(self) -> List[float]:
+        """Just the latency values."""
+        return [lat for _t, lat in self.samples]
+
+    def mean(self) -> float:
+        """Arithmetic mean latency."""
+        if not self.samples:
+            raise ValueError(f"no samples recorded for {self.name!r}")
+        return sum(self.latencies) / len(self.samples)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, p in (0, 100]."""
+        if not self.samples:
+            raise ValueError(f"no samples recorded for {self.name!r}")
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        ordered = sorted(self.latencies)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def windowed_means(self, window: float) -> List[Tuple[float, float]]:
+        """Average latency per time window — the Fig. 10 time series."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        buckets: Dict[int, List[float]] = {}
+        for t, lat in self.samples:
+            buckets.setdefault(int(t / window), []).append(lat)
+        return [(b * window, sum(v) / len(v))
+                for b, v in sorted(buckets.items())]
+
+
+class OperationStats:
+    """Per-client roll-up across operation types."""
+
+    def __init__(self):
+        self.reads = LatencyRecorder("read")
+        self.updates = LatencyRecorder("update")
+        self.inserts = LatencyRecorder("insert")
+        self.scans = LatencyRecorder("scan")
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.errors = 0
+
+    @property
+    def total_ops(self) -> int:
+        """Completed operations across all types."""
+        return (len(self.reads) + len(self.updates) + len(self.inserts)
+                + len(self.scans))
+
+    @property
+    def runtime(self) -> float:
+        """Wall time from first to last op (client must have finished)."""
+        if self.started_at is None or self.finished_at is None:
+            raise ValueError("client has not finished")
+        return self.finished_at - self.started_at
+
+    def throughput(self) -> float:
+        """Completed ops per second over the runtime."""
+        runtime = self.runtime
+        if runtime <= 0:
+            return float("inf")
+        return self.total_ops / runtime
+
+    def all_latencies(self) -> LatencyRecorder:
+        """All op types merged into one time-sorted recorder."""
+        merged = LatencyRecorder("all")
+        merged.samples = sorted(self.reads.samples + self.updates.samples
+                                + self.inserts.samples + self.scans.samples)
+        return merged

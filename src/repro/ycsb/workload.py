@@ -1,0 +1,99 @@
+"""YCSB workload specifications and the standard core workloads.
+
+The paper uses the three basic YCSB workloads (§III-C):
+
+* **A** — update-heavy: 50 % reads, 50 % updates;
+* **B** — read-heavy: 95 % reads, 5 % updates;
+* **C** — read-only.
+
+with uniform request distribution and 1 KB records.  Workloads D and F
+are included for the paper's stated future work; E (scans) is omitted
+because the storage system models point operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "WorkloadSpec",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WORKLOAD_C",
+    "WORKLOAD_D",
+    "WORKLOAD_F",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One YCSB workload definition."""
+
+    name: str
+    read_proportion: float = 0.0
+    update_proportion: float = 0.0
+    insert_proportion: float = 0.0
+    read_modify_write_proportion: float = 0.0
+    scan_proportion: float = 0.0
+    max_scan_length: int = 100
+    num_records: int = 100_000
+    record_size: int = 1024
+    ops_per_client: int = 100_000
+    request_distribution: str = "uniform"
+    # Optional client-side throttle (operations per second per client);
+    # None = issue as fast as the closed loop allows.  Used by Fig. 13.
+    target_ops_per_second: float = 0.0
+
+    def __post_init__(self):
+        total = (self.read_proportion + self.update_proportion
+                 + self.insert_proportion
+                 + self.read_modify_write_proportion
+                 + self.scan_proportion)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(
+                f"operation proportions must sum to 1, got {total}")
+        if self.max_scan_length < 1:
+            raise ValueError("max_scan_length must be >= 1")
+        if self.num_records < 1:
+            raise ValueError("need at least one record")
+        if self.record_size < 1:
+            raise ValueError("record size must be positive")
+        if self.ops_per_client < 1:
+            raise ValueError("need at least one operation per client")
+        if self.target_ops_per_second < 0:
+            raise ValueError("throttle rate cannot be negative")
+
+    def scaled(self, num_records: int = None, ops_per_client: int = None,
+               **overrides) -> "WorkloadSpec":
+        """A copy with scaled-down sizes (our runs shrink the paper's
+        op counts; see DESIGN.md §5)."""
+        changes = dict(overrides)
+        if num_records is not None:
+            changes["num_records"] = num_records
+        if ops_per_client is not None:
+            changes["ops_per_client"] = ops_per_client
+        return replace(self, **changes)
+
+    def throttled(self, ops_per_second: float) -> "WorkloadSpec":
+        """A copy with a client-side rate limit (Fig. 13)."""
+        return replace(self, target_ops_per_second=ops_per_second)
+
+
+# The paper's three workloads (§III-C), with its §V sizes: 100 K records
+# of 1 KB, 100 K requests per client.
+WORKLOAD_A = WorkloadSpec(name="A", read_proportion=0.5,
+                          update_proportion=0.5)
+WORKLOAD_B = WorkloadSpec(name="B", read_proportion=0.95,
+                          update_proportion=0.05)
+WORKLOAD_C = WorkloadSpec(name="C", read_proportion=1.0)
+# Extensions (paper future work): D = read latest, E = short scans
+# ("one could think of scans to assess the indexing mechanism", §X),
+# F = read-modify-write.
+WORKLOAD_D = WorkloadSpec(name="D", read_proportion=0.95,
+                          insert_proportion=0.05,
+                          request_distribution="latest")
+WORKLOAD_E = WorkloadSpec(name="E", scan_proportion=0.95,
+                          insert_proportion=0.05,
+                          max_scan_length=100)
+WORKLOAD_F = WorkloadSpec(name="F", read_proportion=0.5,
+                          read_modify_write_proportion=0.5)

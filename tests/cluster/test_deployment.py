@@ -1,0 +1,125 @@
+"""Unit/system tests for cluster building and preloading."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.hardware.specs import MB
+from repro.ramcloud.config import ServerConfig
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        num_servers=3,
+        num_clients=2,
+        server_config=ServerConfig(log_memory_bytes=32 * MB,
+                                   segment_size=1 * MB,
+                                   replication_factor=0),
+    )
+    defaults.update(overrides)
+    return ClusterSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_needs_servers(self):
+        with pytest.raises(ValueError):
+            small_spec(num_servers=0)
+
+    def test_negative_clients_rejected(self):
+        with pytest.raises(ValueError):
+            small_spec(num_clients=-1)
+
+    def test_replication_needs_enough_servers(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_servers=2,
+                        server_config=ServerConfig(replication_factor=2))
+
+    def test_with_override(self):
+        spec = small_spec()
+        bigger = spec.with_(num_servers=5)
+        assert bigger.num_servers == 5
+        assert spec.num_servers == 3
+
+
+class TestTopology:
+    def test_paper_topology(self):
+        cluster = Cluster(small_spec())
+        assert len(cluster.servers) == 3
+        assert len(cluster.clients) == 2
+        assert cluster.coordinator is not None
+        # Every node attached to the fabric: coord + 3 servers + 2 clients.
+        assert len(cluster.fabric._nodes) == 6
+
+    def test_all_servers_enlisted(self):
+        cluster = Cluster(small_spec())
+        assert sorted(cluster.coordinator.live_server_ids()) == [
+            "server0", "server1", "server2"]
+
+    def test_default_table_span_is_server_count(self):
+        cluster = Cluster(small_spec())
+        table_id = cluster.create_table("t")
+        table = cluster.coordinator.tablet_map.table_by_id(table_id)
+        assert table.span == 3
+
+
+class TestPreload:
+    def test_preload_distributes_all_records(self):
+        cluster = Cluster(small_spec())
+        table_id = cluster.create_table("t")
+        counts = cluster.preload(table_id, 600, 256)
+        assert sum(counts.values()) == 600
+        # ServerSpan uniform distribution: no server wildly overloaded.
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_preload_roughly_balanced_at_scale(self):
+        cluster = Cluster(small_spec())
+        table_id = cluster.create_table("t")
+        counts = cluster.preload(table_id, 9000, 64)
+        mean = 3000
+        for count in counts.values():
+            assert abs(count - mean) < 0.2 * mean
+
+
+class TestFailureInjection:
+    def test_kill_random_server(self):
+        cluster = Cluster(small_spec())
+        victim = cluster.kill_server()
+        assert victim.killed
+        assert sum(1 for s in cluster.servers if s.killed) == 1
+
+    def test_kill_specific_server(self):
+        cluster = Cluster(small_spec())
+        victim = cluster.kill_server(1)
+        assert victim is cluster.servers[1]
+        with pytest.raises(ValueError):
+            cluster.kill_server(1)
+
+    def test_kill_all_then_error(self):
+        cluster = Cluster(small_spec())
+        for _ in range(3):
+            cluster.kill_server()
+        with pytest.raises(RuntimeError):
+            cluster.kill_server()
+
+
+class TestMetering:
+    def test_metering_covers_server_nodes_only(self):
+        cluster = Cluster(small_spec())
+        cluster.start_metering()
+        cluster.run(until=3.0)
+        cluster.stop_metering()
+        assert all(len(n.power.series) > 0 for n in cluster.server_nodes)
+        assert all(len(n.power.series) == 0 for n in cluster.client_nodes)
+
+    def test_average_power_requires_metering(self):
+        cluster = Cluster(small_spec())
+        with pytest.raises(RuntimeError):
+            cluster.average_power_per_server()
+
+    def test_idle_server_draws_polling_power(self):
+        """An idle RAMCloud server node burns the dispatch core: ~25 %
+        CPU → ≈75 W on the calibrated model (Finding 1's baseline)."""
+        cluster = Cluster(small_spec())
+        cluster.start_metering()
+        cluster.run(until=5.0)
+        power = cluster.average_power_per_server()
+        assert 72.0 < power < 79.0

@@ -1,0 +1,36 @@
+"""The experiment harness must surface the paper's 'crashed run'
+condition (§VI): clients that give up mark the result crashed."""
+
+from repro.cluster import ClusterSpec, ExperimentSpec, run_experiment
+from repro.ramcloud.config import ServerConfig
+from repro.ycsb.workload import WORKLOAD_C
+
+
+def test_give_up_after_marks_run_crashed():
+    spec = ExperimentSpec(
+        cluster=ClusterSpec(
+            num_servers=3, num_clients=1,
+            server_config=ServerConfig(replication_factor=0)),
+        workload=WORKLOAD_C.scaled(num_records=200, ops_per_client=50),
+        give_up_after=0.5,
+    )
+    result = run_experiment(spec)
+    # Healthy cluster: nobody gives up even with the detector armed.
+    assert not result.crashed
+
+    # Now make some ops unserviceable: kill a server with no failure
+    # detection, so its tablet never recovers, and drive the pieces
+    # manually.
+    from repro.cluster import Cluster
+    from repro.sim.distributions import RandomStream
+    from repro.ycsb.client import YcsbClient
+    cluster = Cluster(spec.cluster)
+    table_id = cluster.create_table("usertable")
+    cluster.preload(table_id, 200, 1024)
+    cluster.kill_server(0)
+    client = YcsbClient(cluster.sim, cluster.clients[0], table_id,
+                        spec.workload, RandomStream(1, "x"),
+                        give_up_after=0.5)
+    proc = cluster.sim.process(client.run())
+    cluster.sim.run_process(proc, until=600.0)
+    assert client.gave_up

@@ -1,0 +1,127 @@
+"""Smoke tests: every experiment runner executes end-to-end at a tiny
+scale and produces well-formed comparison tables.
+
+The benchmarks exercise the full shapes; these tests only guarantee
+that the runners never rot.
+"""
+
+import pytest
+
+from repro.experiments.reporting import ComparisonTable
+from repro.experiments.scale import SMOKE
+
+TINY = SMOKE.with_(num_records=2_000, ops_per_client=100, seeds=(1,),
+                   recovery_bytes_per_server=24 * 1024 * 1024,
+                   crash_timeline_bytes_per_server=24 * 1024 * 1024)
+
+
+def assert_table(table, min_rows=1):
+    assert isinstance(table, ComparisonTable)
+    assert len(table.rows) >= min_rows
+    assert table.render()
+    assert table.render_markdown()
+
+
+class TestPeakRunners:
+    def test_fig1(self):
+        from repro.experiments.peak import run_fig1_peak
+        throughput, power = run_fig1_peak(
+            TINY, server_counts=(1, 2), client_counts=(1, 4))
+        assert_table(throughput, 4)
+        assert_table(power, 4)
+
+    def test_table1(self):
+        from repro.experiments.peak import run_table1_cpu
+        assert_table(run_table1_cpu(TINY, grid=((1, 0), (1, 1))), 2)
+
+    def test_fig2(self):
+        from repro.experiments.peak import run_fig2_efficiency
+        assert_table(run_fig2_efficiency(
+            TINY, server_counts=(1, 2), client_counts=(1, 4)), 4)
+
+
+class TestWorkloadRunners:
+    def test_table2_and_fig3(self):
+        from repro.experiments.workloads import (
+            run_fig3_scalability, run_table2_throughput)
+        table, measured = run_table2_throughput(
+            TINY, client_counts=(2, 4), workload_names=("A", "C"),
+            servers=2)
+        assert_table(table, 4)
+        assert set(measured) == {("A", 2), ("A", 4), ("C", 2), ("C", 4)}
+        assert_table(run_fig3_scalability(TINY, client_counts=(2, 4)), 4)
+
+    def test_fig4(self):
+        from repro.experiments.workloads import run_fig4_power
+        power, energy = run_fig4_power(TINY, client_counts=(2, 4), servers=2)
+        assert_table(power, 4)
+        assert_table(energy, 2)
+
+
+class TestReplicationRunners:
+    def test_fig5(self):
+        from repro.experiments.replication import run_fig5_replication
+        assert_table(run_fig5_replication(
+            TINY, client_counts=(4,), rfs=(1, 2), servers=4), 2)
+
+    def test_fig6(self):
+        from repro.experiments.replication import run_fig6_replication_scale
+        throughput, energy = run_fig6_replication_scale(
+            TINY, server_counts=(4, 6), rfs=(1, 2), clients=4)
+        assert_table(throughput, 4)
+        assert_table(energy, 2)
+
+    def test_fig7_fig8(self):
+        from repro.experiments.replication import (
+            run_fig7_power_rf, run_fig8_efficiency_rf)
+        assert_table(run_fig7_power_rf(TINY, rfs=(1, 2), servers=4,
+                                       clients=4), 2)
+        assert_table(run_fig8_efficiency_rf(TINY, server_counts=(4, 6),
+                                            rfs=(1, 2), clients=4), 4)
+
+
+class TestRecoveryRunners:
+    def test_fig9(self):
+        from repro.experiments.recovery import run_fig9_crash_timeline
+        table, result = run_fig9_crash_timeline(TINY)
+        assert_table(table, 3)
+        assert result.recovery is not None
+
+    def test_fig10(self):
+        from repro.experiments.recovery import run_fig10_latency_crash
+        table, result = run_fig10_latency_crash(TINY)
+        assert_table(table, 3)
+        assert len(result.client_latencies) == 2
+
+    def test_fig11(self):
+        from repro.experiments.recovery import run_fig11_recovery_rf
+        time_table, energy_table = run_fig11_recovery_rf(
+            TINY, rfs=(1, 2), servers=4)
+        assert_table(time_table, 2)
+        assert_table(energy_table, 2)
+        measured = [r.measured for r in time_table.rows
+                    if r.label.startswith("RF")]
+        assert all(v is not None for v in measured)
+
+    def test_fig12(self):
+        from repro.experiments.recovery import run_fig12_disk_activity
+        table, result = run_fig12_disk_activity(TINY, rf=2, servers=4)
+        assert_table(table, 2)
+        assert result.recovery is not None
+
+
+class TestThrottlingAndAblations:
+    def test_fig13(self):
+        from repro.experiments.throttling import run_fig13_throttling
+        assert_table(run_fig13_throttling(
+            TINY, rates=(500.0,), client_counts=(2,), servers=2, rf=1), 1)
+
+    def test_worker_threads(self):
+        from repro.experiments.ablations import run_worker_threads_ablation
+        assert_table(run_worker_threads_ablation(
+            TINY, worker_counts=(1, 3), servers=2, clients=4), 4)
+
+    def test_async_replication(self):
+        from repro.experiments.ablations import run_async_replication_ablation
+        assert_table(run_async_replication_ablation(
+            TINY, rf=1, servers=3, clients=4), 5)

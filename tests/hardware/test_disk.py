@@ -1,0 +1,154 @@
+"""Unit tests for the HDD model."""
+
+import pytest
+
+from repro.hardware.disk import Disk
+from repro.hardware.specs import MB, DiskSpec
+from repro.sim import Simulator
+
+SPEC = DiskSpec(capacity_bytes=100 * MB * 10, sequential_bandwidth=100 * MB,
+                seek_time=0.01)
+
+
+class TestTiming:
+    def test_single_write_pays_one_seek_plus_transfer(self):
+        sim = Simulator()
+        disk = Disk(sim, SPEC)
+        done = []
+
+        def writer():
+            yield from disk.write(100 * MB, stream_id="s1")
+            done.append(sim.now)
+
+        sim.process(writer())
+        sim.run()
+        assert done[0] == pytest.approx(0.01 + 1.0)
+
+    def test_sequential_stream_pays_seek_once(self):
+        sim = Simulator()
+        disk = Disk(sim, SPEC)
+        done = []
+
+        def writer():
+            for _ in range(4):
+                yield from disk.write(25 * MB, stream_id="s1")
+            done.append(sim.now)
+
+        sim.process(writer())
+        sim.run()
+        assert done[0] == pytest.approx(0.01 + 1.0)
+
+    def test_interleaved_streams_thrash_the_head(self):
+        """A reader and a writer alternating (the recovery pattern the
+        paper's Fig. 12 discussion describes) pay a seek per switch."""
+        sim = Simulator()
+        disk = Disk(sim, SPEC)
+        done = {}
+
+        def reader():
+            for _ in range(3):
+                yield from disk.read(10 * MB, stream_id="r")
+            done["r"] = sim.now
+
+        def writer():
+            for _ in range(3):
+                yield from disk.write(10 * MB, stream_id="w")
+            done["w"] = sim.now
+
+        sim.process(reader())
+        sim.process(writer())
+        sim.run()
+        # 6 ops × (0.1 s transfer + 0.01 s seek each, since streams
+        # alternate) = 0.66 s total.
+        assert max(done.values()) == pytest.approx(0.66)
+
+    def test_head_serializes_concurrent_io(self):
+        sim = Simulator()
+        disk = Disk(sim, SPEC)
+        done = []
+
+        def io(tag):
+            yield from disk.write(100 * MB, stream_id=tag)
+            done.append(sim.now)
+
+        sim.process(io("a"))
+        sim.process(io("b"))
+        sim.run()
+        assert done == [pytest.approx(1.01), pytest.approx(2.02)]
+
+    def test_negative_size_rejected(self):
+        sim = Simulator()
+        disk = Disk(sim, SPEC)
+
+        def bad():
+            yield from disk.read(-1)
+
+        sim.process(bad())
+        with pytest.raises(ValueError):
+            sim.run()
+
+
+class TestAccounting:
+    def test_byte_counters(self):
+        sim = Simulator()
+        disk = Disk(sim, SPEC)
+
+        def io():
+            yield from disk.write(10 * MB)
+            yield from disk.read(4 * MB)
+
+        sim.process(io())
+        sim.run()
+        assert disk.io_counters() == (4 * MB, 10 * MB)
+
+    def test_busy_flag_during_io(self):
+        sim = Simulator()
+        disk = Disk(sim, SPEC)
+        observed = []
+
+        def io():
+            yield from disk.write(100 * MB)
+
+        def probe():
+            yield sim.timeout(0.5)
+            observed.append(disk.busy)
+            yield sim.timeout(2.0)
+            observed.append(disk.busy)
+
+        sim.process(io())
+        sim.process(probe())
+        sim.run()
+        assert observed == [True, False]
+
+    def test_priority_orders_queued_io(self):
+        sim = Simulator()
+        disk = Disk(sim, SPEC)
+        order = []
+
+        def first():
+            yield from disk.write(100 * MB, stream_id="hog")
+            order.append("hog")
+
+        def low():
+            yield sim.timeout(0.1)
+            yield from disk.write(10 * MB, stream_id="low", priority=5)
+            order.append("low")
+
+        def high():
+            yield sim.timeout(0.2)
+            yield from disk.read(10 * MB, stream_id="high", priority=0)
+            order.append("high")
+
+        sim.process(first())
+        sim.process(low())
+        sim.process(high())
+        sim.run()
+        assert order == ["hog", "high", "low"]
+
+    def test_space_container_tracks_capacity(self):
+        sim = Simulator()
+        disk = Disk(sim, SPEC)
+        disk.space.put(500 * MB)
+        assert disk.space.level == 500 * MB
+        with pytest.raises(OverflowError):
+            disk.space.put(SPEC.capacity_bytes)

@@ -1,0 +1,84 @@
+"""Disk model behaviour under recovery-like interleaved load."""
+
+import pytest
+
+from repro.hardware.disk import Disk
+from repro.hardware.specs import MB, DiskSpec
+from repro.sim import Simulator
+
+SPEC = DiskSpec(capacity_bytes=10_000 * MB, sequential_bandwidth=100 * MB,
+                seek_time=0.008)
+
+
+class TestRecoveryPattern:
+    def test_mixed_streams_slower_than_sequential(self):
+        """Fig. 12's lesson: the same byte volume takes longer when read
+        and write streams interleave on one head."""
+
+        def run(interleaved):
+            sim = Simulator()
+            disk = Disk(sim, SPEC)
+
+            def reader():
+                for _ in range(10):
+                    yield from disk.read(8 * MB, stream_id="r")
+
+            def writer():
+                for _ in range(10):
+                    yield from disk.write(8 * MB, stream_id="w")
+
+            if interleaved:
+                sim.process(reader())
+                sim.process(writer())
+            else:
+                def sequential():
+                    yield from reader()
+                    yield from writer()
+                sim.process(sequential())
+            sim.run()
+            return sim.now
+
+        mixed = run(interleaved=True)
+        clean = run(interleaved=False)
+        assert mixed > clean
+        # 20 ops, alternating pays ~18 extra seeks of 8 ms.
+        assert mixed - clean == pytest.approx(18 * 0.008, rel=0.2)
+
+    def test_busy_seconds_accumulates_transfer_time_only(self):
+        sim = Simulator()
+        disk = Disk(sim, SPEC)
+
+        def io():
+            yield from disk.write(100 * MB, stream_id="a")
+            yield sim.timeout(5.0)  # idle gap must not count
+            yield from disk.write(100 * MB, stream_id="a")
+
+        sim.process(io())
+        sim.run()
+        # Two 1 s transfers + one seek (second write is sequential).
+        assert disk.busy_seconds == pytest.approx(2.008, abs=0.01)
+
+    def test_priority_jumps_recovery_reads_ahead_of_flushes(self):
+        sim = Simulator()
+        disk = Disk(sim, SPEC)
+        order = []
+
+        def hog():
+            yield from disk.write(100 * MB, stream_id="hog")
+            order.append("hog")
+
+        def flush():
+            yield sim.timeout(0.1)
+            yield from disk.write(50 * MB, stream_id="flush", priority=2)
+            order.append("flush")
+
+        def recovery_read():
+            yield sim.timeout(0.2)
+            yield from disk.read(50 * MB, stream_id="recov", priority=0)
+            order.append("recovery")
+
+        sim.process(hog())
+        sim.process(flush())
+        sim.process(recovery_read())
+        sim.run()
+        assert order == ["hog", "recovery", "flush"]

@@ -1,0 +1,109 @@
+"""Unit tests for machine specifications and the power calibration."""
+
+import pytest
+
+from repro.hardware.specs import (
+    GB,
+    GIGABIT_ETHERNET,
+    GRID5000_NANCY_NODE,
+    INFINIBAND_20G,
+    KB,
+    MB,
+    CpuSpec,
+    DiskSpec,
+    MachineSpec,
+    NicSpec,
+    PowerSpec,
+)
+
+
+class TestUnits:
+    def test_units_are_binary(self):
+        assert KB == 1024
+        assert MB == 1024 * 1024
+        assert GB == 1024 ** 3
+
+
+class TestDefaultNode:
+    """The default machine must match the paper's §III-B description."""
+
+    def test_four_cores(self):
+        assert GRID5000_NANCY_NODE.cpu.cores == 4
+
+    def test_sixteen_gb_ram(self):
+        assert GRID5000_NANCY_NODE.dram_bytes == 16 * GB
+
+    def test_298_gb_hdd(self):
+        assert GRID5000_NANCY_NODE.disk.capacity_bytes == 298 * GB
+
+    def test_infiniband_default_transport(self):
+        assert GRID5000_NANCY_NODE.nic is INFINIBAND_20G
+
+    def test_ethernet_is_much_slower_than_infiniband(self):
+        assert GIGABIT_ETHERNET.one_way_latency > 5 * INFINIBAND_20G.one_way_latency
+        assert GIGABIT_ETHERNET.bandwidth < INFINIBAND_20G.bandwidth / 10
+
+
+class TestPowerCalibration:
+    """Anchor points from the paper (DESIGN.md §4)."""
+
+    def test_idle_with_polling_thread(self):
+        # Table I row 0: an idle server burns 25 % CPU; Fig. 1b shows
+        # low-load servers in the 90s of watts, idle machine lower.
+        spec = PowerSpec()
+        assert 70.0 <= spec.watts(25.0) <= 80.0
+
+    def test_one_client_anchor(self):
+        # Fig. 1b: 1 server / 1 client → 92 W at ~50 % CPU (Table I).
+        spec = PowerSpec()
+        assert spec.watts(49.8) == pytest.approx(92.0, abs=2.0)
+
+    def test_saturated_anchor(self):
+        # Fig. 1b: 10-30 clients → 122–127 W at ~98 % CPU.
+        spec = PowerSpec()
+        assert 120.0 <= spec.watts(98.0) <= 128.0
+
+    def test_disk_adder(self):
+        spec = PowerSpec()
+        assert (spec.watts(50.0, disk_active=True)
+                - spec.watts(50.0)) == pytest.approx(spec.disk_active_watts)
+
+    def test_monotone_in_utilization(self):
+        spec = PowerSpec()
+        watts = [spec.watts(u) for u in (0, 25, 50, 75, 100)]
+        assert watts == sorted(watts)
+
+    def test_out_of_range_utilization_rejected(self):
+        spec = PowerSpec()
+        with pytest.raises(ValueError):
+            spec.watts(-1.0)
+        with pytest.raises(ValueError):
+            spec.watts(101.0)
+
+
+class TestValidation:
+    def test_cpu_spec_requires_cores(self):
+        with pytest.raises(ValueError):
+            CpuSpec(cores=0)
+
+    def test_disk_spec_validation(self):
+        with pytest.raises(ValueError):
+            DiskSpec(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            DiskSpec(sequential_bandwidth=0)
+        with pytest.raises(ValueError):
+            DiskSpec(seek_time=-1.0)
+
+    def test_nic_spec_validation(self):
+        with pytest.raises(ValueError):
+            NicSpec(name="bad", one_way_latency=-1.0, bandwidth=1.0)
+        with pytest.raises(ValueError):
+            NicSpec(name="bad", one_way_latency=1.0, bandwidth=0.0)
+
+    def test_machine_spec_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec(dram_bytes=0)
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(Exception):
+            GRID5000_NANCY_NODE.dram_bytes = 1

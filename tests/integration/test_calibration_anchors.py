@@ -1,0 +1,61 @@
+"""Regression pins for the headline calibration anchors.
+
+These are the numbers the whole reproduction hangs off (DESIGN.md §4 /
+docs/MODEL.md).  If a model change moves one of them, a benchmark table
+would silently drift — these tests make the drift loud in `pytest
+tests/`.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec, ExperimentSpec, run_experiment
+from repro.ramcloud.config import ServerConfig
+from repro.ycsb.workload import WORKLOAD_A, WORKLOAD_C
+
+
+def run(servers, clients, workload, rf=0, ops=600, records=8000, seed=1):
+    spec = ExperimentSpec(
+        cluster=ClusterSpec(
+            num_servers=servers, num_clients=clients,
+            server_config=ServerConfig(replication_factor=rf), seed=seed),
+        workload=workload.scaled(num_records=records, ops_per_client=ops),
+    )
+    return run_experiment(spec)
+
+
+class TestPeakAnchors:
+    def test_single_server_read_saturation_372k(self):
+        """Fig. 1a / [26]: one server saturates near 372 Kreq/s."""
+        result = run(1, 30, WORKLOAD_C, ops=400)
+        assert result.throughput == pytest.approx(372_000, rel=0.05)
+
+    def test_one_client_costs_half_the_cpu(self):
+        """Table I: 1 client → 49.81 % CPU (dispatch + one hot worker)."""
+        result = run(1, 1, WORKLOAD_C, ops=1000, records=2000)
+        assert result.cpu_util_avg == pytest.approx(49.8, abs=3.0)
+
+    def test_one_client_draws_92_watts(self):
+        """Fig. 1b: the 92 W single-client anchor."""
+        result = run(1, 1, WORKLOAD_C, ops=1000, records=2000)
+        assert result.avg_power_per_server == pytest.approx(92.0, abs=3.0)
+
+    def test_unloaded_read_costs_about_42us(self):
+        """Table II: 236 Kop/s over 10 clients ⇒ ≈42 µs per read."""
+        result = run(2, 1, WORKLOAD_C, ops=1000, records=2000)
+        assert result.mean_latency() == pytest.approx(14e-6, rel=0.25)
+        # plus the 30 µs client overhead = ≈44 µs per closed-loop op.
+
+
+class TestWorkloadAnchors:
+    def test_update_heavy_plateau_per_server(self):
+        """Table II: workload A plateaus at ≈6.4 Kop/s per server."""
+        result = run(4, 12, WORKLOAD_A, ops=400)
+        per_server = result.throughput / 4
+        assert per_server == pytest.approx(6_500, rel=0.25)
+
+    def test_update_vs_read_gap_at_saturation(self):
+        """Finding 2's 97 % gap, in miniature (4 servers, 12 clients)."""
+        a = run(4, 12, WORKLOAD_A, ops=400, seed=2)
+        c = run(4, 12, WORKLOAD_C, ops=400, seed=2)
+        degradation = 1.0 - a.throughput / c.throughput
+        assert degradation > 0.85

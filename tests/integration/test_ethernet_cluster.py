@@ -1,0 +1,55 @@
+"""End-to-end run on the Gigabit Ethernet machine variant.
+
+The paper runs everything on Infiniband; the Ethernet model must still
+carry a full workload + crash recovery correctly (just slower)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster import ClusterSpec, ExperimentSpec, run_experiment
+from repro.hardware.specs import GIGABIT_ETHERNET, GRID5000_NANCY_NODE
+from repro.ramcloud.config import ServerConfig
+from repro.ycsb.workload import WORKLOAD_B
+
+ETHERNET_MACHINE = replace(GRID5000_NANCY_NODE, nic=GIGABIT_ETHERNET)
+
+
+def run_on(machine, seed=4):
+    spec = ExperimentSpec(
+        cluster=ClusterSpec(
+            num_servers=3, num_clients=4,
+            server_config=ServerConfig(replication_factor=1),
+            machine=machine, seed=seed),
+        workload=WORKLOAD_B.scaled(num_records=2000, ops_per_client=300),
+    )
+    return run_experiment(spec)
+
+
+class TestEthernetCluster:
+    def test_full_workload_completes(self):
+        result = run_on(ETHERNET_MACHINE)
+        assert result.total_ops == 1200
+        assert not result.crashed
+
+    def test_ethernet_slower_than_infiniband(self):
+        eth = run_on(ETHERNET_MACHINE)
+        ib = run_on(GRID5000_NANCY_NODE)
+        assert eth.throughput < 0.7 * ib.throughput
+        # Latency dominated by the 30 µs one-way hops.
+        assert eth.mean_latency() > 2 * ib.mean_latency()
+
+    def test_crash_recovery_on_ethernet(self):
+        from repro.cluster import Cluster
+        cluster = Cluster(ClusterSpec(
+            num_servers=4, num_clients=0,
+            server_config=ServerConfig(replication_factor=1),
+            machine=ETHERNET_MACHINE, seed=4, failure_detection=True))
+        tid = cluster.create_table("t")
+        cluster.preload(tid, 2000, 1024)
+        cluster.run(until=1.0)
+        cluster.kill_server(0)
+        cluster.run(until=120.0)
+        stats = cluster.coordinator.recoveries[0]
+        assert stats.finished_at is not None
+        assert stats.lost_segments == 0

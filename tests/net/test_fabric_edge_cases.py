@@ -1,0 +1,124 @@
+"""Edge-case tests for the fabric and RPC layer under interrupts and
+odd inputs."""
+
+import pytest
+
+from repro.hardware.node import Node
+from repro.hardware.specs import GRID5000_NANCY_NODE
+from repro.net.fabric import Fabric
+from repro.sim import Interrupt, Simulator
+
+
+def setup_pair():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    a = Node(sim, GRID5000_NANCY_NODE, "a")
+    b = Node(sim, GRID5000_NANCY_NODE, "b")
+    fabric.attach(a)
+    fabric.attach(b)
+    return sim, fabric, a, b
+
+
+class TestTransferEdges:
+    def test_zero_byte_transfer(self):
+        sim, fabric, a, b = setup_pair()
+        done = []
+
+        def sender():
+            yield from fabric.transfer(a, b, 0)
+            done.append(sim.now)
+
+        sim.process(sender())
+        sim.run()
+        assert done and done[0] == pytest.approx(a.spec.nic.one_way_latency)
+
+    def test_negative_size_rejected(self):
+        sim, fabric, a, b = setup_pair()
+
+        def sender():
+            yield from fabric.transfer(a, b, -1)
+
+        sim.process(sender())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_unattached_endpoint_rejected(self):
+        sim, fabric, a, _b = setup_pair()
+        stranger = Node(sim, GRID5000_NANCY_NODE, "stranger")
+
+        def sender():
+            yield from fabric.transfer(a, stranger, 10)
+
+        sim.process(sender())
+        with pytest.raises(KeyError):
+            sim.run()
+
+    def test_interrupt_mid_transfer_releases_tx_queue(self):
+        """Killing a sender mid-serialization must not wedge the NIC."""
+        sim, fabric, a, b = setup_pair()
+        big = int(a.spec.nic.bandwidth)  # ~1 s of serialization
+
+        def victim_sender():
+            try:
+                yield from fabric.transfer(a, b, big)
+            except Interrupt:
+                pass
+
+        victim = sim.process(victim_sender())
+        done = []
+
+        def killer():
+            yield sim.timeout(0.1)
+            victim.interrupt("die")
+
+        def second_sender():
+            yield sim.timeout(0.2)
+            yield from fabric.transfer(a, b, 1024)
+            done.append(sim.now)
+
+        sim.process(killer())
+        sim.process(second_sender())
+        sim.run()
+        # The second transfer went out promptly, not after the full 1 s.
+        assert done and done[0] < 0.3
+
+    def test_interrupt_while_queued_withdraws_cleanly(self):
+        sim, fabric, a, b = setup_pair()
+        big = int(a.spec.nic.bandwidth)
+
+        def hog():
+            yield from fabric.transfer(a, b, big)
+
+        def victim_sender():
+            try:
+                yield from fabric.transfer(a, b, big)
+            except Interrupt:
+                pass
+
+        sim.process(hog())
+        victim = sim.process(victim_sender())
+
+        def killer():
+            yield sim.timeout(0.1)
+            victim.interrupt("die")
+
+        sim.process(killer())
+        sim.run()
+        assert fabric._tx_queues["a"].count == 0
+        assert fabric._tx_queues["a"].queue_length == 0
+
+    def test_transfer_counters_not_bumped_on_failure(self):
+        sim, fabric, a, b = setup_pair()
+        b.crash()
+
+        def sender():
+            from repro.net.fabric import NodeUnreachable
+            try:
+                yield from fabric.transfer(a, b, 1024)
+            except NodeUnreachable:
+                pass
+
+        sim.process(sender())
+        sim.run()
+        assert fabric.messages_delivered == 0
+        assert fabric.bytes_delivered == 0

@@ -1,0 +1,49 @@
+"""Shared helpers for RAMCloud system tests."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.hardware.specs import KB, MB
+from repro.ramcloud.config import ServerConfig
+
+
+def small_server_config(replication_factor=0, **overrides):
+    """A miniature server: 16 MB log of 1 MB segments, fast to fill."""
+    defaults = dict(
+        log_memory_bytes=16 * MB,
+        segment_size=1 * MB,
+        replication_factor=replication_factor,
+    )
+    defaults.update(overrides)
+    return ServerConfig(**defaults)
+
+
+def build_cluster(num_servers=3, num_clients=1, replication_factor=0,
+                  seed=1, failure_detection=False, **config_overrides):
+    spec = ClusterSpec(
+        num_servers=num_servers,
+        num_clients=num_clients,
+        server_config=small_server_config(replication_factor,
+                                          **config_overrides),
+        seed=seed,
+        failure_detection=failure_detection,
+    )
+    return Cluster(spec)
+
+
+def run_client_script(cluster, script_gen, until=60.0):
+    """Run one generator as a sim process and return its value."""
+    proc = cluster.sim.process(script_gen, name="test-script")
+    return cluster.sim.run_process(proc, until=until)
+
+
+@pytest.fixture
+def cluster3():
+    """Three servers, one client, no replication."""
+    return build_cluster(num_servers=3, num_clients=1)
+
+
+@pytest.fixture
+def cluster_rf2():
+    """Four servers, one client, replication factor 2."""
+    return build_cluster(num_servers=4, num_clients=1, replication_factor=2)

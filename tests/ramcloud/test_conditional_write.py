@@ -1,0 +1,100 @@
+"""Tests for conditional writes (RAMCloud's reject-rules)."""
+
+import pytest
+
+from repro.ramcloud.errors import StaleVersion
+
+from tests.ramcloud.conftest import run_client_script
+
+
+class TestConditionalWrite:
+    def test_matching_version_applies(self, cluster3):
+        table_id = cluster3.create_table("t")
+        rc = cluster3.clients[0]
+
+        def script():
+            yield from rc.refresh_map()
+            v1 = yield from rc.write(table_id, "k", 100)
+            v2 = yield from rc.write(table_id, "k", 100,
+                                     expected_version=v1)
+            return v1, v2
+
+        v1, v2 = run_client_script(cluster3, script())
+        assert v2 > v1
+
+    def test_stale_version_rejected(self, cluster3):
+        table_id = cluster3.create_table("t")
+        rc = cluster3.clients[0]
+
+        def script():
+            yield from rc.refresh_map()
+            v1 = yield from rc.write(table_id, "k", 100)
+            yield from rc.write(table_id, "k", 100)  # bump past v1
+            try:
+                yield from rc.write(table_id, "k", 100,
+                                    expected_version=v1)
+            except StaleVersion:
+                return "rejected"
+            return "applied"
+
+        assert run_client_script(cluster3, script()) == "rejected"
+
+    def test_create_only_semantics(self, cluster3):
+        """expected_version=0 means 'must not exist yet'."""
+        table_id = cluster3.create_table("t")
+        rc = cluster3.clients[0]
+
+        def script():
+            yield from rc.refresh_map()
+            v1 = yield from rc.write(table_id, "fresh", 64,
+                                     expected_version=0)
+            try:
+                yield from rc.write(table_id, "fresh", 64,
+                                    expected_version=0)
+            except StaleVersion:
+                return v1, "second rejected"
+            return v1, "second applied"
+
+        v1, outcome = run_client_script(cluster3, script())
+        assert v1 >= 1
+        assert outcome == "second rejected"
+
+    def test_rejected_write_leaves_object_untouched(self, cluster3):
+        table_id = cluster3.create_table("t")
+        rc = cluster3.clients[0]
+
+        def script():
+            yield from rc.refresh_map()
+            v1 = yield from rc.write(table_id, "k", 100, value=b"original")
+            try:
+                yield from rc.write(table_id, "k", 200, value=b"clobber",
+                                    expected_version=v1 + 7)
+            except StaleVersion:
+                pass
+            value, version, size = yield from rc.read(table_id, "k")
+            return value, version, size, v1
+
+        value, version, size, v1 = run_client_script(cluster3, script())
+        assert value == b"original"
+        assert version == v1
+        assert size == 100
+
+    def test_optimistic_read_modify_write_loop(self, cluster3):
+        """The classic CAS loop builds directly on conditional writes."""
+        table_id = cluster3.create_table("t")
+        rc = cluster3.clients[0]
+
+        def script():
+            yield from rc.refresh_map()
+            yield from rc.write(table_id, "counter", 8, value=b"0")
+            for expected_value in (b"0", b"1", b"2"):
+                value, version, _size = yield from rc.read(
+                    table_id, "counter")
+                assert value == expected_value
+                new = str(int(value) + 1).encode()
+                yield from rc.write(table_id, "counter", 8, value=new,
+                                    expected_version=version)
+            value, _v, _s = yield from rc.read(table_id, "counter")
+            return value
+
+        assert run_client_script(cluster3, script()) == b"3"

@@ -1,0 +1,101 @@
+"""System tests for the coordinator: membership, tables, detection."""
+
+import pytest
+
+from repro.ramcloud.errors import TableDoesntExist
+
+from tests.ramcloud.conftest import build_cluster, run_client_script
+
+
+class TestMembership:
+    def test_duplicate_enlist_rejected(self, cluster3):
+        with pytest.raises(ValueError):
+            cluster3.coordinator.enlist(cluster3.servers[0])
+
+    def test_live_server_ids(self, cluster3):
+        assert len(cluster3.coordinator.live_server_ids()) == 3
+        assert cluster3.coordinator.is_live("server1")
+        assert not cluster3.coordinator.is_live("ghost")
+
+    def test_lookup_unknown_server(self, cluster3):
+        assert cluster3.coordinator.lookup_server("ghost") is None
+
+
+class TestTables:
+    def test_create_table_requires_servers(self, cluster3):
+        table = cluster3.coordinator.create_table("t")
+        assert table.span == 3  # defaults to ServerSpan = num servers
+
+    def test_create_table_custom_span(self, cluster3):
+        table = cluster3.coordinator.create_table("wide", span=7)
+        assert table.span == 7
+
+    def test_coordinator_rpc_errors_propagate(self, cluster3):
+        cluster3.create_table("t")
+        rc = cluster3.clients[0]
+
+        def script():
+            try:
+                # duplicate table name via the RPC path
+                yield from rc.create_table("t", span=1)
+            except ValueError:
+                return "rejected"
+            return "created"
+
+        assert run_client_script(cluster3, script()) == "rejected"
+
+    def test_drop_table_via_rpc(self, cluster3):
+        cluster3.create_table("t")
+        node = cluster3.client_nodes[0]
+
+        def script():
+            yield from cluster3.coordinator.call(node, "drop_table", args="t")
+
+        run_client_script(cluster3, script())
+        assert cluster3.coordinator.tablet_map.table("t") is None
+
+
+class TestFailureDetection:
+    def test_detector_can_be_stopped(self):
+        cluster = build_cluster(num_servers=3, replication_factor=1,
+                                failure_detection=True)
+        tid = cluster.create_table("t")
+        cluster.preload(tid, 200, 256)
+        cluster.coordinator.stop_failure_detector()
+        cluster.kill_server(0)
+        cluster.run(until=10.0)
+        assert not cluster.coordinator.recoveries
+
+    def test_detector_restart_is_idempotent(self, cluster3):
+        cluster3.coordinator.start_failure_detector()
+        cluster3.coordinator.start_failure_detector()  # no double pings
+        cluster3.run(until=2.0)
+        cluster3.coordinator.stop_failure_detector()
+
+    def test_single_recovery_per_crash(self):
+        cluster = build_cluster(num_servers=4, replication_factor=1,
+                                failure_detection=True)
+        tid = cluster.create_table("t")
+        cluster.preload(tid, 500, 256)
+        cluster.run(until=1.0)
+        cluster.kill_server(0)
+        cluster.run(until=60.0)
+        assert len(cluster.coordinator.recoveries) == 1
+
+    def test_sequential_crashes_both_recovered(self):
+        cluster = build_cluster(num_servers=5, replication_factor=2,
+                                failure_detection=True, seed=8)
+        tid = cluster.create_table("t")
+        cluster.preload(tid, 1000, 256)
+        cluster.run(until=1.0)
+        cluster.kill_server(0)
+        cluster.run(until=60.0)
+        cluster.kill_server(1)
+        cluster.run(until=140.0)
+        recoveries = cluster.coordinator.recoveries
+        assert len(recoveries) == 2
+        assert all(r.finished_at is not None for r in recoveries)
+        # All data is still owned by live servers.
+        for tablet in cluster.coordinator.tablet_map.all_tablets():
+            for owner in tablet.shards:
+                assert cluster.coordinator.is_live(owner)

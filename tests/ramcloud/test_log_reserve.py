@@ -1,0 +1,65 @@
+"""Tests for the log's reserved survivor segments and privileged appends."""
+
+import pytest
+
+from repro.hardware.specs import KB
+from repro.ramcloud.config import ServerConfig
+from repro.ramcloud.errors import LogOutOfMemory
+from repro.ramcloud.log import Log
+
+
+def tiny_log(segments=6, segment_size=256 * KB):
+    config = ServerConfig(log_memory_bytes=segments * segment_size,
+                          segment_size=segment_size,
+                          replication_factor=0)
+    return Log(config)
+
+
+class TestReservedSegments:
+    def test_normal_appends_stop_before_reserve(self):
+        log = tiny_log(segments=6)
+        with pytest.raises(LogOutOfMemory):
+            for i in range(1000):
+                log.append(1, f"k{i}", 60 * KB, version=i + 1)
+        # At most max - RESERVED segments were allocated.
+        assert len(log.segments) <= 6 - Log.RESERVED_SEGMENTS
+
+    def test_privileged_appends_use_the_reserve(self):
+        log = tiny_log(segments=6)
+        try:
+            for i in range(1000):
+                log.append(1, f"k{i}", 60 * KB, version=i + 1)
+        except LogOutOfMemory:
+            pass
+        # The cleaner's survivor copies may still proceed.
+        for i in range(4):
+            log.append(1, f"c{i}", 60 * KB, version=10_000 + i,
+                       privileged=True)
+        assert len(log.segments) > 6 - Log.RESERVED_SEGMENTS
+
+    def test_even_privileged_appends_hit_the_hard_limit(self):
+        log = tiny_log(segments=4)
+        with pytest.raises(LogOutOfMemory):
+            for i in range(1000):
+                log.append(1, f"k{i}", 60 * KB, version=i + 1,
+                           privileged=True)
+        assert len(log.segments) == 4
+
+    def test_tiny_logs_skip_the_reserve(self):
+        """Logs of <= RESERVED segments could never accept a write if the
+        reserve applied; they get the full budget instead."""
+        log = tiny_log(segments=2)
+        for i in range(8):
+            log.append(1, f"k{i}", 60 * KB, version=i + 1)
+        assert len(log.segments) == 2
+
+    def test_failed_roll_leaves_head_usable(self):
+        """If opening a new head fails, the old head must stay open so
+        smaller writes can still go through."""
+        log = tiny_log(segments=4)
+        with pytest.raises(LogOutOfMemory):
+            for i in range(1000):
+                log.append(1, f"k{i}", 60 * KB, version=i + 1)
+        assert not log.head.closed
+        # A small write that fits in the current head still succeeds.
+        log.append(1, "small", 1 * KB, version=99_999)

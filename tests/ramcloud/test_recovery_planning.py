@@ -1,0 +1,90 @@
+"""Direct tests of the coordinator's recovery planning math."""
+
+import pytest
+
+from repro.ramcloud.tablets import TabletStatus
+
+from tests.ramcloud.conftest import build_cluster
+
+
+def plan_for(num_servers, tables=1, records=2000, rf=1, seed=5):
+    cluster = build_cluster(num_servers=num_servers, num_clients=0,
+                            replication_factor=rf, seed=seed)
+    for i in range(tables):
+        tid = cluster.create_table(f"t{i}")
+        cluster.preload(tid, records, 1024)
+    victim = cluster.servers[0]
+    victim.kill()
+    cluster.coordinator._live[victim.server_id] = False
+    from repro.ramcloud.coordinator import RecoveryStats
+    stats = RecoveryStats(crashed_id=victim.server_id,
+                          detected_at=cluster.sim.now,
+                          started_at=cluster.sim.now)
+    partitions, segments, spans = (
+        cluster.coordinator._recovery_plan(victim.server_id, stats))
+    return cluster, victim, partitions, segments, spans, stats
+
+
+class TestPartitioning:
+    def test_every_survivor_gets_work(self):
+        """One tablet per server would make recovery single-master;
+        the will must split it so all survivors participate."""
+        cluster, victim, partitions, _segs, _spans, stats = plan_for(6)
+        assert set(partitions) == {
+            f"server{i}" for i in range(1, 6)}
+        assert stats.partitions >= 5
+
+    def test_units_cover_all_subshards_exactly_once(self):
+        _c, _v, partitions, _s, _spans, _stats = plan_for(5)
+        units = [u for units in partitions.values() for u in units]
+        assert len(units) == len(set(units))
+        shard_counts = {u[3] for u in units}
+        assert len(shard_counts) == 1
+        count = shard_counts.pop()
+        shards = sorted(u[2] for u in units)
+        assert shards == list(range(count))
+
+    def test_multiple_tables_partition_together(self):
+        _c, victim, partitions, _s, spans, stats = plan_for(5, tables=2)
+        tables_seen = {u[0] for units in partitions.values() for u in units}
+        assert len(tables_seen) == 2
+        assert set(spans) == tables_seen
+
+    def test_segments_have_live_sources(self):
+        cluster, victim, _parts, segments, _spans, _stats = plan_for(
+            6, rf=2)
+        assert len(segments) == len(victim.log.segments)
+        for _seg_id, source, nbytes in segments:
+            assert cluster.coordinator.is_live(source)
+            assert nbytes > 0
+
+    def test_tablet_map_marked_recovering(self):
+        cluster, victim, _parts, _segs, _spans, _stats = plan_for(4)
+        for tablet in cluster.coordinator.tablet_map.all_tablets():
+            if victim.server_id in tablet.shards:
+                continue
+            # The victim's single tablet was split; every shard of a
+            # split tablet is recovering.
+            if tablet.shard_count > 1:
+                assert all(s == TabletStatus.RECOVERING
+                           for s in tablet.statuses)
+
+    def test_share_fractions_sum_to_one(self):
+        _c, _v, partitions, _s, _spans, _stats = plan_for(7)
+        total_units = sum(len(u) for u in partitions.values())
+        shares = [len(units) / total_units
+                  for units in partitions.values()]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_empty_master_yields_empty_plan(self):
+        cluster = build_cluster(num_servers=3, num_clients=0)
+        victim = cluster.servers[0]  # no tables at all
+        victim.kill()
+        cluster.coordinator._live[victim.server_id] = False
+        from repro.ramcloud.coordinator import RecoveryStats
+        stats = RecoveryStats(crashed_id=victim.server_id,
+                              detected_at=0.0, started_at=0.0)
+        partitions, segments, spans = (
+            cluster.coordinator._recovery_plan(victim.server_id, stats))
+        assert partitions == {}
+        assert segments == []

@@ -1,0 +1,308 @@
+"""System tests for the server data path: reads, writes, deletes,
+ownership, replication, threading."""
+
+import pytest
+
+from repro.ramcloud.errors import ObjectDoesntExist, WrongServer
+from repro.ramcloud.tablets import key_hash
+
+from tests.ramcloud.conftest import build_cluster, run_client_script
+
+
+class TestReadWrite:
+    def test_write_then_read_roundtrip(self, cluster3):
+        table_id = cluster3.create_table("t")
+        rc = cluster3.clients[0]
+
+        def script():
+            yield from rc.refresh_map()
+            version = yield from rc.write(table_id, "user1", 1024,
+                                          value=b"payload")
+            value, read_version, size = yield from rc.read(table_id, "user1")
+            return version, value, read_version, size
+
+        version, value, read_version, size = run_client_script(
+            cluster3, script())
+        assert version == read_version
+        assert value == b"payload"
+        assert size == 1024
+
+    def test_read_missing_key_raises(self, cluster3):
+        table_id = cluster3.create_table("t")
+        rc = cluster3.clients[0]
+
+        def script():
+            yield from rc.refresh_map()
+            try:
+                yield from rc.read(table_id, "ghost")
+            except ObjectDoesntExist:
+                return "missing"
+            return "found"
+
+        assert run_client_script(cluster3, script()) == "missing"
+
+    def test_overwrite_bumps_version(self, cluster3):
+        table_id = cluster3.create_table("t")
+        rc = cluster3.clients[0]
+
+        def script():
+            yield from rc.refresh_map()
+            v1 = yield from rc.write(table_id, "k", 100)
+            v2 = yield from rc.write(table_id, "k", 100)
+            return v1, v2
+
+        v1, v2 = run_client_script(cluster3, script())
+        assert v2 > v1
+
+    def test_delete_removes_object(self, cluster3):
+        table_id = cluster3.create_table("t")
+        rc = cluster3.clients[0]
+
+        def script():
+            yield from rc.refresh_map()
+            yield from rc.write(table_id, "k", 100)
+            yield from rc.delete(table_id, "k")
+            try:
+                yield from rc.read(table_id, "k")
+            except ObjectDoesntExist:
+                return "gone"
+            return "still there"
+
+        assert run_client_script(cluster3, script()) == "gone"
+
+    def test_delete_missing_raises(self, cluster3):
+        table_id = cluster3.create_table("t")
+        rc = cluster3.clients[0]
+
+        def script():
+            yield from rc.refresh_map()
+            try:
+                yield from rc.delete(table_id, "ghost")
+            except ObjectDoesntExist:
+                return "missing"
+            return "deleted"
+
+        assert run_client_script(cluster3, script()) == "missing"
+
+    def test_objects_land_on_correct_master(self, cluster3):
+        table_id = cluster3.create_table("t")
+        rc = cluster3.clients[0]
+        keys = [f"user{i}" for i in range(30)]
+
+        def script():
+            yield from rc.refresh_map()
+            for key in keys:
+                yield from rc.write(table_id, key, 64)
+
+        run_client_script(cluster3, script())
+        span = 3
+        for key in keys:
+            index = key_hash(key) % span
+            owner = cluster3.servers[index]
+            assert owner.hashtable.lookup(table_id, key) is not None
+
+    def test_wrong_server_rejects_misrouted_request(self, cluster3):
+        table_id = cluster3.create_table("t")
+        key = "user1"
+        span = 3
+        wrong = cluster3.servers[(key_hash(key) % span + 1) % span]
+        node = cluster3.client_nodes[0]
+
+        def script():
+            try:
+                yield from wrong.call(node, "read",
+                                      args=(table_id, key, span))
+            except WrongServer:
+                return "rejected"
+            return "accepted"
+
+        assert run_client_script(cluster3, script()) == "rejected"
+
+    def test_server_stats_count_operations(self, cluster3):
+        table_id = cluster3.create_table("t")
+        rc = cluster3.clients[0]
+
+        def script():
+            yield from rc.refresh_map()
+            for i in range(10):
+                yield from rc.write(table_id, f"k{i}", 64)
+            for i in range(10):
+                yield from rc.read(table_id, f"k{i}")
+
+        run_client_script(cluster3, script())
+        assert sum(s.writes_completed for s in cluster3.servers) == 10
+        assert sum(s.reads_completed for s in cluster3.servers) == 10
+
+
+class TestReplication:
+    def test_update_reaches_all_backups(self, cluster_rf2):
+        table_id = cluster_rf2.create_table("t")
+        rc = cluster_rf2.clients[0]
+
+        def script():
+            yield from rc.refresh_map()
+            yield from rc.write(table_id, "user1", 2048)
+
+        run_client_script(cluster_rf2, script())
+        owner = cluster_rf2.servers[key_hash("user1") % 4]
+        backups = owner.log.head.replica_backups
+        assert len(backups) == 2
+        for backup_id in backups:
+            backup = cluster_rf2.coordinator.lookup_server(backup_id)
+            replica = backup.replicas[(owner.server_id,
+                                       owner.log.head.segment_id)]
+            assert replica.nbytes > 0
+
+    def test_rf0_produces_no_replicas(self, cluster3):
+        table_id = cluster3.create_table("t")
+        rc = cluster3.clients[0]
+
+        def script():
+            yield from rc.refresh_map()
+            yield from rc.write(table_id, "user1", 2048)
+
+        run_client_script(cluster3, script())
+        assert all(not s.replicas for s in cluster3.servers)
+
+    def test_backups_never_include_the_master(self):
+        cluster = build_cluster(num_servers=4, num_clients=1,
+                                replication_factor=3)
+        table_id = cluster.create_table("t")
+        rc = cluster.clients[0]
+
+        def script():
+            yield from rc.refresh_map()
+            for i in range(20):
+                yield from rc.write(table_id, f"k{i}", 64)
+
+        run_client_script(cluster, script())
+        for server in cluster.servers:
+            for segment in server.log.segments.values():
+                assert server.server_id not in segment.replica_backups
+
+    def test_update_latency_grows_with_replication_factor(self):
+        latencies = {}
+        for rf in (0, 1, 3):
+            cluster = build_cluster(num_servers=4, num_clients=1,
+                                    replication_factor=rf)
+            table_id = cluster.create_table("t")
+            rc = cluster.clients[0]
+
+            def script():
+                yield from rc.refresh_map()
+                start = cluster.sim.now
+                for i in range(20):
+                    yield from rc.write(table_id, f"k{i}", 1024)
+                return (cluster.sim.now - start) / 20
+
+            latencies[rf] = run_client_script(cluster, script())
+        assert latencies[0] < latencies[1] < latencies[3]
+
+    def test_closed_segment_flushes_to_backup_disk(self):
+        cluster = build_cluster(num_servers=3, num_clients=1,
+                                replication_factor=1)
+        table_id = cluster.create_table("t")
+        rc = cluster.clients[0]
+
+        def script():
+            yield from rc.refresh_map()
+            # 600 KB objects: a 1 MB segment closes every other write.
+            for i in range(6):
+                yield from rc.write(table_id, f"k{i}", 600 * 1024)
+            # Give the async flushes time to reach disk.
+            yield cluster.sim.timeout(2.0)
+
+        run_client_script(cluster, script())
+        flushed = sum(1 for s in cluster.servers
+                      for r in s.replicas.values() if r.on_disk)
+        assert flushed >= 1
+        assert any(s.node.disk.bytes_written > 0 for s in cluster.servers)
+
+
+class TestThreadingModel:
+    def test_dispatch_core_pinned_at_startup(self, cluster3):
+        for server in cluster3.servers:
+            assert server.node.cpu.schedulable_cores == 3
+            assert server.node.cpu.busy_cores >= 1.0
+
+    def test_kill_unpins_dispatch_core(self, cluster3):
+        victim = cluster3.servers[0]
+        victim.kill()
+        cluster3.run(until=1.0)
+        assert victim.node.cpu.schedulable_cores == 4
+        assert victim.node.cpu.busy_cores == 0.0
+
+    def test_kill_is_idempotent(self, cluster3):
+        victim = cluster3.servers[0]
+        victim.kill()
+        victim.kill()  # must not raise
+        cluster3.run(until=1.0)
+
+    def test_killed_server_refuses_requests(self, cluster3):
+        from repro.net.fabric import NodeUnreachable
+        table_id = cluster3.create_table("t")
+        victim = cluster3.servers[0]
+        victim.kill()
+        node = cluster3.client_nodes[0]
+
+        def script():
+            try:
+                yield from victim.call(node, "read", args=(table_id, "k", 3))
+            except NodeUnreachable:
+                return "refused"
+            return "served"
+
+        assert run_client_script(cluster3, script()) == "refused"
+
+    def test_unknown_op_fails_cleanly(self, cluster3):
+        node = cluster3.client_nodes[0]
+        server = cluster3.servers[0]
+
+        def script():
+            try:
+                yield from server.call(node, "bogus_op")
+            except ValueError:
+                return "rejected"
+            return "served"
+
+        assert run_client_script(cluster3, script()) == "rejected"
+
+
+class TestBulkLoad:
+    def test_bulk_load_matches_tablet_routing(self, cluster3):
+        table_id = cluster3.create_table("t")
+        counts = cluster3.preload(table_id, 300, 512)
+        assert sum(counts.values()) == 300
+        # Loaded objects must be readable through the normal path.
+        rc = cluster3.clients[0]
+
+        def script():
+            yield from rc.refresh_map()
+            _value, version, size = yield from rc.read(table_id, "user42")
+            return version, size
+
+        version, size = run_client_script(cluster3, script())
+        assert version >= 1
+        assert size == 512
+
+    def test_bulk_load_materializes_replicas(self, cluster_rf2):
+        table_id = cluster_rf2.create_table("t")
+        cluster_rf2.preload(table_id, 2000, 1024)
+        total_replicas = sum(len(s.replicas) for s in cluster_rf2.servers)
+        total_segments = sum(len(s.log.segments)
+                             for s in cluster_rf2.servers)
+        assert total_replicas == 2 * total_segments
+
+    def test_bulk_load_closed_segments_marked_on_disk(self, cluster_rf2):
+        table_id = cluster_rf2.create_table("t")
+        cluster_rf2.preload(table_id, 4000, 1024)
+        closed_replicas = [r for s in cluster_rf2.servers
+                           for r in s.replicas.values() if r.closed]
+        assert closed_replicas
+        assert all(r.on_disk for r in closed_replicas)
+
+    def test_bulk_load_consumes_zero_simulated_time(self, cluster3):
+        table_id = cluster3.create_table("t")
+        before = cluster3.sim.now
+        cluster3.preload(table_id, 1000, 1024)
+        assert cluster3.sim.now == before

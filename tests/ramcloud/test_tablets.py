@@ -1,0 +1,166 @@
+"""Unit tests for tables, tablets, subshards and routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ramcloud.tablets import (
+    Tablet,
+    TabletMap,
+    TabletStatus,
+    key_hash,
+)
+
+SERVERS = [f"server{i}" for i in range(5)]
+
+
+class TestKeyHash:
+    def test_deterministic(self):
+        assert key_hash("user123") == key_hash("user123")
+
+    def test_spreads_keys(self):
+        buckets = [0] * 10
+        for i in range(10000):
+            buckets[key_hash(f"user{i}") % 10] += 1
+        # Uniform-ish: no bucket more than 2x the mean.
+        assert max(buckets) < 2000
+
+
+class TestTabletMap:
+    def test_create_table_round_robin(self):
+        tm = TabletMap()
+        table = tm.create_table("t", 5, SERVERS)
+        owners = [tm._tablets[(table.table_id, i)].server_id
+                  for i in range(5)]
+        assert owners == SERVERS
+
+    def test_span_larger_than_servers_wraps(self):
+        tm = TabletMap()
+        table = tm.create_table("t", 7, SERVERS[:3])
+        owners = {tm._tablets[(table.table_id, i)].server_id
+                  for i in range(7)}
+        assert owners == set(SERVERS[:3])
+
+    def test_duplicate_table_rejected(self):
+        tm = TabletMap()
+        tm.create_table("t", 2, SERVERS)
+        with pytest.raises(ValueError):
+            tm.create_table("t", 2, SERVERS)
+
+    def test_invalid_creation(self):
+        tm = TabletMap()
+        with pytest.raises(ValueError):
+            tm.create_table("t", 0, SERVERS)
+        with pytest.raises(ValueError):
+            tm.create_table("t", 2, [])
+
+    def test_routing_consistent_with_hash(self):
+        tm = TabletMap()
+        table = tm.create_table("t", 5, SERVERS)
+        for i in range(100):
+            key = f"user{i}"
+            tablet = tm.tablet_for_key(table.table_id, key)
+            assert tablet.index == key_hash(key) % 5
+
+    def test_routing_unknown_table(self):
+        with pytest.raises(KeyError):
+            TabletMap().tablet_for_key(99, "k")
+
+    def test_drop_table(self):
+        tm = TabletMap()
+        tm.create_table("t", 3, SERVERS)
+        tm.drop_table("t")
+        assert tm.table("t") is None
+        with pytest.raises(KeyError):
+            TabletMap().drop_table("t")
+
+    def test_epoch_bumps_on_changes(self):
+        tm = TabletMap()
+        e0 = tm.epoch
+        table = tm.create_table("t", 2, SERVERS)
+        assert tm.epoch > e0
+        e1 = tm.epoch
+        tm.reassign_shard((table.table_id, 0), 0, "server3")
+        assert tm.epoch > e1
+
+    def test_tablets_of_server(self):
+        tm = TabletMap()
+        table = tm.create_table("t", 5, SERVERS)
+        owned = tm.tablets_of_server("server0")
+        assert len(owned) == 1
+        tablet, shard = owned[0]
+        assert tablet.index == 0
+        assert shard == 0
+
+    def test_snapshot_is_isolated_copy(self):
+        tm = TabletMap()
+        table = tm.create_table("t", 2, SERVERS)
+        snap = tm.snapshot()
+        tm.reassign_shard((table.table_id, 0), 0, "serverX")
+        assert snap.tablets[(table.table_id, 0)].shards[0] != "serverX"
+        assert snap.epoch < tm.epoch
+
+
+class TestSubshards:
+    def test_unsplit_tablet_single_owner(self):
+        t = Tablet(1, 0, ["server0"])
+        assert t.server_id == "server0"
+        assert t.shard_count == 1
+        assert t.owner_for_key("anything", span=5) == "server0"
+
+    def test_split_tablet_has_no_single_owner(self):
+        t = Tablet(1, 0, ["a", "b", "c"])
+        with pytest.raises(ValueError):
+            _ = t.server_id
+
+    def test_split_routing_uses_second_hash_level(self):
+        t = Tablet(1, 0, ["a", "b", "c"])
+        span = 5
+        for i in range(50):
+            key = f"user{i}"
+            shard = t.shard_for_key(key, span)
+            assert shard == (key_hash(key) // span) % 3
+            assert t.owner_for_key(key, span) == t.shards[shard]
+
+    def test_split_shard_in_map(self):
+        tm = TabletMap()
+        table = tm.create_table("t", 2, SERVERS)
+        tm.split_shard((table.table_id, 0), 0, ["a", "b", "c"],
+                       TabletStatus.RECOVERING)
+        tablet = tm._tablets[(table.table_id, 0)]
+        assert tablet.shards == ["a", "b", "c"]
+        assert tablet.status == TabletStatus.RECOVERING
+
+    def test_subshard_cannot_be_split_again(self):
+        tm = TabletMap()
+        table = tm.create_table("t", 1, SERVERS)
+        tm.split_shard((table.table_id, 0), 0, ["a", "b"],
+                       TabletStatus.RECOVERING)
+        with pytest.raises(ValueError):
+            tm.split_shard((table.table_id, 0), 0, ["c", "d"],
+                           TabletStatus.RECOVERING)
+        # But a single subshard can be handed to one new owner.
+        tm.split_shard((table.table_id, 0), 1, ["e"],
+                       TabletStatus.RECOVERING)
+        assert tm._tablets[(table.table_id, 0)].shards == ["a", "e"]
+
+    def test_status_aggregates_over_shards(self):
+        t = Tablet(1, 0, ["a", "b"],
+                   [TabletStatus.NORMAL, TabletStatus.RECOVERING])
+        assert t.status == TabletStatus.RECOVERING
+
+    def test_statuses_length_validated(self):
+        with pytest.raises(ValueError):
+            Tablet(1, 0, ["a", "b"], [TabletStatus.NORMAL])
+        with pytest.raises(ValueError):
+            Tablet(1, 0, [])
+
+    @given(span=st.integers(min_value=1, max_value=16),
+           shards=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_shard_routing_partitions_keyspace(self, span, shards):
+        """Property: every key maps to exactly one (tablet, shard)."""
+        t = Tablet(1, 0, [f"s{i}" for i in range(shards)])
+        for i in range(100):
+            shard = t.shard_for_key(f"user{i}", span)
+            assert 0 <= shard < shards

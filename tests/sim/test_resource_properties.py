@@ -1,0 +1,113 @@
+"""Property-based tests for the queueing primitives."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Resource, Simulator, Store
+
+
+@given(capacity=st.integers(min_value=1, max_value=5),
+       holds=st.lists(st.floats(min_value=0.01, max_value=2.0),
+                      min_size=1, max_size=25))
+@settings(max_examples=40, deadline=None)
+def test_resource_never_exceeds_capacity(capacity, holds):
+    """However tasks arrive and however long they hold, the number of
+    simultaneous holders never exceeds the capacity and every task
+    eventually completes."""
+    sim = Simulator()
+    res = Resource(sim, capacity)
+    peak = {"holders": 0}
+    completed = []
+
+    def task(duration):
+        req = res.request()
+        yield req
+        peak["holders"] = max(peak["holders"], res.count)
+        assert res.count <= capacity
+        yield sim.timeout(duration)
+        res.release(req)
+        completed.append(duration)
+
+    for duration in holds:
+        sim.process(task(duration))
+    sim.run()
+    assert len(completed) == len(holds)
+    assert peak["holders"] <= capacity
+    assert res.count == 0
+    assert res.queue_length == 0
+
+
+@given(capacity=st.integers(min_value=1, max_value=4),
+       durations=st.lists(st.floats(min_value=0.1, max_value=1.0),
+                          min_size=2, max_size=15))
+@settings(max_examples=30, deadline=None)
+def test_resource_work_conserving(capacity, durations):
+    """Total makespan is at least the critical bound (work / capacity)
+    and at most the fully-serialized bound."""
+    sim = Simulator()
+    res = Resource(sim, capacity)
+
+    def task(duration):
+        req = res.request()
+        yield req
+        yield sim.timeout(duration)
+        res.release(req)
+
+    for duration in durations:
+        sim.process(task(duration))
+    sim.run()
+    total = sum(durations)
+    assert sim.now <= total + 1e-9  # never slower than serial
+    assert sim.now >= total / capacity - 1e-9  # never faster than ideal
+
+
+@given(items=st.lists(st.integers(), min_size=1, max_size=30),
+       lifo=st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_store_delivers_items_in_fifo_order(items, lifo):
+    """Whatever the getter wakeup policy, ITEMS always come out FIFO."""
+    sim = Simulator()
+    store = Store(sim, lifo_getters=lifo)
+    received = []
+
+    def consumer():
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    def producer():
+        for item in items:
+            store.put(item)
+            yield sim.timeout(0.001)
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert received == items
+
+
+@given(n_workers=st.integers(min_value=1, max_value=5),
+       n_items=st.integers(min_value=1, max_value=20))
+@settings(max_examples=30, deadline=None)
+def test_store_no_item_lost_across_workers(n_workers, n_items):
+    sim = Simulator()
+    store = Store(sim, lifo_getters=True)
+    received = []
+
+    def worker():
+        while True:
+            value = yield store.get()
+            received.append(value)
+            yield sim.timeout(0.01)
+
+    for _ in range(n_workers):
+        sim.process(worker())
+
+    def producer():
+        for i in range(n_items):
+            store.put(i)
+            yield sim.timeout(0.003)
+
+    sim.process(producer())
+    sim.run(until=10.0)
+    assert sorted(received) == list(range(n_items))

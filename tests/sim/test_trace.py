@@ -1,0 +1,80 @@
+"""Unit tests for the execution tracer."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.trace import Tracer
+
+
+def ticker(sim, name, period, count):
+    def proc():
+        for _ in range(count):
+            yield sim.timeout(period)
+    return sim.process(proc(), name=name)
+
+
+class TestTracer:
+    def test_records_fired_events(self):
+        sim = Simulator()
+        ticker(sim, "a", 1.0, 3)
+        with Tracer(sim) as trace:
+            sim.run()
+        assert len(trace) > 0
+        kinds = {kind for _t, kind, _n in trace.records}
+        assert "Timeout" in kinds
+        assert "Process" in kinds
+
+    def test_name_filter(self):
+        sim = Simulator()
+        ticker(sim, "keep-me", 1.0, 2)
+        ticker(sim, "drop-me", 1.0, 2)
+        with Tracer(sim, name_filter="keep") as trace:
+            sim.run()
+        assert trace.processes_seen() == ["keep-me"]
+
+    def test_between_window(self):
+        sim = Simulator()
+        ticker(sim, "a", 1.0, 5)
+        with Tracer(sim) as trace:
+            sim.run()
+        early = trace.between(0.0, 2.0)
+        assert early
+        assert all(t <= 2.0 for t, _k, _n in early)
+
+    def test_bounded_records(self):
+        sim = Simulator()
+        ticker(sim, "busy", 0.001, 500)
+        with Tracer(sim, max_records=10) as trace:
+            sim.run()
+        assert len(trace) == 10
+        assert trace.dropped > 0
+        assert "dropped" in trace.format()
+
+    def test_detach_stops_recording(self):
+        sim = Simulator()
+        ticker(sim, "a", 1.0, 2)
+        trace = Tracer(sim).attach()
+        sim.run(until=1.5)
+        seen = len(trace)
+        trace.detach()
+        sim.run()
+        assert len(trace) == seen
+
+    def test_single_tracer_enforced(self):
+        sim = Simulator()
+        Tracer(sim).attach()
+        with pytest.raises(RuntimeError):
+            Tracer(sim).attach()
+
+    def test_invalid_max_records(self):
+        with pytest.raises(ValueError):
+            Tracer(Simulator(), max_records=0)
+
+    def test_format_limits_output(self):
+        sim = Simulator()
+        ticker(sim, "a", 0.1, 100)
+        with Tracer(sim) as trace:
+            sim.run()
+        text = trace.format(limit=5)
+        assert text.count("\n") <= 6
+        assert "more" in text

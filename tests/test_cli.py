@@ -1,0 +1,36 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import _registry, main
+
+
+class TestCli:
+    def test_list_covers_every_paper_figure(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        for fig in ("fig1", "table1", "fig2", "table2", "fig3", "fig4",
+                    "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+                    "fig11", "fig12", "fig13"):
+            assert fig in out
+
+    def test_findings(self, capsys):
+        assert main(["findings"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 6
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_registry_entries_are_callable(self):
+        registry = _registry()
+        assert len(registry) >= 20
+        assert all(callable(fn) for fn in registry.values())
+
+    def test_run_one_experiment(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert main(["run", "fig13"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 13" in out
+        assert "rate 200/s" in out

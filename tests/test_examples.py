@@ -1,0 +1,45 @@
+"""Guard rails for the example scripts.
+
+Running every example in the test suite would be slow; instead we
+verify that each compiles, documents itself, and uses only the public
+API surface (imports resolve).
+"""
+
+import ast
+import importlib
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parent.parent.joinpath(
+        "examples").glob("*.py"))
+
+
+def test_expected_examples_present():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 4  # quickstart + >=3 domain scenarios
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles_and_documents_itself(path):
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"
+    # Has a main() guarded by __main__.
+    assert 'if __name__ == "__main__":' in source
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module}.{alias.name} missing")
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                importlib.import_module(alias.name)

@@ -1,0 +1,76 @@
+"""Unit tests for latency/throughput statistics."""
+
+import pytest
+
+from repro.ycsb.stats import LatencyRecorder, OperationStats
+
+
+class TestLatencyRecorder:
+    def test_mean(self):
+        rec = LatencyRecorder()
+        for i, lat in enumerate([1.0, 2.0, 3.0]):
+            rec.record(float(i), lat)
+        assert rec.mean() == pytest.approx(2.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(0.0, -1.0)
+
+    def test_empty_mean_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().mean()
+
+    def test_percentiles(self):
+        rec = LatencyRecorder()
+        for i in range(100):
+            rec.record(float(i), float(i + 1))
+        assert rec.percentile(50) == 50.0
+        assert rec.percentile(99) == 99.0
+        assert rec.percentile(100) == 100.0
+
+    def test_percentile_bounds(self):
+        rec = LatencyRecorder()
+        rec.record(0.0, 1.0)
+        with pytest.raises(ValueError):
+            rec.percentile(0)
+        with pytest.raises(ValueError):
+            rec.percentile(101)
+
+    def test_windowed_means(self):
+        rec = LatencyRecorder()
+        rec.record(0.1, 10.0)
+        rec.record(0.9, 20.0)
+        rec.record(1.5, 30.0)
+        windows = rec.windowed_means(1.0)
+        assert windows == [(0.0, 15.0), (1.0, 30.0)]
+
+    def test_windowed_means_invalid_window(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().windowed_means(0.0)
+
+
+class TestOperationStats:
+    def test_totals_and_throughput(self):
+        stats = OperationStats()
+        stats.started_at = 0.0
+        for i in range(10):
+            stats.reads.record(float(i) / 10, 0.001)
+        for i in range(5):
+            stats.updates.record(float(i) / 10, 0.002)
+        stats.finished_at = 3.0
+        assert stats.total_ops == 15
+        assert stats.throughput() == pytest.approx(5.0)
+
+    def test_runtime_requires_completion(self):
+        stats = OperationStats()
+        with pytest.raises(ValueError):
+            _ = stats.runtime
+
+    def test_all_latencies_merges_sorted(self):
+        stats = OperationStats()
+        stats.reads.record(2.0, 0.1)
+        stats.updates.record(1.0, 0.2)
+        stats.inserts.record(3.0, 0.3)
+        merged = stats.all_latencies()
+        assert [t for t, _l in merged.samples] == [1.0, 2.0, 3.0]
+        assert len(merged) == 3

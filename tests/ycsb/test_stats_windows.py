@@ -1,0 +1,48 @@
+"""Additional statistics tests: windowing and percentile edge cases."""
+
+import pytest
+
+from repro.ycsb.stats import LatencyRecorder
+
+
+class TestWindowedMeans:
+    def test_empty_recorder_gives_empty_windows(self):
+        assert LatencyRecorder().windowed_means(1.0) == []
+
+    def test_sparse_windows_skip_empty_buckets(self):
+        rec = LatencyRecorder()
+        rec.record(0.5, 1.0)
+        rec.record(10.5, 3.0)
+        windows = rec.windowed_means(1.0)
+        assert windows == [(0.0, 1.0), (10.0, 3.0)]
+
+    def test_window_larger_than_span(self):
+        rec = LatencyRecorder()
+        for t in range(5):
+            rec.record(float(t), float(t))
+        windows = rec.windowed_means(100.0)
+        assert len(windows) == 1
+        assert windows[0][1] == pytest.approx(2.0)
+
+
+class TestPercentileEdges:
+    def test_single_sample(self):
+        rec = LatencyRecorder()
+        rec.record(0.0, 5.0)
+        assert rec.percentile(1) == 5.0
+        assert rec.percentile(50) == 5.0
+        assert rec.percentile(100) == 5.0
+
+    def test_two_samples(self):
+        rec = LatencyRecorder()
+        rec.record(0.0, 1.0)
+        rec.record(1.0, 9.0)
+        assert rec.percentile(50) == 1.0
+        assert rec.percentile(51) == 9.0
+
+    def test_percentiles_monotone(self):
+        rec = LatencyRecorder()
+        for i in range(37):
+            rec.record(float(i), float((i * 7) % 37))
+        values = [rec.percentile(p) for p in (1, 25, 50, 75, 99, 100)]
+        assert values == sorted(values)

@@ -1,0 +1,75 @@
+"""Unit tests for workload specs and the standard core workloads."""
+
+import pytest
+
+from repro.ycsb.workload import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    WORKLOAD_F,
+    WorkloadSpec,
+)
+
+
+class TestPresets:
+    def test_workload_a_is_update_heavy(self):
+        assert WORKLOAD_A.read_proportion == 0.5
+        assert WORKLOAD_A.update_proportion == 0.5
+
+    def test_workload_b_is_read_heavy(self):
+        assert WORKLOAD_B.read_proportion == 0.95
+        assert WORKLOAD_B.update_proportion == 0.05
+
+    def test_workload_c_is_read_only(self):
+        assert WORKLOAD_C.read_proportion == 1.0
+        assert WORKLOAD_C.update_proportion == 0.0
+
+    def test_paper_sizes(self):
+        """§V: 100 K records of 1 KB, 100 K requests per client."""
+        for wl in (WORKLOAD_A, WORKLOAD_B, WORKLOAD_C):
+            assert wl.num_records == 100_000
+            assert wl.record_size == 1024
+            assert wl.ops_per_client == 100_000
+            assert wl.request_distribution == "uniform"
+
+    def test_workload_d_uses_latest_distribution(self):
+        assert WORKLOAD_D.insert_proportion == 0.05
+        assert WORKLOAD_D.request_distribution == "latest"
+
+    def test_workload_f_read_modify_write(self):
+        assert WORKLOAD_F.read_modify_write_proportion == 0.5
+
+
+class TestValidation:
+    def test_proportions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="bad", read_proportion=0.5)
+
+    def test_positive_sizes(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="bad", read_proportion=1.0, num_records=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="bad", read_proportion=1.0, record_size=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="bad", read_proportion=1.0, ops_per_client=0)
+
+    def test_negative_throttle_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="bad", read_proportion=1.0,
+                         target_ops_per_second=-1)
+
+
+class TestDerivation:
+    def test_scaled_overrides_sizes(self):
+        scaled = WORKLOAD_A.scaled(num_records=100, ops_per_client=50)
+        assert scaled.num_records == 100
+        assert scaled.ops_per_client == 50
+        assert scaled.read_proportion == 0.5  # unchanged
+        # The original preset is untouched.
+        assert WORKLOAD_A.num_records == 100_000
+
+    def test_throttled(self):
+        limited = WORKLOAD_A.throttled(200.0)
+        assert limited.target_ops_per_second == 200.0
+        assert WORKLOAD_A.target_ops_per_second == 0.0
