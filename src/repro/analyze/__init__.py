@@ -1,0 +1,38 @@
+"""``repro.analyze`` — DES-aware static analysis for the reproduction.
+
+The simulation kernel's idioms fail *silently*: a generator called
+without ``yield from`` never runs, an ``acquire`` without a guarded
+``release`` leaks a lock only on the error path, and a stray
+``random.random()`` quietly destroys run-to-run determinism.  None of
+these crash — they just produce wrong throughput/energy numbers, which
+is fatal for a measurement-study reproduction.
+
+``simlint`` (this package) machine-checks those idioms:
+
+* :mod:`repro.analyze.rules` — the SIM001–SIM005 rule implementations;
+* :mod:`repro.analyze.linter` — file walking, suppression comments,
+  the cross-file generator index;
+* ``python -m repro.analyze [paths]`` — the CLI, non-zero exit on
+  findings (wired into CI).
+
+The companion *runtime* sanitizers live in :mod:`repro.sim.sanitize`
+and are enabled with ``Simulator(debug=True)`` (or the
+``REPRO_SIM_DEBUG`` environment variable).  See ``docs/ANALYSIS.md``.
+"""
+
+from repro.analyze.linter import (
+    Finding,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+from repro.analyze.rules import ALL_RULES, RULE_CODES
+
+__all__ = [
+    "Finding",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "ALL_RULES",
+    "RULE_CODES",
+]

@@ -1,0 +1,67 @@
+"""``python -m repro.analyze [paths]`` — run simlint from the shell.
+
+Exit status: 0 when clean, 1 when findings exist, 2 on usage or parse
+errors.  CI runs ``python -m repro.analyze src`` and fails the build on
+any finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analyze.linter import analyze_paths
+from repro.analyze.rules import RULE_CODES
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="DES-aware static analysis (simlint) for this "
+                    "reproduction's simulation code.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(e.g. SIM002,SIM003); default: all")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULE_CODES):
+            doc = (RULE_CODES[code].__doc__ or "").strip().splitlines()[0]
+            print(f"{code}  {doc}")
+        return 0
+
+    rules = None
+    if args.select:
+        codes = [c.strip().upper() for c in args.select.split(",") if c.strip()]
+        unknown = [c for c in codes if c not in RULE_CODES]
+        if unknown:
+            print(f"unknown rule code(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        rules = [RULE_CODES[c] for c in codes]
+
+    try:
+        findings, errors = analyze_paths(args.paths, rules=rules)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    for line in errors:
+        print(f"error: {line}", file=sys.stderr)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"simlint: {len(findings)} finding(s)", file=sys.stderr)
+    if errors:
+        return 2
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,268 @@
+"""The ``simlint`` driver: parsing, suppressions, and the file walker.
+
+A *rule* is a callable ``rule(module) -> Iterable[Finding]`` operating
+on a parsed :class:`Module`.  The driver adds what individual rules
+cannot know on their own:
+
+* a **project-wide generator index** (SIM001 must recognise a generator
+  method defined in another file to catch a dropped cross-module call);
+* **suppression comments** — ``# simlint: ignore[SIM003]`` on the
+  flagged line (or ``# simlint: ignore`` to silence every rule there);
+* deterministic ordering of findings (path, line, column, code).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "Module",
+    "GeneratorIndex",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+]
+
+_IGNORE_MARKER = "simlint:"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The CLI's one-line representation."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class Suppressions:
+    """Per-line ``# simlint: ignore[...]`` directives of one file."""
+
+    def __init__(self, source: str):
+        # line number → set of suppressed codes; empty set = all codes.
+        self._lines: Dict[int, Set[str]] = {}
+        try:
+            tokens = tokenize.generate_tokens(StringIO(source).readline)
+            for tok in tokens:
+                if tok.type == tokenize.COMMENT:
+                    self._parse(tok.start[0], tok.string)
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            pass  # an unparseable file produces no suppressions
+
+    def _parse(self, line: int, comment: str) -> None:
+        text = comment.lstrip("#").strip()
+        if not text.startswith(_IGNORE_MARKER):
+            return
+        directive = text[len(_IGNORE_MARKER):].strip()
+        if not directive.startswith("ignore"):
+            return
+        rest = directive[len("ignore"):].strip()
+        if rest.startswith("[") and "]" in rest:
+            codes = {c.strip().upper()
+                     for c in rest[1:rest.index("]")].split(",") if c.strip()}
+            self._lines[line] = codes
+        else:
+            self._lines[line] = set()  # blanket ignore
+
+    def suppresses(self, line: int, code: str) -> bool:
+        """Whether ``code`` is silenced on ``line``."""
+        codes = self._lines.get(line)
+        if codes is None:
+            return False
+        return not codes or code.upper() in codes
+
+
+@dataclass
+class Module:
+    """One parsed source file plus the derived maps rules need."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+    parents: Dict[ast.AST, ast.AST] = field(default_factory=dict)
+    # Function defs that are generators (yield in their own scope).
+    generator_defs: Set[ast.FunctionDef] = field(default_factory=set)
+    # Names the file imports as modules: local alias → module name.
+    module_imports: Dict[str, str] = field(default_factory=dict)
+    # from-imports: local name → "module.attr".
+    from_imports: Dict[str, str] = field(default_factory=dict)
+    index: Optional["GeneratorIndex"] = None
+
+    @classmethod
+    def parse(cls, source: str, path: str) -> "Module":
+        tree = ast.parse(source, filename=path)
+        mod = cls(path=path, source=source, tree=tree,
+                  suppressions=Suppressions(source))
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                mod.parents[child] = parent
+        mod._build_scopes()
+        mod._build_imports()
+        return mod
+
+    # -- derived maps ---------------------------------------------------
+
+    def _build_scopes(self) -> None:
+        """Find the FunctionDefs whose own scope contains a yield."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                func = self.enclosing_function(node)
+                if func is not None:
+                    self.generator_defs.add(func)
+
+    def _build_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_imports[alias.asname or
+                                        alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}")
+
+    # -- navigation helpers --------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent, or None for the module root."""
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk outward from ``node`` (excluded) to the module root."""
+        cur = self.parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self.parents.get(cur)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.FunctionDef]:
+        """The nearest enclosing function def, if any."""
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+            if isinstance(anc, ast.Lambda):
+                return None
+        return None
+
+    def functions(self) -> Iterator[ast.FunctionDef]:
+        """Every function def in the module, outermost first."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        """A :class:`Finding` anchored at ``node``."""
+        return Finding(path=self.path, line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       code=code, message=message)
+
+
+class GeneratorIndex:
+    """Project-wide set of names that (unambiguously) denote generator
+    functions.
+
+    A name defined as a generator in one place and as a plain function
+    elsewhere (``run``, say: ``YcsbClient.run`` yields,
+    ``Simulator.run`` does not) is *ambiguous* and excluded — SIM001
+    only fires on names every definition of which is a generator, which
+    keeps it high-precision at the cost of a little recall.
+    """
+
+    def __init__(self) -> None:
+        self._generator_names: Set[str] = set()
+        self._plain_names: Set[str] = set()
+
+    def add_module(self, module: Module) -> None:
+        """Record every function definition of ``module``."""
+        for func in module.functions():
+            if func in module.generator_defs:
+                self._generator_names.add(func.name)
+            else:
+                self._plain_names.add(func.name)
+
+    def is_generator_name(self, name: str) -> bool:
+        """True when every known definition of ``name`` is a generator."""
+        return name in self._generator_names and name not in self._plain_names
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d not in ("__pycache__", ".git"))
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        found.append(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(found)
+
+
+def _run_rules(module: Module, rules: Iterable) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule(module):
+            if not module.suppressions.suppresses(finding.line, finding.code):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def analyze_source(source: str, path: str = "<string>",
+                   rules: Optional[Iterable] = None,
+                   index: Optional[GeneratorIndex] = None) -> List[Finding]:
+    """Lint one source string (the unit-test entry point)."""
+    from repro.analyze.rules import ALL_RULES
+    module = Module.parse(source, path)
+    module.index = index or _index_of([module])
+    return _run_rules(module, rules if rules is not None else ALL_RULES)
+
+
+def _index_of(modules: Sequence[Module]) -> GeneratorIndex:
+    index = GeneratorIndex()
+    for module in modules:
+        index.add_module(module)
+    return index
+
+
+def analyze_paths(paths: Sequence[str],
+                  rules: Optional[Iterable] = None
+                  ) -> Tuple[List[Finding], List[str]]:
+    """Lint files/directories.
+
+    Returns ``(findings, errors)`` where ``errors`` are files that
+    could not be read or parsed (reported, never silently skipped).
+    """
+    from repro.analyze.rules import ALL_RULES
+    modules: List[Module] = []
+    errors: List[str] = []
+    for path in iter_python_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            modules.append(Module.parse(source, path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            errors.append(f"{path}: {exc}")
+    index = _index_of(modules)
+    findings: List[Finding] = []
+    for module in modules:
+        module.index = index
+        findings.extend(_run_rules(module,
+                                   rules if rules is not None else ALL_RULES))
+    return sorted(findings), errors

@@ -682,7 +682,13 @@ class RamCloudServer(RpcService):
                       + nbytes * self.cost.replay_per_byte)
         yield from self.node.cpu.execute_sliced(replay_cpu)
         token = self.log_lock.acquire()
-        yield token
+        try:
+            yield token
+        except BaseException:
+            # Interrupted (node killed) while queueing for the log lock:
+            # withdraw the request so the lock is not leaked.
+            self.log_lock.abort(token)
+            raise
         try:
             for entry in entries:
                 segment, new_entry, _closed = self.log.append(
@@ -902,7 +908,13 @@ class RamCloudServer(RpcService):
                           + my_bytes * rf * self.cost.replay_replication_per_byte)
             yield from self.node.cpu.execute_sliced(replay_cpu)
             token = self.log_lock.acquire()
-            yield token
+            try:
+                yield token
+            except BaseException:
+                # Killed while queueing for the log lock mid-recovery:
+                # withdraw the request so the lock is not leaked.
+                self.log_lock.abort(token)
+                raise
             try:
                 for entry in mine:
                     segment, new_entry, _closed = self.log.append(
@@ -974,7 +986,13 @@ class RamCloudServer(RpcService):
         yield from self.node.cpu.execute_sliced(
             max(live_bytes, 1) * self.cost.cleaner_per_byte)
         token = self.log_lock.acquire()
-        yield token
+        try:
+            yield token
+        except BaseException:
+            # The cleaner is interrupted on kill(); withdraw its queued
+            # lock request instead of leaking it.
+            self.log_lock.abort(token)
+            raise
         try:
             for entry in live:
                 if not entry.live:

@@ -9,7 +9,7 @@ individually perturbable.
 from __future__ import annotations
 
 import math
-import random
+import random  # simlint: ignore[SIM003] — RandomStream IS the sanctioned wrapper
 from typing import Optional, Sequence, TypeVar
 
 __all__ = ["RandomStream", "ZipfianGenerator", "ScrambledZipfianGenerator"]
@@ -40,7 +40,7 @@ class RandomStream:
         self.name = name
         # Derive a stream-specific seed so streams with the same base
         # seed but different names are independent.
-        self._rng = random.Random(f"{seed}\x00{name}")
+        self._rng = random.Random(f"{seed}\x00{name}")  # simlint: ignore[SIM003]
 
     def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
         """Uniform float in [low, high)."""
@@ -84,7 +84,7 @@ class RandomStream:
     def fork(self, name: str) -> "RandomStream":
         """Derive an independent child stream."""
         child = RandomStream(0, name)
-        child._rng = random.Random(f"{self._rng.random()}\x00{name}")
+        child._rng = random.Random(f"{self._rng.random()}\x00{name}")  # simlint: ignore[SIM003]
         return child
 
 

@@ -20,6 +20,7 @@ Design notes
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -63,7 +64,8 @@ class Event:
     called; its callbacks then run at the current simulation instant.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled",
+                 "__weakref__")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -71,6 +73,8 @@ class Event:
         self._value: Any = None
         self._ok: Optional[bool] = None
         self._scheduled = False
+        if sim._sanitizer is not None:
+            sim._sanitizer.event_created(self)
 
     @property
     def triggered(self) -> bool:
@@ -242,6 +246,8 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
         self._interrupts: List[Interrupt] = []
+        if sim._sanitizer is not None:
+            sim._sanitizer.register_process(self)
         # Kick off at the current instant.
         bootstrap = Event(sim)
         bootstrap.succeed()
@@ -286,6 +292,9 @@ class Process(Event):
             self._step(event.value, throw=True)
 
     def _step(self, value: Any, throw: bool) -> None:
+        sanitizer = self.sim._sanitizer
+        if sanitizer is not None:
+            sanitizer.current_process = self
         try:
             if throw:
                 target = self.generator.throw(value)
@@ -293,11 +302,15 @@ class Process(Event):
                 target = self.generator.send(value)
         except StopIteration as stop:
             self.succeed(stop.value)
+            if sanitizer is not None:
+                sanitizer.process_died(self)
             return
         except Interrupt:
             # An unhandled interrupt terminates the process cleanly: this
             # is the normal way a crashed server's threads die.
             self.succeed(None)
+            if sanitizer is not None:
+                sanitizer.process_died(self)
             return
         except BaseException as exc:
             if self.callbacks:
@@ -305,7 +318,12 @@ class Process(Event):
             else:
                 # Nobody is watching this process: surface the crash.
                 self.sim._crash(exc)
+            if sanitizer is not None:
+                sanitizer.process_died(self)
             return
+        finally:
+            if sanitizer is not None:
+                sanitizer.current_process = None
         if not isinstance(target, Event):
             error = SimulationError(
                 f"process {self.name!r} yielded {target!r}, expected an Event"
@@ -321,9 +339,25 @@ class Process(Event):
 
 
 class Simulator:
-    """The event loop: owns simulated time and the scheduling heap."""
+    """The event loop: owns simulated time and the scheduling heap.
 
-    def __init__(self):
+    ``debug=True`` attaches the runtime sanitizers
+    (:mod:`repro.sim.sanitize`): event-leak detection when the schedule
+    drains, lock-held-at-process-death checks, and wait-graph dumps on
+    deadlock.  The default (``debug=None``) consults the
+    ``REPRO_SIM_DEBUG`` environment variable — the test suite turns it
+    on globally; production runs pay only a ``None`` check.
+    """
+
+    def __init__(self, debug: Optional[bool] = None):
+        if debug is None:
+            debug = os.environ.get("REPRO_SIM_DEBUG", "0") not in ("", "0")
+        self.debug = bool(debug)
+        if self.debug:
+            from repro.sim.sanitize import Sanitizer
+            self._sanitizer: Optional["Sanitizer"] = Sanitizer(self)
+        else:
+            self._sanitizer = None
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
@@ -399,6 +433,8 @@ class Simulator:
         if until is None:
             while self._heap:
                 self.step()
+            if self._sanitizer is not None:
+                self._sanitizer.check_leaks()
             return
         if until < self.now:
             raise ValueError(f"run(until={until}) is in the past (now={self.now})")
@@ -414,9 +450,12 @@ class Simulator:
                     f"process {process.name!r} did not finish by t={until}"
                 )
             if not self._heap:
-                raise SimulationError(
-                    f"deadlock: process {process.name!r} alive with empty schedule"
-                )
+                message = (f"deadlock: process {process.name!r} alive "
+                           f"with empty schedule")
+                if self._sanitizer is not None:
+                    message += ("\nwait-for graph:\n"
+                                + self._sanitizer.wait_graph())
+                raise SimulationError(message)
             self.step()
         if not process.ok:
             raise process.value

@@ -20,13 +20,18 @@ __all__ = ["Request", "Resource", "PriorityResource", "Mutex", "Store", "Contain
 class Request(Event):
     """A pending or granted claim on a :class:`Resource` slot."""
 
-    __slots__ = ("resource", "priority", "enqueued_at")
+    __slots__ = ("resource", "priority", "enqueued_at", "owner")
 
     def __init__(self, resource: "Resource", priority: int = 0):
         super().__init__(resource.sim)
         self.resource = resource
         self.priority = priority
         self.enqueued_at = resource.sim.now
+        # Debug-mode attribution: the process whose step created this
+        # request (the would-be holder); None outside debug mode.
+        sanitizer = resource.sim._sanitizer
+        self.owner = (sanitizer.current_process
+                      if sanitizer is not None else None)
 
 
 class Resource:
@@ -46,6 +51,8 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        if sim._sanitizer is not None:
+            sim._sanitizer.register_resource(self)
         self._users: List[Request] = []
         self._queue: Deque[Request] = deque()
         # Cumulative statistics for monitoring.

@@ -1,0 +1,182 @@
+"""Runtime sanitizers for the simulation kernel (``Simulator(debug=True)``).
+
+The static linter (:mod:`repro.analyze`) catches what is visible in the
+source; these sanitizers catch what only manifests at run time:
+
+* **event leaks** — an event somebody waits on that is never triggered
+  when the schedule drains: that waiter is a process silently frozen
+  forever (a dropped wakeup, a forgotten ``succeed()``);
+* **locks held at process death** — a process that dies (crash
+  injection, unhandled error) while holding or queueing for a resource
+  slot: every later acquirer deadlocks;
+* **deadlock diagnostics** — when :meth:`Simulator.run_process` finds a
+  live process with an empty schedule, a dump of *which* process waits
+  on *what* turns an opaque error into a one-glance diagnosis.
+
+Diagnostics are emitted as :class:`SanitizerWarning` (the simulation is
+not aborted: a measurement run that is already wrong should still
+finish so the warning can point at the cause).  With ``debug=False``
+(the default) no sanitizer object exists and the kernel pays nothing
+beyond a ``None`` check.
+
+Enable globally with the ``REPRO_SIM_DEBUG=1`` environment variable —
+the test suite does exactly that (``tests/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import warnings
+import weakref
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.sim.kernel import Event, Process, Simulator
+
+__all__ = ["Sanitizer", "SanitizerWarning"]
+
+
+class SanitizerWarning(UserWarning):
+    """A kernel-hygiene violation detected at run time."""
+
+
+def describe_event(event: "Event") -> str:
+    """A human-readable one-liner for a wait target."""
+    # Imported lazily: kernel imports this module lazily too, and the
+    # isinstance checks only run on debug/error paths.
+    from repro.sim.kernel import Process, Timeout
+    from repro.sim.resources import Request
+
+    if event is None:
+        return "nothing (runnable or just started)"
+    if isinstance(event, Request):
+        holder = "granted" if event.triggered else "queued"
+        return (f"{type(event).__name__} on "
+                f"{event.resource.name or 'resource'} ({holder})")
+    if isinstance(event, Process):
+        return f"process {event.name!r}"
+    if isinstance(event, Timeout):
+        return f"Timeout({event.delay:g}s)"
+    return type(event).__name__
+
+
+class Sanitizer:
+    """The debug-mode bookkeeping attached to one :class:`Simulator`.
+
+    All containers are weak: tracking never extends object lifetimes,
+    so a debug run frees memory exactly like a production run.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._events: "weakref.WeakSet[Event]" = weakref.WeakSet()
+        self._processes: "weakref.WeakSet[Process]" = weakref.WeakSet()
+        self._resources: "weakref.WeakSet" = weakref.WeakSet()
+        # The process whose generator is currently executing; requests
+        # created during its step are attributed to it.
+        self.current_process: Optional["Process"] = None
+
+    # -- registration hooks (called from the kernel) --------------------
+
+    def event_created(self, event: "Event") -> None:
+        """Track ``event`` for leak detection."""
+        self._events.add(event)
+
+    def register_process(self, process: "Process") -> None:
+        """Track ``process`` for wait-graph dumps."""
+        self._processes.add(process)
+
+    def register_resource(self, resource) -> None:
+        """Track ``resource`` for held-at-death checks."""
+        self._resources.add(resource)
+
+    # -- event-leak detection -------------------------------------------
+
+    def leaked_events(self) -> List[Tuple["Event", List[str]]]:
+        """Untriggered events with registered waiters.
+
+        Each entry is ``(event, waiter_names)``.  An untriggered event
+        nobody waits on is garbage, not a leak; an untriggered event
+        *with* waiters is a process frozen forever.
+        """
+        from repro.sim.kernel import Process
+
+        leaks = []
+        for event in self._events:
+            if event.triggered or not event.callbacks:
+                continue
+            waiters = []
+            for cb in event.callbacks:
+                owner = getattr(cb, "__self__", None)
+                if isinstance(owner, Process):
+                    waiters.append(owner.name)
+                elif owner is not None:
+                    waiters.append(type(owner).__name__)
+            if waiters:
+                leaks.append((event, sorted(waiters)))
+        leaks.sort(key=lambda pair: pair[1])
+        return leaks
+
+    def check_leaks(self) -> None:
+        """Warn about leaked events (called when the schedule drains)."""
+        leaks = self.leaked_events()
+        if not leaks:
+            return
+        lines = [f"  {describe_event(ev)} awaited by "
+                 f"{', '.join(repr(w) for w in waiters)}"
+                 for ev, waiters in leaks]
+        warnings.warn(
+            "event leak: the schedule drained with "
+            f"{len(leaks)} event(s) never triggered but still awaited "
+            "(each waiter is a process frozen forever):\n"
+            + "\n".join(lines),
+            SanitizerWarning, stacklevel=3)
+
+    # -- lock-held-at-death detection ------------------------------------
+
+    def held_requests(self, process: "Process") -> List[Tuple[object, str]]:
+        """Resource slots held or queued by ``process``.
+
+        Returns ``(resource, state)`` pairs where state is ``'holding'``
+        or ``'queued for'``.
+        """
+        found = []
+        for resource in self._resources:
+            for req in getattr(resource, "_users", ()):
+                if getattr(req, "owner", None) is process:
+                    found.append((resource, "holding"))
+            queued = list(getattr(resource, "_queue", ()))
+            queued.extend(req for _prio, _seq, req
+                          in getattr(resource, "_pqueue", ()))
+            for req in queued:
+                if (getattr(req, "owner", None) is process
+                        and not req.triggered):
+                    found.append((resource, "queued for"))
+        return found
+
+    def process_died(self, process: "Process") -> None:
+        """Check a just-finished process for leaked resource claims."""
+        held = self.held_requests(process)
+        if not held:
+            return
+        details = ", ".join(
+            f"{state} {getattr(res, 'name', '') or type(res).__name__}"
+            for res, state in held)
+        warnings.warn(
+            f"process {process.name!r} died while {details} — release "
+            "requests in a try/finally (simlint SIM002); later acquirers "
+            "will deadlock",
+            SanitizerWarning, stacklevel=4)
+
+    # -- deadlock diagnostics --------------------------------------------
+
+    def wait_graph(self) -> str:
+        """A dump of every live process and what it waits on."""
+        lines = []
+        alive = sorted((p for p in self._processes if p.is_alive),
+                       key=lambda p: p.name)
+        for proc in alive:
+            lines.append(f"  {proc.name!r} waits on "
+                         f"{describe_event(proc._waiting_on)}")
+        if not lines:
+            return "  (no live processes tracked)"
+        return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""SIM001 true-positive fixture: dropped generator calls.
+
+Deliberately broken — linted by tests, never imported or executed.
+"""
+
+
+def flush_segment(sim, disk):
+    """A simulated-process body: writes, then settles."""
+    yield sim.timeout(0.01)
+    yield from disk.write(10)
+
+
+def handle_close(sim, disk):
+    flush_segment(sim, disk)  # SIM001: generator object discarded, never runs
+    yield sim.timeout(0.1)
+
+
+def handle_close_yielded(sim, disk):
+    yield flush_segment(sim, disk)  # SIM001: yields a generator, not an Event

@@ -1,0 +1,25 @@
+"""SIM002 true-positive fixture: unguarded acquire/release.
+
+Deliberately broken — linted by tests, never imported or executed.
+"""
+
+
+def append_release_outside_finally(sim, mutex, log):
+    token = mutex.acquire()  # SIM002: release is not in a finally
+    yield token
+    log.append("entry")
+    mutex.release(token)
+
+
+def append_never_released(sim, mutex):
+    token = mutex.acquire()  # SIM002: never released at all
+    yield token
+
+
+def append_wait_unprotected(sim, mutex, log):
+    token = mutex.acquire()
+    yield token  # SIM002: an Interrupt during this wait leaks the request
+    try:
+        log.append("entry")
+    finally:
+        mutex.release(token)

@@ -1,0 +1,25 @@
+"""SIM003 true-positive fixture: nondeterminism sources.
+
+Deliberately broken — linted by tests, never imported or executed.
+"""
+
+import random  # SIM003: global random module
+import time
+
+
+def jitter(mean):
+    return mean * random.random()  # SIM003: unseeded draw
+
+
+def stamp():
+    return time.time()  # SIM003: wall-clock read
+
+
+def choose_backups(candidates, rf):
+    pool = set(candidates)
+    out = []
+    for sid in pool:  # SIM003: unordered set iteration feeds selection
+        out.append(sid)
+        if len(out) == rf:
+            break
+    return out

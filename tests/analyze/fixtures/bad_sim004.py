@@ -1,0 +1,17 @@
+"""SIM004 true-positive fixture: swallowed Interrupt.
+
+Deliberately broken — linted by tests, never imported or executed.
+"""
+
+
+class Interrupt(Exception):
+    """Stand-in for repro.sim.kernel.Interrupt."""
+
+
+def worker_loop(sim, queue):
+    while True:
+        item = yield queue.get()
+        try:
+            yield sim.timeout(item)
+        except Interrupt:
+            pass  # SIM004: the "crashed" worker keeps serving requests

@@ -1,0 +1,17 @@
+"""SIM005 true-positive fixture: wall-clock vs simulated-time confusion.
+
+Deliberately broken — linted by tests, never imported or executed.
+"""
+
+import time
+
+
+def accumulate_busy_time(sim, ops):
+    elapsed = 0.0
+    for _ in range(ops):
+        elapsed += sim.now  # SIM005: clock arithmetic instead of timeouts
+    return elapsed
+
+
+def throttle():
+    time.sleep(0.1)  # SIM005: sleeps the wall clock, not simulated time

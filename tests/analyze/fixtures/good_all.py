@@ -1,0 +1,68 @@
+"""True-negative fixture: every SIM rule's *correct* idiom, plus one
+demonstratively suppressed line.  simlint must report nothing here.
+
+Never imported or executed — only linted.
+"""
+
+import random  # simlint: ignore[SIM003] — suppression demo (see ANALYSIS.md)
+
+
+def flush_segment(sim, disk):
+    """A simulated-process body: writes, then settles."""
+    yield sim.timeout(0.01)
+    yield from disk.write(10)
+
+
+def handle_close(sim, disk):
+    # SIM001-clean: consumed with yield from / started as a process.
+    yield from flush_segment(sim, disk)
+    sim.process(flush_segment(sim, disk), name="background-flush")
+
+
+def append(sim, mutex, log):
+    # SIM002-clean: the wait aborts on interrupt, the release is in a
+    # finally — the kernel's canonical critical-section shape.
+    token = mutex.acquire()
+    try:
+        yield token
+    except BaseException:
+        mutex.abort(token)
+        raise
+    try:
+        log.append("entry")
+    finally:
+        mutex.release(token)
+
+
+def choose_backups(stream, candidates, rf):
+    # SIM003-clean: seeded stream, deterministic iteration order.
+    pool = set(candidates)
+    ordered = sorted(pool)
+    return stream.sample(ordered, rf)
+
+
+def send_close(sim, backup, Interrupt):
+    # SIM004-clean: swallowing at the tail of a fire-and-forget process
+    # just lets the generator end — the kernel's clean-death idiom.
+    try:
+        yield from backup.call("replicate_close")
+    except Interrupt:
+        pass
+
+
+def worker_loop(sim, queue, Interrupt):
+    # SIM004-clean: the interrupt is re-raised after cleanup.
+    while True:
+        request = yield queue.get()
+        try:
+            yield sim.timeout(request)
+        except Interrupt:
+            queue.put(request)
+            raise
+
+
+def settle(sim, interval, rounds):
+    # SIM005-clean: time advances by scheduling, not clock arithmetic.
+    for _ in range(rounds):
+        yield sim.timeout(interval)
+    return sim.now

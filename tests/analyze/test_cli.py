@@ -1,0 +1,62 @@
+"""CLI contract of ``python -m repro.analyze``: exit codes and output.
+
+This is what CI runs — exit 0 on the real tree, non-zero on the bad
+fixtures — so the contract is pinned here.
+"""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "fixtures")
+
+
+def run_cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (os.path.join(REPO_ROOT, "src")
+                         + os.pathsep + env.get("PYTHONPATH", ""))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analyze", *args],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT)
+
+
+def test_clean_tree_exits_zero():
+    proc = run_cli("src")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert proc.stdout.strip() == ""
+
+
+def test_bad_fixtures_exit_nonzero_and_name_every_rule():
+    proc = run_cli(FIXTURES)
+    assert proc.returncode == 1
+    for code in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005"):
+        assert code in proc.stdout, f"{code} missing from:\n{proc.stdout}"
+    assert "finding(s)" in proc.stderr
+
+
+def test_select_runs_only_chosen_rules():
+    proc = run_cli("--select", "SIM004", FIXTURES)
+    assert proc.returncode == 1
+    assert "SIM004" in proc.stdout
+    assert "SIM002" not in proc.stdout
+
+
+def test_select_unknown_code_is_usage_error():
+    proc = run_cli("--select", "SIM999", FIXTURES)
+    assert proc.returncode == 2
+    assert "unknown rule code" in proc.stderr
+
+
+def test_missing_path_is_usage_error():
+    proc = run_cli("no/such/dir")
+    assert proc.returncode == 2
+
+
+def test_list_rules_prints_catalogue():
+    proc = run_cli("--list-rules")
+    assert proc.returncode == 0
+    for code in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005"):
+        assert code in proc.stdout

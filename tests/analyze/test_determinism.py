@@ -1,0 +1,72 @@
+"""Seed-determinism regression: the runtime guard behind SIM003.
+
+The paper's numbers are only reproducible if two runs with the same
+seed agree to the last bit.  A stray ``random.random()``, an unordered
+``set`` feeding backup selection, or a wall-clock read would all break
+this — simlint catches them statically, this test catches them (and
+anything simlint cannot see) at runtime by digesting every metric a
+small fig1-style experiment produces.
+"""
+
+import hashlib
+
+from repro.cluster import ClusterSpec, ExperimentSpec, run_experiment
+from repro.ramcloud.config import ServerConfig
+from repro.ycsb.workload import WORKLOAD_A, WORKLOAD_C
+
+
+def run_small(workload, rf=0, seed=7):
+    spec = ExperimentSpec(
+        cluster=ClusterSpec(
+            num_servers=2, num_clients=2,
+            server_config=ServerConfig(replication_factor=rf), seed=seed),
+        workload=workload.scaled(num_records=500, ops_per_client=120),
+    )
+    return run_experiment(spec)
+
+
+def digest(result) -> str:
+    """A byte-exact digest of everything the experiment measured."""
+    h = hashlib.sha256()
+
+    def feed(label, value):
+        h.update(f"{label}={value!r}\n".encode())
+
+    feed("total_ops", result.total_ops)
+    feed("makespan", result.makespan)
+    feed("throughput", result.throughput)
+    feed("avg_power_per_server", result.avg_power_per_server)
+    feed("total_energy_joules", result.total_energy_joules)
+    feed("energy_efficiency", result.energy_efficiency)
+    feed("client_errors", result.client_errors)
+    for node in sorted(result.cpu_util_per_node):
+        feed(f"cpu[{node}]", result.cpu_util_per_node[node])
+    for i, stats in enumerate(result.per_client_stats):
+        feed(f"client[{i}].ops", stats.total_ops)
+        latencies = stats.all_latencies().latencies
+        for latency in latencies:
+            feed(f"client[{i}].lat", latency)
+    return h.hexdigest()
+
+
+def test_same_seed_same_digest_read_only():
+    first = digest(run_small(WORKLOAD_C))
+    second = digest(run_small(WORKLOAD_C))
+    assert first == second
+
+
+def test_same_seed_same_digest_update_heavy_with_replication():
+    # Update-heavy with RF=2 exercises the stochastic paths that
+    # SIM003 polices: backup selection, service-time jitter, zipfian
+    # key choice, and the replication fan-out.
+    first = digest(run_small(WORKLOAD_A, rf=1))
+    second = digest(run_small(WORKLOAD_A, rf=1))
+    assert first == second
+
+
+def test_different_seeds_actually_diverge():
+    # Guard the guard: if the digest ignored the interesting state,
+    # the two tests above would pass vacuously.
+    a = digest(run_small(WORKLOAD_C, seed=7))
+    b = digest(run_small(WORKLOAD_C, seed=8))
+    assert a != b

@@ -1,0 +1,257 @@
+"""Runtime-sanitizer tests: each diagnostic fires on its bug, stays
+quiet on clean runs, and ``debug=False`` keeps the kernel untouched.
+"""
+
+import warnings
+
+import pytest
+
+from repro.sim.kernel import Process, SimulationError, Simulator
+from repro.sim.resources import Mutex, Resource
+from repro.sim.sanitize import SanitizerWarning
+
+
+def wait_on(event):
+    yield event
+
+
+# ---------------------------------------------------------------------------
+# event-leak detection
+# ---------------------------------------------------------------------------
+
+class TestEventLeak:
+    def test_leaked_event_warns_when_schedule_drains(self):
+        sim = Simulator(debug=True)
+        orphan = sim.event()  # nobody will ever trigger this
+        sim.process(wait_on(orphan), name="frozen-forever")
+        with pytest.warns(SanitizerWarning, match="event leak"):
+            sim.run()
+
+    def test_leak_warning_names_the_waiting_process(self):
+        sim = Simulator(debug=True)
+        orphan = sim.event()
+        sim.process(wait_on(orphan), name="backup-flush")
+        with pytest.warns(SanitizerWarning, match="backup-flush"):
+            sim.run()
+
+    def test_untriggered_event_without_waiters_is_not_a_leak(self):
+        sim = Simulator(debug=True)
+        sim.event()  # garbage, not a leak: nobody waits on it
+        sim.timeout(1.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", SanitizerWarning)
+            sim.run()
+
+    def test_triggered_events_are_not_leaks(self):
+        sim = Simulator(debug=True)
+        ev = sim.event()
+        sim.process(wait_on(ev), name="ok")
+
+        def trigger():
+            yield sim.timeout(0.5)
+            ev.succeed("done")
+
+        sim.process(trigger(), name="trigger")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", SanitizerWarning)
+            sim.run()
+
+
+# ---------------------------------------------------------------------------
+# lock-held-at-process-death detection
+# ---------------------------------------------------------------------------
+
+class TestHeldAtDeath:
+    def test_dying_while_holding_a_mutex_warns(self):
+        sim = Simulator(debug=True)
+        mutex = Mutex(sim, name="log-lock")
+
+        def holder():
+            token = mutex.acquire()
+            yield token
+            raise RuntimeError("boom")  # dies holding log-lock
+
+        proc = sim.process(holder(), name="writer")
+
+        def watcher():
+            try:
+                yield proc
+            except RuntimeError:
+                pass
+
+        sim.process(watcher(), name="watcher")
+        with pytest.warns(SanitizerWarning, match="holding log-lock"):
+            sim.run()
+
+    def test_interrupt_while_queued_without_abort_warns(self):
+        sim = Simulator(debug=True)
+        mutex = Mutex(sim, name="log-lock")
+
+        def holder():
+            token = mutex.acquire()
+            try:
+                yield token
+                yield sim.timeout(10.0)
+            finally:
+                mutex.release(token)
+
+        def sloppy_waiter():
+            token = mutex.acquire()
+            yield token  # interrupted here; the queued request leaks
+
+        sim.process(holder(), name="holder")
+        victim = sim.process(sloppy_waiter(), name="victim")
+
+        def killer():
+            yield sim.timeout(1.0)
+            victim.interrupt("die")
+
+        sim.process(killer(), name="killer")
+        with pytest.warns(SanitizerWarning, match="queued for log-lock"):
+            sim.run()
+
+    def test_clean_try_finally_holder_stays_silent(self):
+        sim = Simulator(debug=True)
+        mutex = Mutex(sim, name="log-lock")
+
+        def clean():
+            token = mutex.acquire()
+            try:
+                yield token
+            except BaseException:
+                mutex.abort(token)
+                raise
+            try:
+                yield sim.timeout(0.1)
+            finally:
+                mutex.release(token)
+
+        sim.process(clean(), name="clean-a")
+        sim.process(clean(), name="clean-b")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", SanitizerWarning)
+            sim.run()
+
+
+# ---------------------------------------------------------------------------
+# deadlock wait-graph diagnostics
+# ---------------------------------------------------------------------------
+
+class TestDeadlockDiagnostics:
+    def test_deadlock_dump_names_processes_and_waits(self):
+        sim = Simulator(debug=True)
+        mutex = Mutex(sim, name="bucket-lock")
+
+        def holder_forever():
+            token = mutex.acquire()
+            try:
+                yield token
+                yield sim.event()  # never triggered: holds the lock forever
+            finally:
+                mutex.release(token)
+
+        def second():
+            token = mutex.acquire()
+            try:
+                yield token
+            finally:
+                mutex.release(token)
+
+        sim.process(holder_forever(), name="holder")
+        proc = sim.process(second(), name="blocked")
+        with pytest.raises(SimulationError) as excinfo:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", SanitizerWarning)
+                sim.run_process(proc)
+        message = str(excinfo.value)
+        assert "wait-for graph" in message
+        assert "'blocked' waits on Request on bucket-lock (queued)" in message
+        assert "'holder' waits on Event" in message
+
+    def test_debug_off_keeps_the_short_message(self):
+        sim = Simulator(debug=False)
+        proc = sim.process(wait_on(sim.event()), name="stuck")
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_process(proc)
+        with pytest.raises(SimulationError) as excinfo:
+            sim2 = Simulator(debug=False)
+            p2 = sim2.process(wait_on(sim2.event()), name="stuck2")
+            sim2.run_process(p2)
+        assert "wait-for graph" not in str(excinfo.value)
+
+
+# ---------------------------------------------------------------------------
+# debug=False — production mode is untouched
+# ---------------------------------------------------------------------------
+
+class TestZeroOverheadWhenOff:
+    def test_no_sanitizer_object_exists(self):
+        sim = Simulator(debug=False)
+        assert sim._sanitizer is None
+        assert sim.debug is False
+
+    def test_requests_carry_no_owner(self):
+        sim = Simulator(debug=False)
+        pool = Resource(sim, 1, name="cores")
+        req = pool.request()
+        assert req.owner is None
+        pool.release(req)
+
+    def test_buggy_run_emits_no_warnings(self):
+        sim = Simulator(debug=False)
+        mutex = Mutex(sim, name="log-lock")
+
+        def holder():
+            token = mutex.acquire()
+            yield token
+            raise RuntimeError("boom")
+
+        proc = sim.process(holder(), name="writer")
+
+        def watcher():
+            try:
+                yield proc
+            except RuntimeError:
+                pass
+
+        sim.process(watcher(), name="watcher")
+        sim.process(wait_on(sim.event()), name="frozen")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", SanitizerWarning)
+            sim.run()
+
+    def test_debug_true_perturbs_nothing(self):
+        """Sanitizers observe; they never change the schedule."""
+
+        def trace(debug):
+            sim = Simulator(debug=debug)
+            mutex = Mutex(sim, name="m")
+            order = []
+
+            def worker(tag, delay):
+                token = mutex.acquire()
+                try:
+                    yield token
+                    yield sim.timeout(delay)
+                    order.append((tag, sim.now))
+                finally:
+                    mutex.release(token)
+
+            for i in range(4):
+                sim.process(worker(f"w{i}", 0.25 * (i + 1)), name=f"w{i}")
+            sim.run()
+            return order
+
+        assert trace(False) == trace(True)
+
+
+def test_process_events_support_weakref():
+    # The sanitizer's containers are weak; Process/Event must support it.
+    import weakref
+
+    sim = Simulator(debug=True)
+    proc = sim.process(wait_on(sim.timeout(0.1)), name="p")
+    assert isinstance(proc, Process)
+    ref = weakref.ref(proc)
+    assert ref() is proc
+    sim.run()

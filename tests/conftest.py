@@ -1,0 +1,13 @@
+"""Suite-wide test configuration.
+
+Runtime sanitizers (:mod:`repro.sim.sanitize`) are switched on for the
+whole suite: every ``Simulator()`` a test constructs runs with event-
+leak detection, lock-held-at-death checks and deadlock wait-graph
+dumps, so kernel-hygiene bugs surface as loud warnings in CI instead
+of silently wrong metrics.  Tests that need a production-mode kernel
+pass ``Simulator(debug=False)`` explicitly.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_SIM_DEBUG", "1")
