@@ -2,7 +2,11 @@
 
 Methodology, following the paper: build a cluster with failure
 detection on, insert data, start the PDU scripts, run idle (or with
-foreground clients) until ``kill_at``, kill a server, and record:
+foreground clients) while a fault schedule plays out — by default a
+one-entry :meth:`~repro.faults.schedule.FaultSchedule.single_crash`
+killing one server at ``kill_at``, but any schedule (partitions,
+degraded disks, correlated crashes) can be passed via ``faults`` — and
+record:
 
 * the recovery time and per-phase statistics (Fig. 11a),
 * 1 Hz cluster-average CPU and per-node power timelines (Fig. 9a/9b),
@@ -17,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.deployment import Cluster, ClusterSpec
+from repro.faults.schedule import FaultSchedule
 from repro.ramcloud.coordinator import RecoveryStats
 from repro.sim.distributions import RandomStream
 from repro.sim.monitor import TimeSeries
@@ -46,6 +51,9 @@ class CrashExperimentSpec:
     # and client 1 only requests live keys (Fig. 10's setup).  Requires
     # victim_index.
     split_clients_by_victim: bool = False
+    # Custom fault schedule; None = the paper's single kill at
+    # ``kill_at`` (of ``victim_index``, random if that is None too).
+    faults: Optional[FaultSchedule] = None
 
 
 @dataclass
@@ -64,6 +72,8 @@ class CrashExperimentResult:
     # Foreground client latency samples [(time, latency)].
     client_latencies: List[List[Tuple[float, float]]] = field(
         default_factory=list)
+    # The injector's deterministic (time, description) applied-fault log.
+    fault_log: List[Tuple[float, str]] = field(default_factory=list)
 
     @property
     def recovery_time(self) -> Optional[float]:
@@ -189,24 +199,34 @@ def run_crash_experiment(spec: CrashExperimentSpec) -> CrashExperimentResult:
     for i, client in enumerate(clients):
         cluster.sim.process(client.run(), name=f"fg-client{i}")
 
-    cluster.run(until=spec.kill_at)
-    killed = cluster.kill_server(spec.victim_index)
-    result.crashed_server = killed.server_id
-    # Run until the recovery completes (plus a settling tail) or the
+    # The crash (or any richer fault sequence) is a schedule over the
+    # repro.faults layer; the paper's methodology is the one-entry case.
+    schedule = spec.faults
+    if schedule is None:
+        schedule = FaultSchedule.single_crash(spec.kill_at,
+                                              spec.victim_index)
+    injector = cluster.inject_faults(schedule)
+
+    # Run until every recovery completes (plus a settling tail) or the
     # hard cap — not always to run_until, which would burn simulated
     # hours on long-tailed configurations.
     while cluster.sim.now < spec.run_until:
         cluster.run(until=min(spec.run_until, cluster.sim.now + 5.0))
         recoveries = cluster.coordinator.recoveries
-        if recoveries and recoveries[0].finished_at is not None:
+        if (recoveries
+                and all(r.finished_at is not None for r in recoveries)
+                and cluster.sim.now >= spec.kill_at):
             tail = min(spec.run_until,
-                       recoveries[0].finished_at + 10.0)
+                       max(r.finished_at for r in recoveries) + 10.0)
             if cluster.sim.now < tail:
                 cluster.run(until=tail)
             break
 
+    if injector.killed_servers:
+        result.crashed_server = injector.killed_servers[0].server_id
     if cluster.coordinator.recoveries:
         result.recovery = cluster.coordinator.recoveries[0]
+    result.fault_log = list(injector.applied)
     for client in clients:
         result.client_latencies.append(
             client.stats.all_latencies().samples)

@@ -89,7 +89,9 @@ class Cluster:
             self.fabric.attach(node)
             self.client_nodes.append(node)
             self.clients.append(
-                RamCloudClient(self.sim, node, self.coordinator))
+                RamCloudClient(self.sim, node, self.coordinator,
+                               stream=RandomStream(spec.seed,
+                                                   f"client{i}:rpc")))
 
         if spec.failure_detection:
             self.coordinator.start_failure_detector()
@@ -181,6 +183,28 @@ class Cluster:
                 raise ValueError(f"server {index} already killed")
         victim.kill()
         return victim
+
+    def inject_faults(self, schedule) -> "FaultInjector":
+        """Arm a :class:`~repro.faults.schedule.FaultSchedule` against
+        this cluster; returns the started injector (see its ``applied``
+        log and ``killed_servers``)."""
+        from repro.faults.injector import FaultInjector
+
+        return FaultInjector(self, schedule).start()
+
+    # -- teardown -------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop every long-lived service process (metering, failure
+        detector, coordinator, server threads) so ``sim.run()`` can
+        drain the schedule completely.  With ``REPRO_SIM_DEBUG=1`` the
+        drain then asserts no event leaks — the end-state check the
+        fault-scenario suite runs after every schedule."""
+        self.stop_metering()
+        self.coordinator.stop_service()
+        for server in self.servers:
+            if not server.killed:
+                server.kill()
 
     # -- aggregate statistics ------------------------------------------------
 

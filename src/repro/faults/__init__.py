@@ -1,0 +1,49 @@
+"""Deterministic, schedule-driven fault injection.
+
+The paper's headline results (§VII, Fig. 9-12) are all about behaviour
+*under failure*.  This package turns failures into data: a
+:class:`~repro.faults.schedule.FaultSchedule` is a declarative list of
+(when, what) entries — crash a server, partition node groups, degrade a
+disk, delay or drop matching RPCs, heal — and a
+:class:`~repro.faults.injector.FaultInjector` applies them at their
+simulated instants through hooks in the net, hardware, ramcloud and
+cluster layers.
+
+Determinism contract: the same cluster seed plus the same schedule
+yields a byte-identical sequence of applied faults and byte-identical
+metric digests (see docs/FAULTS.md and tests/analyze/test_determinism.py).
+"""
+
+from repro.faults.schedule import (
+    ClearRpcFaults,
+    CrashServer,
+    DegradeDisk,
+    DelayRpcs,
+    DropRpcs,
+    FaultAction,
+    FaultEntry,
+    FaultSchedule,
+    HealAll,
+    HealGroups,
+    PartitionGroups,
+    RestoreDisk,
+    RpcMatch,
+)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "FaultAction",
+    "FaultEntry",
+    "FaultSchedule",
+    "FaultInjector",
+    "RpcMatch",
+    "CrashServer",
+    "PartitionGroups",
+    "HealGroups",
+    "HealAll",
+    "DegradeDisk",
+    "RestoreDisk",
+    "DelayRpcs",
+    "DropRpcs",
+    "ClearRpcFaults",
+]

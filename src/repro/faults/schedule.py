@@ -1,0 +1,249 @@
+"""The declarative fault-schedule vocabulary.
+
+A :class:`FaultSchedule` is a list of :class:`FaultEntry` rows, each an
+``(at, action)`` pair.  ``at`` is seconds measured from the moment the
+injector starts (``anchor="start"``, the default) or from the instant
+the coordinator begins the first crash recovery
+(``anchor="recovery"``) — the latter is how "crash a backup
+mid-recovery" is expressed without knowing the detection latency in
+advance.
+
+Node references are plain strings matching the deployment's node names
+(``"server3"``, ``"client0"``, ``"coord"``); bare integers are
+shorthand for ``f"server{i}"``.  Everything is a frozen dataclass, so
+schedules hash/compare by value and are trivially reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "RpcMatch",
+    "FaultAction",
+    "CrashServer",
+    "PartitionGroups",
+    "HealGroups",
+    "HealAll",
+    "DegradeDisk",
+    "RestoreDisk",
+    "DelayRpcs",
+    "DropRpcs",
+    "ClearRpcFaults",
+    "FaultEntry",
+    "FaultSchedule",
+]
+
+NodeRef = Union[str, int]
+
+
+def resolve_node(ref: NodeRef) -> str:
+    """Normalize a node reference to a node name."""
+    if isinstance(ref, int):
+        return f"server{ref}"
+    return ref
+
+
+def resolve_group(group: Sequence[NodeRef]) -> Tuple[str, ...]:
+    """Normalize a group of node references to a tuple of node names."""
+    if isinstance(group, (str, int)):
+        return (resolve_node(group),)
+    return tuple(resolve_node(ref) for ref in group)
+
+
+@dataclass(frozen=True)
+class RpcMatch:
+    """A predicate over in-flight RPCs: ``(src node, dst node, op)``.
+
+    ``None`` fields are wildcards; ``src``/``dst`` accept a single node
+    reference or a sequence of them.  Instances are callable, which is
+    the shape the fabric's fault table expects.
+    """
+
+    op: Optional[str] = None
+    src: Optional[Union[NodeRef, Tuple[NodeRef, ...]]] = None
+    dst: Optional[Union[NodeRef, Tuple[NodeRef, ...]]] = None
+
+    def __call__(self, src: str, dst: str, op: str) -> bool:
+        if self.op is not None and op != self.op:
+            return False
+        if self.src is not None and src not in resolve_group(self.src):
+            return False
+        if self.dst is not None and dst not in resolve_group(self.dst):
+            return False
+        return True
+
+    def describe(self) -> str:
+        """A stable one-line rendering for the injector's fault log."""
+        def show(value):
+            # `or '*'` would swallow the falsy-but-valid server index 0.
+            return "*" if value is None else value
+
+        return (f"op={show(self.op)} src={show(self.src)} "
+                f"dst={show(self.dst)}")
+
+
+class FaultAction:
+    """Base class for everything a schedule can apply."""
+
+    def describe(self) -> str:
+        """A stable one-line rendering for the injector's fault log."""
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class CrashServer(FaultAction):
+    """Kill the RAMCloud process on one server node.
+
+    ``index`` is the server index; ``None`` picks a random live victim
+    from the cluster's seeded stream (the paper's §VII methodology).
+    """
+
+    index: Optional[int] = None
+
+    def describe(self) -> str:
+        return f"crash-server index={self.index}"
+
+
+@dataclass(frozen=True)
+class PartitionGroups(FaultAction):
+    """Cut connectivity between every pair across two node groups."""
+
+    group_a: Tuple[NodeRef, ...]
+    group_b: Tuple[NodeRef, ...]
+
+    def describe(self) -> str:
+        a = ",".join(resolve_group(self.group_a))
+        b = ",".join(resolve_group(self.group_b))
+        return f"partition [{a}] | [{b}]"
+
+
+@dataclass(frozen=True)
+class HealGroups(FaultAction):
+    """Restore connectivity cut by a matching :class:`PartitionGroups`."""
+
+    group_a: Tuple[NodeRef, ...]
+    group_b: Tuple[NodeRef, ...]
+
+    def describe(self) -> str:
+        a = ",".join(resolve_group(self.group_a))
+        b = ",".join(resolve_group(self.group_b))
+        return f"heal [{a}] | [{b}]"
+
+
+@dataclass(frozen=True)
+class HealAll(FaultAction):
+    """Remove every partition cut."""
+
+    def describe(self) -> str:
+        return "heal-all"
+
+
+@dataclass(frozen=True)
+class DegradeDisk(FaultAction):
+    """Clamp one node's disk to ``bandwidth_bytes_per_s`` (a failing
+    spindle, a throttled RAID rebuild)."""
+
+    node: NodeRef
+    bandwidth_bytes_per_s: float
+
+    def describe(self) -> str:
+        return (f"degrade-disk {resolve_node(self.node)} "
+                f"to {self.bandwidth_bytes_per_s:g} B/s")
+
+
+@dataclass(frozen=True)
+class RestoreDisk(FaultAction):
+    """Lift a :class:`DegradeDisk` clamp."""
+
+    node: NodeRef
+
+    def describe(self) -> str:
+        return f"restore-disk {resolve_node(self.node)}"
+
+
+@dataclass(frozen=True)
+class DelayRpcs(FaultAction):
+    """Add ``delay`` seconds of one-way latency to matching RPCs."""
+
+    match: RpcMatch
+    delay: float
+
+    def describe(self) -> str:
+        return f"delay-rpcs {self.delay:g}s [{self.match.describe()}]"
+
+
+@dataclass(frozen=True)
+class DropRpcs(FaultAction):
+    """Silently drop matching RPCs: the bytes are spent, no reply ever
+    arrives, and the caller's own timeout is what surfaces the loss."""
+
+    match: RpcMatch
+
+    def describe(self) -> str:
+        return f"drop-rpcs [{self.match.describe()}]"
+
+
+@dataclass(frozen=True)
+class ClearRpcFaults(FaultAction):
+    """Remove previously-installed RPC delay/drop faults (all of them,
+    or only those whose match equals ``match``)."""
+
+    match: Optional[RpcMatch] = None
+
+    def describe(self) -> str:
+        inner = self.match.describe() if self.match is not None else "*"
+        return f"clear-rpc-faults [{inner}]"
+
+
+@dataclass(frozen=True)
+class FaultEntry:
+    """One scheduled fault: apply ``action`` at time ``at``.
+
+    ``anchor="start"`` measures ``at`` from injector start;
+    ``anchor="recovery"`` measures it from the first recovery start
+    (entries with this anchor never fire if no recovery ever begins).
+    """
+
+    at: float
+    action: FaultAction
+    anchor: str = "start"
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ValueError(f"fault time cannot be negative: {self.at}")
+        if self.anchor not in ("start", "recovery"):
+            raise ValueError(
+                f"anchor must be 'start' or 'recovery', got {self.anchor!r}")
+        if not isinstance(self.action, FaultAction):
+            raise TypeError(f"not a FaultAction: {self.action!r}")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered, validated collection of fault entries."""
+
+    entries: Tuple[FaultEntry, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "entries", tuple(self.entries))
+        for entry in self.entries:
+            if not isinstance(entry, FaultEntry):
+                raise TypeError(f"not a FaultEntry: {entry!r}")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def anchored(self, anchor: str) -> Tuple[FaultEntry, ...]:
+        """The entries with the given anchor, in firing order (time,
+        then declaration order for ties — both deterministic)."""
+        picked = [e for e in self.entries if e.anchor == anchor]
+        return tuple(sorted(picked, key=lambda e: e.at))
+
+    @classmethod
+    def single_crash(cls, at: float,
+                     index: Optional[int] = None) -> "FaultSchedule":
+        """The paper's §VII methodology as a one-entry schedule: kill
+        one server (random victim if ``index`` is None) at ``at``."""
+        return cls((FaultEntry(at=at, action=CrashServer(index=index)),))

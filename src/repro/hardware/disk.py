@@ -35,6 +35,9 @@ class Disk:
         # (direction, stream_id) of the last completed op: consecutive
         # ops from the same stream in the same direction are sequential.
         self._last_stream: Optional[tuple] = None
+        # Fault injection: when set, sequential bandwidth is clamped to
+        # this value (a failing spindle, a throttled rebuild).
+        self._bandwidth_override: Optional[float] = None
         self.bytes_read = 0
         self.bytes_written = 0
         self.busy_seconds = 0.0
@@ -50,9 +53,29 @@ class Disk:
         """I/O requests waiting for the head."""
         return self._head.queue_length
 
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sequential bandwidth in effect (degraded or nominal)."""
+        if self._bandwidth_override is not None:
+            return self._bandwidth_override
+        return self.spec.sequential_bandwidth
+
+    def degrade(self, bandwidth_bytes_per_s: float) -> None:
+        """Clamp sequential bandwidth (fault injection).  In-flight
+        operations keep their already-computed duration; every operation
+        starting afterwards pays the degraded rate."""
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError(
+                f"degraded bandwidth must be positive: {bandwidth_bytes_per_s}")
+        self._bandwidth_override = bandwidth_bytes_per_s
+
+    def restore(self) -> None:
+        """Lift a :meth:`degrade` clamp."""
+        self._bandwidth_override = None
+
     def _transfer_time(self, nbytes: int, stream: tuple) -> float:
         seek = 0.0 if stream == self._last_stream else self.spec.seek_time
-        return seek + nbytes / self.spec.sequential_bandwidth
+        return seek + nbytes / self.effective_bandwidth
 
     def _io(self, nbytes: int, direction: str, stream_id: object,
             priority: int) -> Generator:

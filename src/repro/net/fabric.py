@@ -10,7 +10,7 @@ network that the peer is gone.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Set, Tuple
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Set, Tuple
 
 from repro.hardware.node import Node
 from repro.sim.kernel import Simulator
@@ -23,8 +23,14 @@ class NodeUnreachable(Exception):
     """The destination machine is down (connection refused / timeout)."""
 
 
-class NetworkPartitioned(Exception):
-    """The two endpoints are in different partitions."""
+class NetworkPartitioned(NodeUnreachable):
+    """The two endpoints are in different partitions.
+
+    A subclass of :class:`NodeUnreachable`: from the sender's point of
+    view a partitioned peer is indistinguishable from a dead one, so
+    every retry / re-replication path that survives a crash survives a
+    partition too.
+    """
 
 
 class Fabric:
@@ -35,6 +41,11 @@ class Fabric:
         self._nodes: Dict[str, Node] = {}
         self._tx_queues: Dict[str, Resource] = {}
         self._partitions: Set[Tuple[str, str]] = set()
+        # Installed RPC faults: (predicate(src, dst, op), kind, delay)
+        # where kind is "delay" or "drop".  A list, not a set: faults
+        # are matched in installation order, deterministically.
+        self._rpc_faults: List[Tuple[Callable[[str, str, str], bool],
+                                     str, float]] = []
         self.messages_delivered = 0
         self.bytes_delivered = 0
 
@@ -60,6 +71,60 @@ class Fabric:
         """Restore connectivity cut by :meth:`partition`."""
         self._partitions.discard((a, b))
         self._partitions.discard((b, a))
+
+    def partition_groups(self, group_a: Sequence[str],
+                         group_b: Sequence[str]) -> None:
+        """Cut connectivity between every pair across the two groups."""
+        for a in group_a:
+            for b in group_b:
+                self.partition(a, b)
+
+    def heal_groups(self, group_a: Sequence[str],
+                    group_b: Sequence[str]) -> None:
+        """Restore connectivity between every pair across the groups."""
+        for a in group_a:
+            for b in group_b:
+                self.heal(a, b)
+
+    def heal_all(self) -> None:
+        """Remove every partition cut."""
+        self._partitions.clear()
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        """Whether a partition separates the two machines."""
+        return (a, b) in self._partitions
+
+    # -- RPC faults (delay/drop, used by repro.faults) --------------------
+
+    def add_rpc_fault(self, match: Callable[[str, str, str], bool],
+                      kind: str, delay: float = 0.0) -> None:
+        """Install a fault on matching RPCs: ``kind="delay"`` adds
+        ``delay`` seconds of one-way latency, ``kind="drop"`` loses the
+        request after its bytes are spent (the caller's timeout is what
+        surfaces the loss)."""
+        if kind not in ("delay", "drop"):
+            raise ValueError(f"kind must be 'delay' or 'drop', got {kind!r}")
+        if kind == "delay" and delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._rpc_faults.append((match, kind, delay))
+
+    def clear_rpc_faults(self, match=None) -> None:
+        """Remove installed RPC faults (all, or only those whose
+        predicate equals ``match``)."""
+        if match is None:
+            self._rpc_faults.clear()
+        else:
+            self._rpc_faults = [(m, k, d) for m, k, d in self._rpc_faults
+                                if m != match]
+
+    def rpc_fault_for(self, src: str, dst: str,
+                      op: str) -> Optional[Tuple[str, float]]:
+        """The first installed fault matching this RPC, as
+        ``(kind, delay)``, or None."""
+        for match, kind, delay in self._rpc_faults:
+            if match(src, dst, op):
+                return kind, delay
+        return None
 
     # -- transfer ---------------------------------------------------------
 

@@ -52,11 +52,22 @@ class RpcRequest:
         self.issued_at = sim.now
 
     def respond(self, value: Any = None) -> None:
-        """Complete the RPC successfully with ``value``."""
+        """Complete the RPC successfully with ``value``.
+
+        At-most-one reply: a request whose caller already gave up on it
+        (timeout, give-up interrupt) has a triggered reply, and a late
+        server answer is silently discarded — exactly what a network
+        stack does with a response to a closed connection.
+        """
+        if self.reply.triggered:
+            return
         self.reply.succeed(value)
 
     def fail(self, exc: BaseException) -> None:
-        """Complete the RPC with an error raised at the caller."""
+        """Complete the RPC with an error raised at the caller (no-op
+        if the reply was already triggered, see :meth:`respond`)."""
+        if self.reply.triggered:
+            return
         self.reply.fail(exc)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -107,7 +118,20 @@ class RpcService:
         failure, :class:`RpcTimeout` past ``timeout``, and
         :class:`~repro.net.fabric.NodeUnreachable` if the node is dead.
         """
+        fault = self.fabric.rpc_fault_for(src.name, self.node.name, op)
+        if fault is not None and fault[0] == "delay":
+            yield self.sim.timeout(fault[1])
         yield from self.fabric.transfer(src, self.node, size_bytes)
+        if fault is not None and fault[0] == "drop":
+            # The request vanished in the network after its bytes were
+            # spent: no server ever sees it, the caller waits out its
+            # own deadline.
+            if timeout is None:
+                raise NodeUnreachable(
+                    f"{op} to {self.name} dropped by fault injection")
+            yield self.sim.timeout(timeout)
+            raise RpcTimeout(
+                f"{op} to {self.name} timed out after {timeout}s (dropped)")
         request = RpcRequest(self.sim, op, args, size_bytes,
                              response_bytes, src)
         self.deliver(request)
@@ -117,9 +141,13 @@ class RpcService:
             deadline = self.sim.timeout(timeout)
             yield self.sim.any_of([request.reply, deadline])
             if not request.reply.triggered:
-                raise RpcTimeout(
-                    f"{op} to {self.name} timed out after {timeout}s"
-                )
+                exc = RpcTimeout(
+                    f"{op} to {self.name} timed out after {timeout}s")
+                # The caller abandons the request: close its reply so a
+                # dropped/stuck request does not leave a forever-pending
+                # event (a late server respond() is discarded).
+                request.fail(exc)
+                raise exc
             if not request.reply.ok:
                 raise request.reply.value
             value = request.reply.value

@@ -2,9 +2,11 @@
 
 A client caches the coordinator's tablet map and routes each operation
 directly to the owning master.  On routing failures (crashed master,
-stale cache, tablet under recovery) it backs off, refreshes the map and
-retries — which is exactly why the paper's Fig. 10 client that requests
-lost data blocks for the whole duration of crash recovery.
+stale cache, tablet under recovery) it backs off exponentially
+(optionally jittered from a seeded stream, so retry storms decorrelate
+without breaking determinism), refreshes the map and retries — which is
+exactly why the paper's Fig. 10 client that requests lost data blocks
+for the whole duration of crash recovery.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from repro.ramcloud.errors import (
     TableDoesntExist,
     WrongServer,
 )
+from repro.sim.distributions import RandomStream
 from repro.sim.kernel import Simulator
 
 __all__ = ["RamCloudClient"]
@@ -37,11 +40,20 @@ class RamCloudClient:
 
     def __init__(self, sim: Simulator, node: Node, coordinator: Coordinator,
                  retry_backoff: float = 0.05,
-                 max_retries: Optional[int] = None):
+                 max_retries: Optional[int] = None,
+                 backoff_factor: float = 2.0,
+                 backoff_cap: float = 1.0,
+                 stream: Optional[RandomStream] = None):
         self.sim = sim
         self.node = node
         self.coordinator = coordinator
+        # Retry n sleeps min(retry_backoff * backoff_factor**(n-1),
+        # backoff_cap) seconds, scaled by a uniform [0.5, 1.5) jitter
+        # when a seeded ``stream`` is supplied.
         self.retry_backoff = retry_backoff
+        self.backoff_factor = backoff_factor
+        self.backoff_cap = backoff_cap
+        self.stream = stream
         self.max_retries = max_retries
         self._map = None
         self.rpc_timeout = coordinator.config.rpc_timeout
@@ -49,6 +61,14 @@ class RamCloudClient:
         self.ops_done = 0
         self.retries = 0
         self.timeouts = 0
+
+    def _backoff_delay(self, tries: int) -> float:
+        """Sleep before retry number ``tries`` (1-based)."""
+        delay = min(self.retry_backoff * self.backoff_factor ** (tries - 1),
+                    self.backoff_cap)
+        if self.stream is not None:
+            delay *= 0.5 + self.stream.uniform()
+        return delay
 
     # -- tablet map management ------------------------------------------
 
@@ -114,7 +134,7 @@ class RamCloudClient:
             if self.max_retries is not None and tries > self.max_retries:
                 raise RpcTimeout(
                     f"{op} t{table_id}/{key}: exhausted {tries} retries")
-            yield self.sim.timeout(self.retry_backoff)
+            yield self.sim.timeout(self._backoff_delay(tries))
             yield from self.refresh_map()
 
     def read(self, table_id: int, key: str) -> Generator:
@@ -174,6 +194,7 @@ class RamCloudClient:
             return {}
         table = self._map.tables_by_id[table_id]
 
+        tries = 0
         while True:
             by_master = {}
             for key in keys:
@@ -207,8 +228,12 @@ class RamCloudClient:
                 except (NodeUnreachable, WrongServer, RetryLater,
                         RpcTimeout):
                     pass
+            tries += 1
             self.retries += 1
-            yield self.sim.timeout(self.retry_backoff)
+            if self.max_retries is not None and tries > self.max_retries:
+                raise RpcTimeout(
+                    f"multiread t{table_id}: exhausted {tries} retries")
+            yield self.sim.timeout(self._backoff_delay(tries))
             yield from self.refresh_map()
 
     def delete(self, table_id: int, key: str) -> Generator:

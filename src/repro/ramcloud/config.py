@@ -29,6 +29,7 @@ anchored on the paper's numbers (DESIGN.md §4):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.hardware.specs import GB, KB, MB
 
@@ -166,6 +167,14 @@ class ServerConfig:
     # Client-visible RPC timeout; sustained timeouts are how the paper's
     # overloaded configurations "crash" (§VI, missing Fig. 6a points).
     rpc_timeout: float = 1.0
+    # Admission control: when set, the dispatch thread drops incoming
+    # client requests once the worker queue holds this many waiters —
+    # the dropped caller hears nothing and eats its full rpc_timeout.
+    # This is the mechanism behind the paper's missing Fig. 6a points:
+    # under RF 3-4 overload, replication ack-waits pin every worker,
+    # queues blow past the cap, and YCSB's 1 s give-up cliff trips.
+    # None (the default) disables dropping entirely.
+    overload_queue_limit: Optional[int] = None
     # §IX "Tuning the consistency-level?": answer the client as soon as
     # the update is applied locally and the replication requests are
     # sent, WITHOUT waiting for backup acknowledgements.  Trades

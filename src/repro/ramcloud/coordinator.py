@@ -106,8 +106,13 @@ class Coordinator(RpcService):
         self._missed_pings: Dict[str, int] = {}
         self.recoveries: List[RecoveryStats] = []
         self._detector = None
+        # Observers called with the RecoveryStats the instant a recovery
+        # is scheduled (repro.faults anchors "crash a backup
+        # mid-recovery" schedules on this).
+        self.on_recovery_start: List = []
 
-        sim.process(self._serve_loop(), name="coordinator:serve")
+        self._service = sim.process(self._serve_loop(),
+                                    name="coordinator:serve")
 
     # ------------------------------------------------------------------
     # membership
@@ -282,6 +287,15 @@ class Coordinator(RpcService):
             self._detector.interrupt("detector stopped")
             self._detector = None
 
+    def stop_service(self) -> None:
+        """Shut the coordinator down for good: stop pinging, stop the
+        serve loop, fail anything still queued.  Used by
+        :meth:`~repro.cluster.deployment.Cluster.shutdown` so a test can
+        drain the schedule completely and assert zero event leaks."""
+        self.stop_failure_detector()
+        self.shutdown()
+        self._service.interrupt("coordinator stopped")
+
     def _ping_loop(self) -> Generator:
         while True:
             yield self.sim.timeout(self.ping_interval)
@@ -314,6 +328,8 @@ class Coordinator(RpcService):
                               detected_at=self.sim.now,
                               started_at=self.sim.now)
         self.recoveries.append(stats)
+        for observer in self.on_recovery_start:
+            observer(stats)
         self.sim.process(self._run_recovery(server_id, stats),
                          name=f"coordinator:recovery:{server_id}")
 

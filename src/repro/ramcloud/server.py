@@ -138,6 +138,7 @@ class RamCloudServer(RpcService):
         self.writes_completed = 0
         self.replications_handled = 0
         self.recovery_bytes_replayed = 0
+        self.requests_dropped = 0
 
         self.node.cpu.pin_core()  # the dispatch thread's core
         self._threads.append(
@@ -304,8 +305,29 @@ class RamCloudServer(RpcService):
                 request.respond(None)
             elif request.op in self._BACKUP_OPS:
                 self.backup_queue.put(request)
+            elif (self.config.overload_queue_limit is not None
+                  and len(self.worker_queue)
+                  >= self.config.overload_queue_limit):
+                self._drop_overloaded(request)
             else:
                 self.worker_queue.put(request)
+
+    def _drop_overloaded(self, request: RpcRequest) -> None:
+        """Admission control past ``overload_queue_limit``: drop the
+        request on the floor.  The caller hears nothing and waits out
+        its full rpc_timeout — the 1 s stall behind the paper's §VI
+        "excessive timeouts" crashes.  A failsafe at 2x the timeout
+        closes the reply for callers that never imposed a deadline of
+        their own (or were interrupted first), so no event leaks.
+        """
+        self.requests_dropped += 1
+        failsafe = self.sim.timeout(2.0 * self.config.rpc_timeout)
+
+        def _close_reply(_ev, request=request):
+            request.fail(RpcTimeout(
+                f"{request.op} dropped by {self.server_id} under overload"))
+
+        failsafe.add_callback(_close_reply)
 
     def _dispatch_rx(self, nbytes: int) -> Generator:
         """Pass ``nbytes`` of received bulk data through the dispatch

@@ -96,9 +96,13 @@ class Sanitizer:
 
         Each entry is ``(event, waiter_names)``.  An untriggered event
         nobody waits on is garbage, not a leak; an untriggered event
-        *with* waiters is a process frozen forever.
+        *with* waiters is a process frozen forever.  Stale callbacks are
+        not waiters: a dead process (or a live one since detached onto a
+        different event, e.g. by an interrupt) will never resume from
+        here, and a condition (``AnyOf``) that already triggered will
+        never consume this constituent.
         """
-        from repro.sim.kernel import Process
+        from repro.sim.kernel import Event, Process
 
         leaks = []
         for event in self._events:
@@ -108,7 +112,11 @@ class Sanitizer:
             for cb in event.callbacks:
                 owner = getattr(cb, "__self__", None)
                 if isinstance(owner, Process):
-                    waiters.append(owner.name)
+                    if owner.is_alive and owner._waiting_on is event:
+                        waiters.append(owner.name)
+                elif isinstance(owner, Event):
+                    if not owner.triggered:
+                        waiters.append(type(owner).__name__)
                 elif owner is not None:
                     waiters.append(type(owner).__name__)
             if waiters:

@@ -50,8 +50,11 @@ class YcsbClient:
         self.client_overhead = client_overhead
         # Abort the run if a single op stays unserviceable this long
         # (models the paper's runs "always crashing ... because of
-        # excessive timeouts", §VI).  Also bounds the underlying retry
-        # loop so an op that can never complete is abandoned.
+        # excessive timeouts", §VI).  Enforced as a hard deadline raced
+        # against the operation: a dropped request that would stall for
+        # the full RPC timeout trips it even though no exception ever
+        # reaches the client.  Also bounds the underlying retry loop so
+        # an op that can never complete is abandoned.
         self.give_up_after = give_up_after
         if give_up_after is not None and rc_client.max_retries is None:
             rc_client.max_retries = (
@@ -107,7 +110,24 @@ class YcsbClient:
             op = self._choose_op()
             issued = self.sim.now
             try:
-                yield from self._execute(op)
+                if self.give_up_after is None:
+                    yield from self._execute(op)
+                else:
+                    # Race the operation against the give-up deadline:
+                    # an op still unfinished at the deadline (e.g. a
+                    # silently dropped request waiting out the 1 s RPC
+                    # timeout) is abandoned mid-flight.
+                    proc = self.sim.process(self._execute(op),
+                                            name="ycsb:op")
+                    deadline = self.sim.timeout(self.give_up_after)
+                    yield self.sim.any_of([proc, deadline])
+                    if not proc.triggered:
+                        proc.interrupt("gave up")
+                        self.stats.errors += 1
+                        self.gave_up = True
+                        break
+                    if not proc.ok:
+                        raise proc.value
             except ObjectDoesntExist:
                 self.stats.errors += 1
                 continue

@@ -10,7 +10,23 @@ small fig1-style experiment produces.
 
 import hashlib
 
-from repro.cluster import ClusterSpec, ExperimentSpec, run_experiment
+from repro.cluster import (
+    ClusterSpec,
+    CrashExperimentSpec,
+    ExperimentSpec,
+    run_crash_experiment,
+    run_experiment,
+)
+from repro.faults import (
+    CrashServer,
+    DelayRpcs,
+    FaultEntry,
+    FaultSchedule,
+    HealAll,
+    PartitionGroups,
+    RpcMatch,
+)
+from repro.hardware.specs import MB
 from repro.ramcloud.config import ServerConfig
 from repro.ycsb.workload import WORKLOAD_A, WORKLOAD_C
 
@@ -69,4 +85,71 @@ def test_different_seeds_actually_diverge():
     # the two tests above would pass vacuously.
     a = digest(run_small(WORKLOAD_C, seed=7))
     b = digest(run_small(WORKLOAD_C, seed=8))
+    assert a != b
+
+
+# -- crash/fault experiments -------------------------------------------------
+
+def run_small_crash(seed=7):
+    """A fig9-style crash run with extra injected faults: a random
+    victim (exercising the seeded choice), a partition that heals, and
+    a delay fault on reads — every repro.faults code path feeds the
+    digest."""
+    spec = CrashExperimentSpec(
+        cluster=ClusterSpec(
+            num_servers=4, num_clients=0,
+            server_config=ServerConfig(log_memory_bytes=64 * MB,
+                                       segment_size=1 * MB,
+                                       replication_factor=1),
+            seed=seed),
+        num_records=1500,
+        record_size=1024,
+        kill_at=2.0,
+        run_until=60.0,
+        sample_interval=0.5,
+        faults=FaultSchedule((
+            FaultEntry(at=0.5, action=PartitionGroups(("coord",), (3,))),
+            FaultEntry(at=1.0, action=DelayRpcs(RpcMatch(op="read"),
+                                                0.002)),
+            FaultEntry(at=2.0, action=CrashServer()),
+            FaultEntry(at=1.0, action=HealAll(), anchor="recovery"),
+        )),
+    )
+    return run_crash_experiment(spec)
+
+
+def crash_digest(result) -> str:
+    """A byte-exact digest of everything the crash run measured."""
+    h = hashlib.sha256()
+
+    def feed(label, value):
+        h.update(f"{label}={value!r}\n".encode())
+
+    feed("crashed_server", result.crashed_server)
+    for t, description in result.fault_log:
+        feed("fault", (t, description))
+    stats = result.recovery
+    feed("recovery", (stats.crashed_id, stats.detected_at,
+                      stats.started_at, stats.finished_at,
+                      stats.partitions, stats.segments,
+                      stats.bytes_to_recover, stats.lost_segments,
+                      tuple(stats.recovery_masters)))
+    for series in (result.cluster_cpu, result.disk_read_mbps,
+                   result.disk_write_mbps):
+        feed(f"{series.name}.times", result.cluster_cpu.times)
+        feed(f"{series.name}.values", series.values)
+    for name in sorted(result.per_node_power):
+        feed(f"power[{name}]", result.per_node_power[name].values)
+    return h.hexdigest()
+
+
+def test_same_seed_same_digest_crash_experiment():
+    first = crash_digest(run_small_crash())
+    second = crash_digest(run_small_crash())
+    assert first == second
+
+
+def test_crash_digest_diverges_across_seeds():
+    a = crash_digest(run_small_crash(seed=7))
+    b = crash_digest(run_small_crash(seed=8))
     assert a != b

@@ -1,0 +1,58 @@
+"""Regression for the paper's missing Fig. 6a points (§VI).
+
+The paper could not report 10-server RF 3-4 results at high client
+counts because "experiments were always crashing ... because of
+excessive timeouts": replication ack-waits pin every worker, the
+dispatch queue blows up, requests are dropped, and YCSB's 1 s
+operation deadline trips.  With ``overload_queue_limit`` set, the
+reproduction reaches that cliff through the same mechanism — and the
+paper's Fig. 13 throttled configurations, which keep queues short,
+must never trip it.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec, ExperimentSpec, run_experiment
+from repro.hardware.specs import MB
+from repro.ramcloud.config import ServerConfig
+from repro.ycsb.workload import WORKLOAD_A
+
+pytestmark = pytest.mark.faults
+
+
+def overload_spec(workload, give_up_after=1.0):
+    return ExperimentSpec(
+        cluster=ClusterSpec(
+            num_servers=10, num_clients=24,
+            server_config=ServerConfig(
+                log_memory_bytes=64 * MB,
+                segment_size=1 * MB,
+                replication_factor=4,
+                overload_queue_limit=6,
+            ),
+            seed=5),
+        workload=workload,
+        give_up_after=give_up_after,
+    )
+
+
+def test_saturated_rf4_trips_the_give_up_cliff():
+    # Zipfian keys concentrate load on one master; 24 closed-loop
+    # update-heavy clients against RF 4 swamp its worker pool.
+    workload = WORKLOAD_A.scaled(num_records=2000, ops_per_client=400,
+                                 request_distribution="zipfian")
+    result = run_experiment(overload_spec(workload))
+    assert result.crashed
+    assert result.clients_gave_up > 0
+
+
+def test_throttled_fig13_runs_never_give_up():
+    # Fig. 13's client-side rate limiting: same cluster, same drop
+    # threshold, but the offered load keeps queues below the cap.
+    workload = WORKLOAD_A.scaled(
+        num_records=2000, ops_per_client=60,
+        request_distribution="zipfian").throttled(300.0)
+    result = run_experiment(overload_spec(workload))
+    assert not result.crashed
+    assert result.clients_gave_up == 0
+    assert result.total_ops == 24 * 60

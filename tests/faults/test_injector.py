@@ -1,0 +1,203 @@
+"""System tests for the fault injector against small live clusters."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.faults import (
+    ClearRpcFaults,
+    CrashServer,
+    DegradeDisk,
+    DelayRpcs,
+    DropRpcs,
+    FaultEntry,
+    FaultSchedule,
+    HealAll,
+    HealGroups,
+    PartitionGroups,
+    RestoreDisk,
+    RpcMatch,
+)
+from repro.hardware.specs import MB
+from repro.net.fabric import NetworkPartitioned, NodeUnreachable
+from repro.net.rpc import RpcTimeout
+from repro.ramcloud.config import ServerConfig
+
+
+def build_cluster(num_servers=3, num_clients=1, replication_factor=0,
+                  seed=1, failure_detection=False, **config_overrides):
+    config = ServerConfig(log_memory_bytes=16 * MB, segment_size=1 * MB,
+                          replication_factor=replication_factor,
+                          **config_overrides)
+    return Cluster(ClusterSpec(num_servers=num_servers,
+                               num_clients=num_clients,
+                               server_config=config, seed=seed,
+                               failure_detection=failure_detection))
+
+
+def run_script(cluster, gen, until=60.0):
+    proc = cluster.sim.process(gen, name="test-script")
+    return cluster.sim.run_process(proc, until=until)
+
+
+class TestCrashes:
+    def test_crash_applied_at_scheduled_time(self):
+        cluster = build_cluster()
+        schedule = FaultSchedule.single_crash(1.5, index=1)
+        injector = cluster.inject_faults(schedule)
+        cluster.run(until=3.0)
+        assert cluster.servers[1].killed
+        assert injector.killed_servers == [cluster.servers[1]]
+        assert injector.applied == [(1.5, "crash-server server1")]
+
+    def test_random_victim_is_seed_deterministic(self):
+        def victim_of(seed):
+            cluster = build_cluster(seed=seed)
+            injector = cluster.inject_faults(FaultSchedule.single_crash(1.0))
+            cluster.run(until=2.0)
+            return injector.killed_servers[0].server_id
+
+        assert victim_of(7) == victim_of(7)
+
+    def test_double_start_rejected(self):
+        cluster = build_cluster()
+        injector = cluster.inject_faults(FaultSchedule())
+        with pytest.raises(RuntimeError, match="already started"):
+            injector.start()
+
+
+class TestPartitions:
+    def test_partition_groups_cut_and_heal(self):
+        cluster = build_cluster()
+        injector = cluster.inject_faults(FaultSchedule((
+            FaultEntry(at=1.0, action=PartitionGroups(("client0",), (0, 1))),
+            FaultEntry(at=2.0, action=HealGroups(("client0",), (0,))),
+            FaultEntry(at=3.0, action=HealAll()),
+        )))
+        cluster.run(until=1.5)
+        assert cluster.fabric.is_partitioned("client0", "server0")
+        assert cluster.fabric.is_partitioned("server1", "client0")
+        assert not cluster.fabric.is_partitioned("client0", "server2")
+        cluster.run(until=2.5)
+        assert not cluster.fabric.is_partitioned("client0", "server0")
+        assert cluster.fabric.is_partitioned("client0", "server1")
+        cluster.run(until=3.5)
+        assert not cluster.fabric.is_partitioned("client0", "server1")
+        assert len(injector.applied) == 3
+
+    def test_partitioned_transfer_raises_node_unreachable_subclass(self):
+        # Every retry path that handles a crashed peer must handle a
+        # partitioned one the same way.
+        assert issubclass(NetworkPartitioned, NodeUnreachable)
+        cluster = build_cluster()
+        cluster.fabric.partition_groups(("client0",), ("server0",))
+
+        def attempt():
+            yield from cluster.fabric.transfer(
+                cluster.fabric.node("client0"),
+                cluster.fabric.node("server0"), 100)
+
+        with pytest.raises(NetworkPartitioned):
+            run_script(cluster, attempt())
+
+
+class TestDiskFaults:
+    def test_degrade_and_restore(self):
+        cluster = build_cluster()
+        disk = cluster.server_nodes[1].disk
+        nominal = disk.effective_bandwidth
+        cluster.inject_faults(FaultSchedule((
+            FaultEntry(at=1.0, action=DegradeDisk(1, 1_000_000.0)),
+            FaultEntry(at=2.0, action=RestoreDisk(1)),
+        )))
+        cluster.run(until=1.5)
+        assert disk.effective_bandwidth == 1_000_000.0
+        cluster.run(until=2.5)
+        assert disk.effective_bandwidth == nominal
+
+
+class TestRpcFaults:
+    def _prepared(self, **kwargs):
+        cluster = build_cluster(**kwargs)
+        table_id = cluster.create_table("t")
+        cluster.preload(table_id, 20, 128)
+        client = cluster.clients[0]
+        run_script(cluster, client.refresh_map())
+        return cluster, client, table_id
+
+    def _read_latency(self, cluster, client, table_id):
+        start = cluster.sim.now
+        run_script(cluster, client.read(table_id, "user0"))
+        return cluster.sim.now - start
+
+    def test_delay_adds_latency(self):
+        cluster, client, table_id = self._prepared()
+        baseline = self._read_latency(cluster, client, table_id)
+        cluster.fabric.add_rpc_fault(RpcMatch(op="read"), kind="delay",
+                                     delay=0.05)
+        delayed = self._read_latency(cluster, client, table_id)
+        assert delayed == pytest.approx(baseline + 0.05)
+
+    def test_drop_surfaces_as_rpc_timeout(self):
+        cluster, client, table_id = self._prepared()
+        client.max_retries = 0
+        cluster.fabric.add_rpc_fault(RpcMatch(op="read"), kind="drop")
+        with pytest.raises(RpcTimeout):
+            run_script(cluster, client.read(table_id, "user0"))
+        # The full RPC timeout elapsed: the loss was silent on the wire.
+        assert cluster.sim.now >= client.rpc_timeout
+
+    def test_clear_restores_service(self):
+        cluster, client, table_id = self._prepared()
+        match = RpcMatch(op="read")
+        injector = cluster.inject_faults(FaultSchedule((
+            FaultEntry(at=1.0, action=DropRpcs(match)),
+            FaultEntry(at=2.0, action=ClearRpcFaults(match)),
+        )))
+        cluster.run(until=2.5)
+        assert cluster.fabric.rpc_fault_for("client0", "server0",
+                                            "read") is None
+        value, version, size = run_script(
+            cluster, client.read(table_id, "user0"))
+        assert size == 128
+        assert [d for _, d in injector.applied] == [
+            "drop-rpcs [op=read src=* dst=*]",
+            "clear-rpc-faults [op=read src=* dst=*]",
+        ]
+
+    def test_delay_action_through_injector(self):
+        cluster, client, table_id = self._prepared()
+        baseline = self._read_latency(cluster, client, table_id)
+        cluster.inject_faults(FaultSchedule((
+            FaultEntry(at=0.0, action=DelayRpcs(RpcMatch(op="read"),
+                                                0.02)),
+        )))
+        cluster.run(until=0.1)
+        delayed = self._read_latency(cluster, client, table_id)
+        assert delayed == pytest.approx(baseline + 0.02)
+
+
+class TestRecoveryAnchor:
+    def test_fires_relative_to_first_recovery_start(self):
+        cluster = build_cluster(num_servers=4, replication_factor=1,
+                                failure_detection=True)
+        table_id = cluster.create_table("t")
+        cluster.preload(table_id, 200, 512)
+        injector = cluster.inject_faults(FaultSchedule((
+            FaultEntry(at=1.0, action=CrashServer(index=0)),
+            FaultEntry(at=0.5, action=DegradeDisk(1, 5_000_000.0),
+                       anchor="recovery"),
+        )))
+        cluster.run(until=30.0)
+        assert cluster.coordinator.recoveries, "crash was never detected"
+        started = cluster.coordinator.recoveries[0].started_at
+        times = dict((desc, t) for t, desc in injector.applied)
+        degrade_at = times["degrade-disk server1 to 5e+06 B/s"]
+        assert degrade_at == pytest.approx(started + 0.5)
+
+    def test_never_fires_without_a_recovery(self):
+        cluster = build_cluster(failure_detection=True)
+        injector = cluster.inject_faults(FaultSchedule((
+            FaultEntry(at=0.1, action=HealAll(), anchor="recovery"),
+        )))
+        cluster.run(until=3.0)
+        assert injector.applied == []

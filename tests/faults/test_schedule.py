@@ -1,0 +1,130 @@
+"""Unit tests for the declarative fault-schedule vocabulary."""
+
+import pytest
+
+from repro.faults import (
+    ClearRpcFaults,
+    CrashServer,
+    DegradeDisk,
+    DelayRpcs,
+    DropRpcs,
+    FaultEntry,
+    FaultSchedule,
+    HealAll,
+    HealGroups,
+    PartitionGroups,
+    RpcMatch,
+)
+from repro.faults.schedule import resolve_group, resolve_node
+
+
+class TestNodeRefs:
+    def test_int_is_server_shorthand(self):
+        assert resolve_node(3) == "server3"
+
+    def test_string_passes_through(self):
+        assert resolve_node("client0") == "client0"
+
+    def test_group_accepts_mixed_refs(self):
+        assert resolve_group([0, "coord", 2]) == ("server0", "coord",
+                                                  "server2")
+
+    def test_single_ref_becomes_one_tuple(self):
+        assert resolve_group("server1") == ("server1",)
+        assert resolve_group(4) == ("server4",)
+
+
+class TestRpcMatch:
+    def test_all_none_matches_everything(self):
+        match = RpcMatch()
+        assert match("client0", "server1", "read")
+        assert match("coord", "server0", "ping")
+
+    def test_op_filter(self):
+        match = RpcMatch(op="write")
+        assert match("client0", "server1", "write")
+        assert not match("client0", "server1", "read")
+
+    def test_src_dst_filters_with_int_shorthand(self):
+        match = RpcMatch(src="client0", dst=(1, 2))
+        assert match("client0", "server1", "read")
+        assert match("client0", "server2", "read")
+        assert not match("client0", "server3", "read")
+        assert not match("client1", "server1", "read")
+
+    def test_describe_is_stable(self):
+        assert RpcMatch().describe() == "op=* src=* dst=*"
+        assert "op=read" in RpcMatch(op="read").describe()
+
+
+class TestFaultEntryValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            FaultEntry(at=-0.5, action=CrashServer())
+
+    def test_bad_anchor_rejected(self):
+        with pytest.raises(ValueError, match="anchor"):
+            FaultEntry(at=1.0, action=CrashServer(), anchor="detection")
+
+    def test_non_action_rejected(self):
+        with pytest.raises(TypeError, match="FaultAction"):
+            FaultEntry(at=1.0, action="crash please")
+
+    def test_schedule_rejects_non_entries(self):
+        with pytest.raises(TypeError, match="FaultEntry"):
+            FaultSchedule((CrashServer(),))
+
+
+class TestScheduleOrdering:
+    def test_anchored_sorts_by_time(self):
+        schedule = FaultSchedule((
+            FaultEntry(at=5.0, action=HealAll()),
+            FaultEntry(at=1.0, action=CrashServer(index=0)),
+            FaultEntry(at=0.2, action=CrashServer(), anchor="recovery"),
+            FaultEntry(at=3.0, action=CrashServer(index=1)),
+        ))
+        start = schedule.anchored("start")
+        assert [e.at for e in start] == [1.0, 3.0, 5.0]
+        recovery = schedule.anchored("recovery")
+        assert [e.at for e in recovery] == [0.2]
+
+    def test_ties_keep_declaration_order(self):
+        first = FaultEntry(at=1.0, action=CrashServer(index=0))
+        second = FaultEntry(at=1.0, action=CrashServer(index=1))
+        schedule = FaultSchedule((first, second))
+        assert schedule.anchored("start") == (first, second)
+
+    def test_len_counts_entries(self):
+        assert len(FaultSchedule()) == 0
+        assert len(FaultSchedule.single_crash(2.0)) == 1
+
+    def test_single_crash_shape(self):
+        schedule = FaultSchedule.single_crash(2.0, index=3)
+        (entry,) = schedule.entries
+        assert entry.at == 2.0
+        assert entry.anchor == "start"
+        assert entry.action == CrashServer(index=3)
+
+
+class TestDescribe:
+    def test_action_descriptions_are_stable(self):
+        cases = [
+            (CrashServer(index=2), "crash-server index=2"),
+            (PartitionGroups((0, 1), ("coord",)),
+             "partition [server0,server1] | [coord]"),
+            (HealGroups((0,), (1,)), "heal [server0] | [server1]"),
+            (HealAll(), "heal-all"),
+            (DegradeDisk(1, 10e6), "degrade-disk server1 to 1e+07 B/s"),
+            (DelayRpcs(RpcMatch(op="read"), 0.01),
+             "delay-rpcs 0.01s [op=read src=* dst=*]"),
+            (DropRpcs(RpcMatch(dst=0)), "drop-rpcs [op=* src=* dst=0]"),
+            (ClearRpcFaults(), "clear-rpc-faults [*]"),
+        ]
+        for action, expected in cases:
+            assert action.describe() == expected
+
+    def test_schedules_compare_by_value(self):
+        a = FaultSchedule.single_crash(2.0, index=1)
+        b = FaultSchedule.single_crash(2.0, index=1)
+        assert a == b
+        assert a != FaultSchedule.single_crash(2.0, index=0)
