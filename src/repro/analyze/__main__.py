@@ -1,13 +1,22 @@
 """``python -m repro.analyze [paths]`` — run simlint from the shell.
 
 Exit status: 0 when clean, 1 when findings exist, 2 on usage or parse
-errors.  CI runs ``python -m repro.analyze src`` and fails the build on
-any finding.
+errors (including a nonexistent input path, validated up front so a CI
+typo fails loudly instead of linting nothing).  CI runs ``python -m
+repro.analyze src examples tools`` and fails the build on any finding.
+
+``--format json`` emits a machine-readable report (a JSON object with
+``findings`` and ``errors`` arrays) for editor and CI integrations; the
+default ``text`` format is one ``path:line:col: CODE message`` line per
+finding, which ``.github/simlint-problem-matcher.json`` teaches GitHub
+Actions to annotate inline.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
@@ -26,6 +35,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--select", metavar="CODES",
                         help="comma-separated rule codes to run "
                              "(e.g. SIM002,SIM003); default: all")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     args = parser.parse_args(argv)
@@ -46,18 +57,35 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         rules = [RULE_CODES[c] for c in codes]
 
-    try:
-        findings, errors = analyze_paths(args.paths, rules=rules)
-    except FileNotFoundError as exc:
-        print(str(exc), file=sys.stderr)
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        for path in missing:
+            print(f"error: no such file or directory: {path}",
+                  file=sys.stderr)
         return 2
 
-    for line in errors:
-        print(f"error: {line}", file=sys.stderr)
-    for finding in findings:
-        print(finding.render())
-    if findings:
-        print(f"simlint: {len(findings)} finding(s)", file=sys.stderr)
+    try:
+        findings, errors = analyze_paths(args.paths, rules=rules)
+    except FileNotFoundError as exc:  # raced away after the check above
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [
+                {"path": f.path, "line": f.line, "col": f.col,
+                 "code": f.code, "message": f.message}
+                for f in findings
+            ],
+            "errors": errors,
+        }, indent=2, sort_keys=True))
+    else:
+        for line in errors:
+            print(f"error: {line}", file=sys.stderr)
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"simlint: {len(findings)} finding(s)", file=sys.stderr)
     if errors:
         return 2
     return 1 if findings else 0

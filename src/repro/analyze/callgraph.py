@@ -1,0 +1,394 @@
+"""Interprocedural may-yield and lock-order analysis (SIM006–SIM008).
+
+The kernel's contract is invisible to per-function linting: whether a
+call *can suspend the current process* depends on what the callee (and
+its callees) do.  This module builds the project-wide summaries the
+atomicity rules need:
+
+* **sim-coroutines** — generator functions that participate in the
+  simulation protocol (they yield Events / delegate with ``yield
+  from``), as opposed to plain data generators (``for x in xs: yield
+  x``), which never suspend a process;
+* **may-yield names** — function names every definition of which can
+  suspend the caller, directly (a sim-coroutine) or transitively (a
+  plain wrapper whose ``return`` hands back a may-yield call's
+  generator for the caller to ``yield from``);
+* **spawner names** — functions that forward an argument into
+  ``sim.process(...)`` (so passing a coroutine *into* them is how it is
+  meant to run, not a dropped call);
+* **lock acquisition summaries** — per function, the textual identity
+  of every lock acquired (``self.log_lock``), the source span it is
+  held over, and the locks reachable through calls made inside that
+  span; project-wide, every ordered pair "A held while acquiring B"
+  with its witness locations, which is what SIM008 mines for
+  inversions.
+
+Everything here is name-based and deliberately precision-first: a name
+is may-yield only if *every* definition is, a lock identity is the
+unparsed receiver expression, and dynamic indirection (a lock passed as
+a parameter) is invisible.  The runtime detector
+(:mod:`repro.sim.racecheck`) covers what static names cannot.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analyze.linter import Module
+
+__all__ = ["CallGraphIndex", "FunctionSummary"]
+
+# Event-producing attribute calls of the kernel/resource API: a name
+# bound from one of these and later yielded marks a sim-coroutine
+# (``token = lock.acquire(); ... ; yield token``).  ``get`` is *not*
+# here despite ``queue.get()`` being one — it collides with ``dict.get``
+# (``cur = parents.get(node)``), and the queue idiom always consumes
+# the yield's value (``request = yield get``), which the parent-is-not-
+# Expr case already classifies.
+_EVENT_FACTORY_ATTRS = frozenset({
+    "acquire", "request", "timeout", "event", "all_of", "any_of",
+})
+
+# Method names that exist on builtin containers/strings: an attribute
+# call like ``queue.remove(x)`` must not resolve to a project function
+# that happens to share the name (``HashTable.remove``) — same policy
+# as SIM001's generator-name matching.
+_BUILTIN_METHOD_NAMES = (set(dir(list)) | set(dir(dict)) | set(dir(set))
+                         | set(dir(str)) | set(dir(tuple)) | set(dir(bytes))
+                         | set(dir(frozenset)))
+
+# Builtins that synchronously drive an iterable to exhaustion.
+SYNC_DRIVERS = frozenset({
+    "list", "tuple", "sorted", "sum", "any", "all", "set", "min", "max",
+})
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    """The bare callee name of ``f(...)`` or ``x.f(...)``, else None."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _project_callee(call: ast.Call) -> Optional[str]:
+    """The callee name when the call may resolve to a project function.
+
+    Bare names always may; attribute calls only when the attribute is
+    not a builtin container method and the receiver is not the
+    race-instrumentation handle (``self.race.write(...)`` is a tracking
+    no-op that must not resolve to ``Disk.write``).
+    """
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        if func.attr in _BUILTIN_METHOD_NAMES:
+            return None
+        recv = func.value
+        if isinstance(recv, ast.Name) and recv.id == "race":
+            return None
+        if isinstance(recv, ast.Attribute) and recv.attr == "race":
+            return None
+        return func.attr
+    return None
+
+
+def _is_process_call(call: ast.Call) -> bool:
+    """``sim.process(...)`` / ``Process(...)`` — explicit spawning."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr == "process":
+        return True
+    return isinstance(func, ast.Name) and func.id == "Process"
+
+
+class FunctionSummary:
+    """Everything the atomicity rules need to know about one def."""
+
+    __slots__ = ("name", "path", "node", "module", "is_generator",
+                 "is_sim_coroutine", "may_yield", "is_spawner",
+                 "yield_lines", "lock_spans", "end_line")
+
+    def __init__(self, module: Module, node: ast.FunctionDef):
+        self.module = module
+        self.node = node
+        self.name = node.name
+        self.path = module.path
+        own = self._own_nodes()
+        yields = [n for n in own if isinstance(n, (ast.Yield, ast.YieldFrom))]
+        self.is_generator = bool(yields)
+        self.yield_lines: List[int] = sorted(n.lineno for n in yields)
+        self.end_line = max((getattr(n, "lineno", node.lineno) for n in own),
+                            default=node.lineno)
+        self.is_sim_coroutine = (self.is_generator
+                                 and self._classify_coroutine(yields, own))
+        self.may_yield = self.is_sim_coroutine  # fixed point grows this
+        self.is_spawner = self._detect_spawner(own)
+        # (lock_id, var, acquire_line, span_end_line)
+        self.lock_spans: List[Tuple[str, str, int, int]] = (
+            self._extract_lock_spans(own))
+
+    # -- scope walking ---------------------------------------------------
+
+    def _own_nodes(self) -> List[ast.AST]:
+        """Nodes in this def's own scope (nested defs/lambdas excluded)."""
+        found: List[ast.AST] = []
+        stack: List[ast.AST] = list(ast.iter_child_nodes(self.node))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            found.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        return found
+
+    # -- sim-coroutine classification ------------------------------------
+
+    def _classify_coroutine(self, yields: Sequence[ast.AST],
+                            own: Sequence[ast.AST]) -> bool:
+        """Distinguish sim-coroutines from plain data generators.
+
+        A data generator's yields are statement-position ``yield <name
+        or constant>`` shapes (``for x in xs: yield x``); a
+        sim-coroutine delegates (``yield from``), yields calls or
+        attributes (``yield sim.timeout(...)``, ``yield rx.reply``),
+        consumes the sent value (``req = yield get``), or yields a name
+        bound from a kernel event factory.
+        """
+        event_names: Set[str] = set()
+        for node in own:
+            if (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Attribute)
+                    and node.value.func.attr in _EVENT_FACTORY_ATTRS):
+                event_names.add(node.targets[0].id)
+        for node in yields:
+            if isinstance(node, ast.YieldFrom):
+                return True
+            value = node.value
+            if isinstance(value, (ast.Call, ast.Attribute)):
+                return True
+            if not isinstance(self.module.parent(node), ast.Expr):
+                return True  # the yield's value is consumed
+            if isinstance(value, ast.Name) and value.id in event_names:
+                return True
+        return False
+
+    # -- spawner detection -----------------------------------------------
+
+    def _param_names(self) -> Set[str]:
+        args = self.node.args
+        names = {a.arg for a in args.args + args.kwonlyargs
+                 + getattr(args, "posonlyargs", [])}
+        names.discard("self")
+        return names
+
+    def _detect_spawner(self, own: Sequence[ast.AST]) -> bool:
+        params = self._param_names()
+        if not params:
+            return False
+        for node in own:
+            if isinstance(node, ast.Call) and _is_process_call(node):
+                if node.args and isinstance(node.args[0], ast.Name) \
+                        and node.args[0].id in params:
+                    return True
+        return False
+
+    def spawner_forward_targets(self) -> Iterator[Tuple[str, str]]:
+        """(param, callee_name) pairs where a parameter is forwarded as
+        the first argument of another project call — candidate
+        transitive spawners, resolved by the index's fixed point."""
+        params = self._param_names()
+        if not params:
+            return
+        for node in self._own_nodes():
+            if (isinstance(node, ast.Call) and not _is_process_call(node)
+                    and node.args and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id in params):
+                name = _call_name(node)
+                if name is not None:
+                    yield node.args[0].id, name
+
+    # -- lock spans --------------------------------------------------------
+
+    def _extract_lock_spans(self, own: Sequence[ast.AST]
+                            ) -> List[Tuple[str, str, int, int]]:
+        """``var = <recv>.acquire()/.request()`` → (unparse(recv), var,
+        acquire line, last release/abort/cancel(var) line — or the end
+        of the function when no textual release exists)."""
+        spans = []
+        releases: Dict[str, int] = {}
+        for node in own:
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("release", "abort", "cancel")
+                    and node.args and isinstance(node.args[0], ast.Name)):
+                var = node.args[0].id
+                releases[var] = max(releases.get(var, 0), node.lineno)
+        for node in own:
+            if (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Attribute)
+                    and node.value.func.attr in ("acquire", "request")):
+                var = node.targets[0].id
+                lock_id = ast.unparse(node.value.func.value)
+                end = releases.get(var, self.end_line)
+                spans.append((lock_id, var, node.lineno, max(end,
+                                                             node.lineno)))
+        spans.sort(key=lambda s: s[2])
+        return spans
+
+    def calls_in_span(self, start: int, end: int
+                      ) -> Iterator[Tuple[str, int]]:
+        """(callee_name, line) of own-scope calls on lines in
+        ``(start, end]`` — what runs while the lock is held."""
+        for node in self._own_nodes():
+            if isinstance(node, ast.Call) and start < node.lineno <= end:
+                name = _project_callee(node)
+                if name is not None:
+                    yield name, node.lineno
+
+
+class CallGraphIndex:
+    """Project-wide function summaries plus the fixed points over them."""
+
+    def __init__(self, modules: Sequence[Module]):
+        self.summaries: List[FunctionSummary] = []
+        self.by_name: Dict[str, List[FunctionSummary]] = {}
+        for module in sorted(modules, key=lambda m: m.path):
+            for func in module.functions():
+                summary = FunctionSummary(module, func)
+                self.summaries.append(summary)
+                self.by_name.setdefault(summary.name, []).append(summary)
+        self._propagate_may_yield()
+        self._spawner_names = self._propagate_spawners()
+        self._acquires_by_name = self._propagate_acquires()
+        # (outer_lock, inner_lock) → sorted witness list
+        self.lock_pairs: Dict[Tuple[str, str],
+                              List[Tuple[str, int, str]]] = {}
+        self._collect_lock_pairs()
+
+    # -- queries -----------------------------------------------------------
+
+    def may_yield_name(self, name: str) -> bool:
+        """True when every known definition of ``name`` can suspend the
+        calling process (ambiguous names are excluded, like SIM001)."""
+        defs = self.by_name.get(name)
+        return bool(defs) and all(s.may_yield for s in defs)
+
+    def is_spawner_name(self, name: str) -> bool:
+        """True when some definition of ``name`` forwards an argument
+        into ``sim.process`` (erring toward not flagging)."""
+        return name in self._spawner_names
+
+    def summary_for(self, node: ast.FunctionDef
+                    ) -> Optional[FunctionSummary]:
+        """The summary of a specific def node."""
+        for summary in self.by_name.get(node.name, ()):
+            if summary.node is node:
+                return summary
+        return None
+
+    def acquires_of(self, name: str) -> Set[str]:
+        """Lock ids acquired by any def of ``name``, transitively."""
+        return self._acquires_by_name.get(name, frozenset())
+
+    def inversions(self) -> List[Tuple[str, str]]:
+        """Ordered lock pairs whose opposite order also occurs."""
+        return sorted((a, b) for (a, b) in self.lock_pairs
+                      if a != b and (b, a) in self.lock_pairs)
+
+    # -- fixed points ------------------------------------------------------
+
+    def _propagate_may_yield(self) -> None:
+        """A plain def may-yield if it returns a may-yield call's result
+        (a delegation wrapper: the caller gets the generator to drive).
+        Monotonic, so iterate to the fixed point."""
+        changed = True
+        while changed:
+            changed = False
+            for summary in self.summaries:
+                if summary.may_yield or summary.is_generator:
+                    continue
+                for node in summary._own_nodes():
+                    if (isinstance(node, ast.Return)
+                            and isinstance(node.value, ast.Call)):
+                        name = _call_name(node.value)
+                        if name is not None and self.may_yield_name(name):
+                            summary.may_yield = True
+                            changed = True
+                            break
+
+    def _propagate_spawners(self) -> Set[str]:
+        """Names that (possibly through one another) forward an argument
+        into ``sim.process``."""
+        spawners = {s.name for s in self.summaries if s.is_spawner}
+        changed = True
+        while changed:
+            changed = False
+            for summary in self.summaries:
+                if summary.name in spawners:
+                    continue
+                for _param, callee in summary.spawner_forward_targets():
+                    if callee in spawners:
+                        spawners.add(summary.name)
+                        changed = True
+                        break
+        return spawners
+
+    def _propagate_acquires(self) -> Dict[str, Set[str]]:
+        """Name → lock ids acquired directly or through project calls."""
+        acquires: Dict[str, Set[str]] = {}
+        calls: Dict[str, Set[str]] = {}
+        for summary in self.summaries:
+            direct = {span[0] for span in summary.lock_spans}
+            acquires.setdefault(summary.name, set()).update(direct)
+            callees = calls.setdefault(summary.name, set())
+            for node in summary._own_nodes():
+                if isinstance(node, ast.Call):
+                    name = _project_callee(node)
+                    if name is not None and name in self.by_name:
+                        callees.add(name)
+        changed = True
+        while changed:
+            changed = False
+            for name, callees in calls.items():
+                mine = acquires[name]
+                before = len(mine)
+                for callee in callees:
+                    mine.update(acquires.get(callee, ()))
+                if len(mine) != before:
+                    changed = True
+        return acquires
+
+    def _collect_lock_pairs(self) -> None:
+        """Every "A held while acquiring B" with witness locations:
+        directly nested spans, plus locks reachable through calls made
+        inside a span (one summary level, by name)."""
+        for summary in self.summaries:
+            spans = summary.lock_spans
+            for i, (outer, _var, start, end) in enumerate(spans):
+                for inner, _v2, s2, _e2 in spans[i + 1:]:
+                    if start < s2 <= end and inner != outer:
+                        self._witness(outer, inner, summary.path, s2,
+                                      f"in {summary.name!r}")
+                for callee, line in summary.calls_in_span(start, end):
+                    for inner in sorted(self.acquires_of(callee)):
+                        if inner != outer:
+                            self._witness(outer, inner, summary.path, line,
+                                          f"in {summary.name!r} via "
+                                          f"{callee!r}")
+
+    def _witness(self, outer: str, inner: str, path: str, line: int,
+                 detail: str) -> None:
+        self.lock_pairs.setdefault((outer, inner), []).append(
+            (path, line, detail))
+        self.lock_pairs[(outer, inner)].sort()

@@ -6,8 +6,13 @@ cannot know on their own:
 
 * a **project-wide generator index** (SIM001 must recognise a generator
   method defined in another file to catch a dropped cross-module call);
+* a **call-graph index** (the SIM006–SIM008 atomicity rules need
+  project-wide may-yield and lock-acquisition summaries);
 * **suppression comments** — ``# simlint: ignore[SIM003]`` on the
-  flagged line (or ``# simlint: ignore`` to silence every rule there);
+  flagged line (or ``# simlint: ignore`` to silence every rule there).
+  ``# simlint: disable=SIM006 <justification>`` is an equivalent
+  spelling that leaves room for a trailing one-line justification,
+  which reviewers should insist on;
 * deterministic ordering of findings (path, line, column, code).
 """
 
@@ -66,15 +71,26 @@ class Suppressions:
         if not text.startswith(_IGNORE_MARKER):
             return
         directive = text[len(_IGNORE_MARKER):].strip()
-        if not directive.startswith("ignore"):
+        if not directive.startswith(("ignore", "disable")):
             return
-        rest = directive[len("ignore"):].strip()
-        if rest.startswith("[") and "]" in rest:
-            codes = {c.strip().upper()
-                     for c in rest[1:rest.index("]")].split(",") if c.strip()}
-            self._lines[line] = codes
-        else:
-            self._lines[line] = set()  # blanket ignore
+        if directive.startswith("ignore"):
+            rest = directive[len("ignore"):].strip()
+            if rest.startswith("[") and "]" in rest:
+                codes = {c.strip().upper()
+                         for c in rest[1:rest.index("]")].split(",")
+                         if c.strip()}
+                self._lines[line] = codes
+            else:
+                self._lines[line] = set()  # blanket ignore
+        else:  # disable=CODE[,CODE...] <optional justification>
+            rest = directive[len("disable"):].strip()
+            if rest.startswith("="):
+                spec = rest[1:].split(None, 1)[0] if rest[1:].strip() else ""
+                codes = {c.strip().upper()
+                         for c in spec.split(",") if c.strip()}
+                self._lines[line] = codes or set()
+            else:
+                self._lines[line] = set()  # bare 'disable': everything
 
     def suppresses(self, line: int, code: str) -> bool:
         """Whether ``code`` is silenced on ``line``."""
@@ -100,6 +116,9 @@ class Module:
     # from-imports: local name → "module.attr".
     from_imports: Dict[str, str] = field(default_factory=dict)
     index: Optional["GeneratorIndex"] = None
+    # Project-wide may-yield / lock summaries (repro.analyze.callgraph.
+    # CallGraphIndex), attached by the driver for SIM006–SIM008.
+    callgraph: Optional[object] = None
 
     @classmethod
     def parse(cls, source: str, path: str) -> "Module":
@@ -228,9 +247,11 @@ def analyze_source(source: str, path: str = "<string>",
                    rules: Optional[Iterable] = None,
                    index: Optional[GeneratorIndex] = None) -> List[Finding]:
     """Lint one source string (the unit-test entry point)."""
+    from repro.analyze.callgraph import CallGraphIndex
     from repro.analyze.rules import ALL_RULES
     module = Module.parse(source, path)
     module.index = index or _index_of([module])
+    module.callgraph = CallGraphIndex([module])
     return _run_rules(module, rules if rules is not None else ALL_RULES)
 
 
@@ -249,6 +270,7 @@ def analyze_paths(paths: Sequence[str],
     Returns ``(findings, errors)`` where ``errors`` are files that
     could not be read or parsed (reported, never silently skipped).
     """
+    from repro.analyze.callgraph import CallGraphIndex
     from repro.analyze.rules import ALL_RULES
     modules: List[Module] = []
     errors: List[str] = []
@@ -260,9 +282,11 @@ def analyze_paths(paths: Sequence[str],
         except (OSError, SyntaxError, ValueError) as exc:
             errors.append(f"{path}: {exc}")
     index = _index_of(modules)
+    callgraph = CallGraphIndex(modules)
     findings: List[Finding] = []
     for module in modules:
         module.index = index
+        module.callgraph = callgraph
         findings.extend(_run_rules(module,
                                    rules if rules is not None else ALL_RULES))
     return sorted(findings), errors

@@ -20,6 +20,13 @@ SIM004   ``except Interrupt:`` that swallows the interrupt and
 SIM005   wall-clock vs simulated-time confusion: accumulating
          ``sim.now`` deltas in a loop, or ``time.sleep`` in
          simulation code
+SIM006   same ``self.*`` field written before and after a yield
+         with no lock held across it (torn read-modify-write) —
+         see :mod:`repro.analyze.atomicity`
+SIM007   may-yield function called from a non-generator without
+         spawning it — see :mod:`repro.analyze.atomicity`
+SIM008   lock-order inversion across static paths — see
+         :mod:`repro.analyze.atomicity`
 =======  ==========================================================
 """
 
@@ -28,18 +35,18 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.analyze.atomicity import rule_sim006, rule_sim007, rule_sim008
+# An attribute call like ``log.append(...)`` is far more likely a list
+# method than a project generator of the same name, so SIM001 never
+# matches builtin method names by attribute (bare-name calls still
+# match).  The callgraph module owns the set: its call resolution
+# applies the same policy.
+from repro.analyze.callgraph import _BUILTIN_METHOD_NAMES
 from repro.analyze.linter import Finding, Module
 
 __all__ = ["ALL_RULES", "RULE_CODES", "rule_sim001", "rule_sim002",
-           "rule_sim003", "rule_sim004", "rule_sim005"]
-
-# Method names that exist on builtin containers/strings: an attribute
-# call like ``log.append(...)`` is far more likely a list method than a
-# project generator of the same name, so SIM001 never matches these by
-# attribute (bare-name calls still match).
-_BUILTIN_METHOD_NAMES = (set(dir(list)) | set(dir(dict)) | set(dir(set))
-                         | set(dir(str)) | set(dir(tuple)) | set(dir(bytes))
-                         | set(dir(frozenset)))
+           "rule_sim003", "rule_sim004", "rule_sim005", "rule_sim006",
+           "rule_sim007", "rule_sim008"]
 
 
 def rule_sim001(module: Module) -> Iterator[Finding]:
@@ -495,11 +502,15 @@ def rule_sim005(module: Module) -> Iterator[Finding]:
                     "time — use 'yield sim.timeout(...)'")
 
 
-ALL_RULES = (rule_sim001, rule_sim002, rule_sim003, rule_sim004, rule_sim005)
+ALL_RULES = (rule_sim001, rule_sim002, rule_sim003, rule_sim004, rule_sim005,
+             rule_sim006, rule_sim007, rule_sim008)
 RULE_CODES = {
     "SIM001": rule_sim001,
     "SIM002": rule_sim002,
     "SIM003": rule_sim003,
     "SIM004": rule_sim004,
     "SIM005": rule_sim005,
+    "SIM006": rule_sim006,
+    "SIM007": rule_sim007,
+    "SIM008": rule_sim008,
 }

@@ -74,6 +74,9 @@ class CrashExperimentResult:
         default_factory=list)
     # The injector's deterministic (time, description) applied-fault log.
     fault_log: List[Tuple[float, str]] = field(default_factory=list)
+    # Runtime lockset race reports (debug mode only; execution order,
+    # which is deterministic under a fixed seed).  Empty otherwise.
+    race_reports: List[str] = field(default_factory=list)
 
     @property
     def recovery_time(self) -> Optional[float]:
@@ -227,6 +230,8 @@ def run_crash_experiment(spec: CrashExperimentSpec) -> CrashExperimentResult:
     if cluster.coordinator.recoveries:
         result.recovery = cluster.coordinator.recoveries[0]
     result.fault_log = list(injector.applied)
+    if cluster.sim._sanitizer is not None:
+        result.race_reports = list(cluster.sim._sanitizer.races.reports)
     for client in clients:
         result.client_latencies.append(
             client.stats.all_latencies().samples)

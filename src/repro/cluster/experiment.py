@@ -61,6 +61,9 @@ class ExperimentResult:
     client_errors: int = 0
     clients_gave_up: int = 0
     crashed: bool = False  # the paper's "experiments were always crashing"
+    # Runtime lockset race reports (debug mode only; execution order,
+    # which is deterministic under a fixed seed).  Empty otherwise.
+    race_reports: List[str] = field(default_factory=list)
 
     @property
     def cpu_util_min(self) -> float:
@@ -121,6 +124,8 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
 
     makespan = max(end - start, 1e-12)
     result = ExperimentResult(spec=spec)
+    if cluster.sim._sanitizer is not None:
+        result.race_reports = list(cluster.sim._sanitizer.races.reports)
     result.makespan = makespan
     result.per_client_stats = [c.stats for c in clients]
     result.total_ops = sum(c.stats.total_ops for c in clients)

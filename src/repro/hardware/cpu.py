@@ -138,7 +138,9 @@ class Cpu:
         try:
             result = yield from inner
         finally:
-            self._spinning -= 1
+            # Each += / -= is atomic within its step; the gauge is
+            # *meant* to span the yield (that is the spin interval).
+            self._spinning -= 1  # simlint: disable=SIM006 gauge
             self._update_busy()
         return result
 

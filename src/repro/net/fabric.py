@@ -14,6 +14,7 @@ from typing import Callable, Dict, Generator, List, Optional, Sequence, Set, Tup
 
 from repro.hardware.node import Node
 from repro.sim.kernel import Simulator
+from repro.sim.racecheck import shared
 from repro.sim.resources import Resource
 
 __all__ = ["Fabric", "NodeUnreachable", "NetworkPartitioned"]
@@ -38,6 +39,7 @@ class Fabric:
 
     def __init__(self, sim: Simulator):
         self.sim = sim
+        self.race = shared(sim, "fabric")
         self._nodes: Dict[str, Node] = {}
         self._tx_queues: Dict[str, Resource] = {}
         self._partitions: Set[Tuple[str, str]] = set()
@@ -64,11 +66,13 @@ class Fabric:
 
     def partition(self, a: str, b: str) -> None:
         """Cut connectivity between two machines (both directions)."""
+        self.race.write("partitions")
         self._partitions.add((a, b))
         self._partitions.add((b, a))
 
     def heal(self, a: str, b: str) -> None:
         """Restore connectivity cut by :meth:`partition`."""
+        self.race.write("partitions")
         self._partitions.discard((a, b))
         self._partitions.discard((b, a))
 
@@ -88,10 +92,13 @@ class Fabric:
 
     def heal_all(self) -> None:
         """Remove every partition cut."""
+        self.race.write("partitions")
         self._partitions.clear()
 
     def is_partitioned(self, a: str, b: str) -> bool:
-        """Whether a partition separates the two machines."""
+        """Whether a partition separates the two machines (an optimistic
+        check: connectivity can change before the answer is used)."""
+        self.race.read("partitions", relaxed=True)
         return (a, b) in self._partitions
 
     # -- RPC faults (delay/drop, used by repro.faults) --------------------
@@ -139,6 +146,7 @@ class Fabric:
             raise ValueError(f"negative message size: {nbytes}")
         if src.name not in self._nodes or dst.name not in self._nodes:
             raise KeyError("both endpoints must be attached to the fabric")
+        self.race.read("partitions", relaxed=True)
         if (src.name, dst.name) in self._partitions:
             raise NetworkPartitioned(f"{src.name} cannot reach {dst.name}")
 

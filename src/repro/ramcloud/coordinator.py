@@ -29,6 +29,7 @@ from repro.ramcloud.config import CostModel, ServerConfig
 from repro.ramcloud.tablets import TabletMap, TabletStatus
 from repro.sim.distributions import RandomStream
 from repro.sim.kernel import Simulator
+from repro.sim.racecheck import shared, task_boundary
 
 __all__ = ["Coordinator", "RecoveryStats"]
 
@@ -101,6 +102,10 @@ class Coordinator(RpcService):
         self.recovery_pipeline_width = 6
 
         self.tablet_map = TabletMap()
+        self.tablet_map.race = shared(sim, "tabletmap",
+                                      obj=self.tablet_map)
+        # Race-detection handle for the membership dicts (debug mode).
+        self.race = shared(sim, "coordinator", obj=self)
         self._servers: Dict[str, object] = {}  # server_id → RamCloudServer
         self._live: Dict[str, bool] = {}
         self._missed_pings: Dict[str, int] = {}
@@ -124,6 +129,7 @@ class Coordinator(RpcService):
         if server.server_id in self._servers:
             raise ValueError(f"server {server.server_id!r} already enlisted")
         self._servers[server.server_id] = server
+        self.race.write(f"live/{server.server_id}")
         self._live[server.server_id] = True
         self._missed_pings[server.server_id] = 0
 
@@ -132,7 +138,9 @@ class Coordinator(RpcService):
         return self._servers.get(server_id)
 
     def live_server_ids(self) -> List[str]:
-        """Ids of servers currently believed alive."""
+        """Ids of servers currently believed alive (an optimistic scan:
+        membership can change under any caller that later yields)."""
+        self.race.read("live", relaxed=True)
         return [sid for sid, alive in self._live.items() if alive]
 
     def is_live(self, server_id: str) -> bool:
@@ -148,6 +156,9 @@ class Coordinator(RpcService):
         data path, one thread suffices)."""
         while True:
             request = yield self.inbox.get()
+            # Each request is an unrelated work item: accesses before
+            # this point must not pair with accesses after it.
+            task_boundary(self.sim)
             yield from self.node.cpu.execute(self.cost.coordinator_service)
             try:
                 self._serve(request)
@@ -265,6 +276,7 @@ class Coordinator(RpcService):
         membership (no crash recovery fires) and power the machine off —
         the Sierra/Rabbit-style energy lever the paper's §IX cites."""
         moved = yield from self.drain_server(server_id)
+        self.race.write(f"live/{server_id}")
         self._live[server_id] = False
         server = self._servers[server_id]
         server.kill()
@@ -308,10 +320,12 @@ class Coordinator(RpcService):
         try:
             yield from server.call(self.node, "ping",
                                    timeout=self.ping_timeout)
+            self.race.write(f"pings/{server_id}")
             self._missed_pings[server_id] = 0
         except (NodeUnreachable, RpcTimeout):
             if not self._live.get(server_id, False):
                 return
+            self.race.write(f"pings/{server_id}")
             self._missed_pings[server_id] += 1
             if self._missed_pings[server_id] >= self.detection_misses:
                 self._on_server_suspected(server_id)
@@ -323,6 +337,7 @@ class Coordinator(RpcService):
         server = self._servers[server_id]
         if not server.killed:
             return  # transient timeout, not a real crash
+        self.race.write(f"live/{server_id}")
         self._live[server_id] = False
         stats = RecoveryStats(crashed_id=server_id,
                               detected_at=self.sim.now,

@@ -11,27 +11,37 @@ from __future__ import annotations
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro.ramcloud.segment import LogEntry, Segment
+from repro.sim.racecheck import NULL_SHARED, guarded_by
 
 __all__ = ["HashTable"]
 
 
+@guarded_by("log_lock")
 class HashTable:
-    """Maps live objects to their current log entry."""
+    """Maps live objects to their current log entry.
+
+    Mutations must hold the owning master's ``log_lock`` (the index and
+    the log entry's liveness change together); ``self.race`` records
+    per-key accesses for the debug-mode race detector.
+    """
 
     def __init__(self):
         self._index: Dict[Tuple[int, str], Tuple[Segment, LogEntry]] = {}
+        self.race = NULL_SHARED
 
     def __len__(self) -> int:
         return len(self._index)
 
     def lookup(self, table_id: int, key: str) -> Optional[Tuple[Segment, LogEntry]]:
         """The live (segment, entry) for a key, or None."""
+        self.race.read(f"t{table_id}/{key}")
         return self._index.get((table_id, key))
 
     def insert(self, table_id: int, key: str, segment: Segment,
                entry: LogEntry) -> Optional[LogEntry]:
         """Point (table, key) at a new entry; returns the displaced
         entry (now dead) if the key existed."""
+        self.race.write(f"t{table_id}/{key}")
         old = self._index.get((table_id, key))
         self._index[(table_id, key)] = (segment, entry)
         if old is not None:
@@ -42,6 +52,7 @@ class HashTable:
 
     def remove(self, table_id: int, key: str) -> Optional[LogEntry]:
         """Drop the index entry (object deleted); returns the dead entry."""
+        self.race.write(f"t{table_id}/{key}")
         old = self._index.pop((table_id, key), None)
         if old is None:
             return None
@@ -55,17 +66,21 @@ class HashTable:
         Unlike :meth:`insert` this must only be called for an object the
         cleaner verified is still the current version.
         """
+        self.race.write(f"t{table_id}/{key}")
         current = self._index.get((table_id, key))
         if current is None:
             raise KeyError(f"relocate of unindexed object t{table_id}/{key}")
         self._index[(table_id, key)] = (segment, entry)
 
     def keys_for_table(self, table_id: int) -> Iterator[str]:
-        """Iterate the live keys of one table."""
+        """Iterate the live keys of one table (an optimistic snapshot:
+        callers revalidate per key under the lock)."""
+        self.race.read(f"t{table_id}:keys", relaxed=True)
         return (key for (tid, key) in self._index if tid == table_id)
 
     def drop_table(self, table_id: int) -> int:
         """Remove every object of a table; returns how many were dropped."""
+        self.race.write(f"t{table_id}:keys", relaxed=True)
         doomed = [(tid, key) for (tid, key) in self._index if tid == table_id]
         for pair in doomed:
             self._index[pair][1].live = False

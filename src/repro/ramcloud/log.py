@@ -17,12 +17,19 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.ramcloud.config import ServerConfig
 from repro.ramcloud.errors import LogOutOfMemory
 from repro.ramcloud.segment import LogEntry, Segment
+from repro.sim.racecheck import NULL_SHARED, guarded_by
 
 __all__ = ["Log"]
 
 
+@guarded_by("log_lock")
 class Log:
-    """One master's log-structured memory."""
+    """One master's log-structured memory.
+
+    Structural mutations (head roll, segment open/free) must hold the
+    owning master's ``log_lock``; ``self.race`` records them for the
+    debug-mode race detector (installed via :meth:`set_race`).
+    """
 
     # Segments kept back for the cleaner: without headroom to copy live
     # data into, a full log could never be cleaned (RAMCloud reserves
@@ -37,10 +44,17 @@ class Log:
         self.max_segments = config.total_segments
         self._on_open = on_open
         self._on_close = on_close
+        self.race = NULL_SHARED
         self.segments: Dict[int, Segment] = {}
         self._next_segment_id = 0
         self.head: Segment = self._open_segment()
         self.appended_bytes = 0
+
+    def set_race(self, race) -> None:
+        """Install the race-detection handle (debug mode), covering the
+        head segment opened before the handle existed."""
+        self.race = race
+        self.head.race = race
 
     # -- segment lifecycle ------------------------------------------------
 
@@ -53,7 +67,9 @@ class Log:
                 f"log full: {len(self.segments)} segments of "
                 f"{self.segment_size} bytes (limit {limit})"
             )
+        self.race.write("segments")
         segment = Segment(self._next_segment_id, self.segment_size)
+        segment.race = self.race
         self._next_segment_id += 1
         self.segments[segment.segment_id] = segment
         if self._on_open is not None:
@@ -63,6 +79,7 @@ class Log:
     def _roll_head(self, privileged: bool = False) -> Segment:
         """Close the head and open a new one; returns the closed segment."""
         new_head = self._open_segment(privileged)  # may raise: head intact
+        self.race.write("head")
         closed = self.head
         closed.close()
         if self._on_close is not None:
@@ -76,6 +93,7 @@ class Log:
             raise ValueError("cannot free the head segment")
         if segment.segment_id not in self.segments:
             raise KeyError(f"segment {segment.segment_id} not in this log")
+        self.race.write("segments")
         del self.segments[segment.segment_id]
 
     # -- appending ----------------------------------------------------------
@@ -100,6 +118,7 @@ class Log:
                 f"{self.segment_size}B"
             )
         closed = None
+        self.race.write("head")
         if not self.head.fits(entry):
             closed = self._roll_head(privileged)
         self.head.append(entry)
@@ -124,12 +143,15 @@ class Log:
         return self.used_bytes / (self.max_segments * self.segment_size)
 
     def closed_segments(self) -> List[Segment]:
-        """Segments no longer accepting appends."""
+        """Segments no longer accepting appends (optimistic snapshot)."""
+        self.race.read("segments", relaxed=True)
         return [s for s in self.segments.values() if s.closed]
 
     def cleanable_segments(self) -> List[Segment]:
         """Closed segments with any dead data, best candidates first
-        (lowest live fraction — the cost/benefit policy RAMCloud uses)."""
+        (lowest live fraction — the cost/benefit policy RAMCloud uses).
+        An optimistic snapshot: the cleaner revalidates under the lock."""
+        self.race.read("segments", relaxed=True)
         candidates = [s for s in self.segments.values()
                       if s.closed and s.dead_bytes > 0]
         candidates.sort(key=lambda s: s.utilization)

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Tuple
 
+from repro.sim.racecheck import NULL_SHARED
+
 __all__ = ["LogEntry", "Segment", "ENTRY_HEADER_BYTES"]
 
 # Per-entry log overhead (entry header + checksum), as in RAMCloud.
@@ -52,7 +54,7 @@ class Segment:
     """A fixed-size append-only region of the in-memory log."""
 
     __slots__ = ("segment_id", "capacity", "bytes_used", "entries",
-                 "closed", "replica_backups")
+                 "closed", "replica_backups", "race")
 
     def __init__(self, segment_id: int, capacity: int):
         if capacity <= ENTRY_HEADER_BYTES:
@@ -62,6 +64,8 @@ class Segment:
         self.bytes_used = 0
         self.entries: List[LogEntry] = []
         self.closed = False
+        # Race-detection handle shared with the owning Log (debug mode).
+        self.race = NULL_SHARED
         # Backup server ids holding replicas of this segment (chosen at
         # open time — §II-B: "a random backup in the cluster is chosen
         # for each new segment").
@@ -102,15 +106,20 @@ class Segment:
                 f"entry of {entry.log_bytes}B does not fit in segment "
                 f"{self.segment_id} ({self.free_bytes}B free)"
             )
+        self.race.write(f"seg{self.segment_id}")
         self.entries.append(entry)
         self.bytes_used += entry.log_bytes
 
     def close(self) -> None:
         """Seal the segment (backups flush their replica to disk)."""
+        self.race.write(f"seg{self.segment_id}")
         self.closed = True
 
     def live_entries(self) -> Iterator[LogEntry]:
-        """Iterate the entries still reachable from the hash table."""
+        """Iterate the entries still reachable from the hash table (an
+        optimistic scan: the cleaner revalidates per entry under the
+        lock before relocating)."""
+        self.race.read(f"seg{self.segment_id}", relaxed=True)
         return (e for e in self.entries if e.live)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -50,6 +50,7 @@ from repro.ramcloud.segment import LogEntry, Segment
 from repro.ramcloud.tablets import TabletStatus, key_hash
 from repro.sim.distributions import RandomStream
 from repro.sim.kernel import Interrupt, Process, Simulator
+from repro.sim.racecheck import shared, task_boundary
 from repro.sim.resources import Mutex, Store
 
 __all__ = ["RamCloudServer", "SegmentReplica"]
@@ -118,6 +119,13 @@ class RamCloudServer(RpcService):
         # (table_id, tablet_index) → shard count of that tablet
         self.tablet_shards: Dict[Tuple[int, int], int] = {}
         self._next_version = 1
+        # Race-detection handles (debug mode): the hash table and log
+        # declare @guarded_by("log_lock"), resolved against this server.
+        self.hashtable.race = shared(sim, f"{self.server_id}:hashtable",
+                                     obj=self.hashtable, owner=self)
+        self.log.set_race(shared(sim, f"{self.server_id}:log",
+                                 obj=self.log, owner=self))
+        self.race = shared(sim, f"{self.server_id}:tablets")
 
         # ---- backup state ----
         self.replicas: Dict[Tuple[str, int], SegmentReplica] = {}
@@ -192,12 +200,14 @@ class RamCloudServer(RpcService):
         """Own one (tablet, shard) unit.  ``unit`` is
         ``(table_id, tablet_index, shard)``."""
         table_id, index, _shard = unit
+        self.race.write(f"{unit[0]}.{unit[1]}.{unit[2]}")
         self.tablets[unit] = (TabletStatus.NORMAL if ready
                               else TabletStatus.RECOVERING)
         self.tablet_shards[(table_id, index)] = shard_count
 
     def drop_tablet(self, unit: Tuple[int, int, int]) -> None:
         """Stop owning one (tablet, shard) unit."""
+        self.race.write(f"{unit[0]}.{unit[1]}.{unit[2]}")
         self.tablets.pop(unit, None)
 
     def _check_ownership(self, table_id: int, key: str, span: int) -> None:
@@ -206,6 +216,7 @@ class RamCloudServer(RpcService):
         shard_count = self.tablet_shards.get((table_id, index), 1)
         shard = (h // span) % shard_count
         unit = (table_id, index, shard)
+        self.race.read(f"{unit[0]}.{unit[1]}.{unit[2]}")
         status = self.tablets.get(unit)
         if status is None:
             raise WrongServer(
@@ -354,6 +365,10 @@ class RamCloudServer(RpcService):
                 yield from self.node.cpu.spinning(
                     _wait(self.sim.any_of([get, deadline])))
             request = yield get
+            # Each request is an unrelated work item for the race
+            # detector: this worker's earlier touches must not pair
+            # with touches made on behalf of this request.
+            task_boundary(self.sim)
             self.active_workers += 1
             try:
                 yield from self._handle(request)
@@ -365,7 +380,10 @@ class RamCloudServer(RpcService):
                 if not request.reply.triggered:
                     request.fail(exc)
             finally:
-                self.active_workers -= 1
+                # Each += / -= is atomic within its step; the gauge is
+                # *meant* to span the service yield (it counts busy
+                # workers).
+                self.active_workers -= 1  # simlint: disable=SIM006 gauge
 
     def _handle(self, request: RpcRequest) -> Generator:
         handler = self._HANDLERS.get(request.op)
@@ -397,12 +415,22 @@ class RamCloudServer(RpcService):
 
     def _append_locked(self, table_id: int, key: str, value_size: int,
                        value: Optional[bytes],
-                       is_tombstone: bool) -> Generator:
+                       is_tombstone: bool,
+                       expected_version: Optional[int] = None,
+                       require_exists: bool = False) -> Generator:
         """The serialized log-append critical section.
 
         Returns ``(segment, entry, closed_segment)``.  The critical
         section's CPU cost scales with concurrently-active workers —
         the contention the paper blames for update-heavy collapse.
+
+        ``expected_version`` / ``require_exists`` are checked *inside*
+        the lock, immediately after acquisition: checking them before
+        acquiring would be a check-then-act race — a concurrent writer
+        could change the object between the check and the append, and
+        a conditional write would overwrite a version it never saw.
+        On violation the lock is released and :class:`StaleVersion` /
+        :class:`ObjectDoesntExist` raised (no version is consumed).
         """
         self._ensure_head_replicated()
         charged_crit = False
@@ -418,6 +446,16 @@ class RamCloudServer(RpcService):
                 self.log_lock.abort(token)
                 raise
             try:
+                if expected_version is not None or require_exists:
+                    found = self.hashtable.lookup(table_id, key)
+                    if require_exists and found is None:
+                        raise ObjectDoesntExist(f"t{table_id}/{key}")
+                    if expected_version is not None:
+                        current = found[1].version if found else 0
+                        if current != expected_version:
+                            raise StaleVersion(
+                                f"t{table_id}/{key}: expected "
+                                f"v{expected_version}, at v{current}")
                 if not charged_crit:
                     writers = self.log_lock.queue_length + 1
                     other_active = max(0, self.active_workers - writers)
@@ -534,17 +572,14 @@ class RamCloudServer(RpcService):
         except (WrongServer, RetryLater) as exc:
             request.fail(exc)
             return
-        if expected_version is not None:
-            found = self.hashtable.lookup(table_id, key)
-            current = found[1].version if found else 0
-            if current != expected_version:
-                yield from self.node.cpu.execute(self.cost.read_service)
-                request.fail(StaleVersion(
-                    f"t{table_id}/{key}: expected v{expected_version}, "
-                    f"at v{current}"))
-                return
-        segment, entry, closed = yield from self._append_locked(
-            table_id, key, value_size, value, is_tombstone=False)
+        try:
+            segment, entry, closed = yield from self._append_locked(
+                table_id, key, value_size, value, is_tombstone=False,
+                expected_version=expected_version)
+        except StaleVersion as exc:
+            yield from self.node.cpu.execute(self.cost.read_service)
+            request.fail(exc)
+            return
         del closed  # backups were notified by the on_close callback
         yield from self.node.cpu.execute(self.cost.write_service)
         if self.config.replication_factor > 0:
@@ -560,11 +595,13 @@ class RamCloudServer(RpcService):
         except (WrongServer, RetryLater) as exc:
             request.fail(exc)
             return
-        if self.hashtable.lookup(table_id, key) is None:
-            request.fail(ObjectDoesntExist(f"t{table_id}/{key}"))
+        try:
+            segment, entry, _closed = yield from self._append_locked(
+                table_id, key, 0, None, is_tombstone=True,
+                require_exists=True)
+        except ObjectDoesntExist as exc:
+            request.fail(exc)
             return
-        segment, entry, _closed = yield from self._append_locked(
-            table_id, key, 0, None, is_tombstone=True)
         yield from self.node.cpu.execute(self.cost.write_service)
         if self.config.replication_factor > 0:
             yield from self._replicate_entry(segment, entry)
@@ -752,9 +789,20 @@ class RamCloudServer(RpcService):
             size_bytes=nbytes + 256, response_bytes=64,
             timeout=60.0,
         )
-        # Dead entries stay behind for the cleaner.
-        for entry in moving:
-            self.hashtable.remove(entry.table_id, entry.key)
+        # Drop the moved keys from the index under the log lock (index
+        # mutations and entry liveness must stay consistent with the
+        # cleaner's copy-forward); dead entries stay behind for it.
+        token = self.log_lock.acquire()
+        try:
+            yield token
+        except BaseException:
+            self.log_lock.abort(token)
+            raise
+        try:
+            for entry in moving:
+                self.hashtable.remove(entry.table_id, entry.key)
+        finally:
+            self.log_lock.release(token)
         self.drop_tablet(unit)
         return len(moving)
 
@@ -990,6 +1038,9 @@ class RamCloudServer(RpcService):
             while (self.log.memory_utilization
                    >= self.config.cleaner_threshold
                    and not self.killed):
+                # Each victim segment is an independent work item for
+                # the race detector.
+                task_boundary(self.sim)
                 cleaned = yield from self._clean_one_segment()
                 if not cleaned:
                     break

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.sim.racecheck import NULL_SHARED
 
 __all__ = ["Table", "Tablet", "TabletMap", "TabletStatus", "key_hash"]
 
@@ -116,6 +117,11 @@ class TabletMap:
         self._tables_by_name: Dict[str, Table] = {}
         self._tablets: Dict[Tuple[int, int], Tablet] = {}
         self._next_table_id = 1
+        # Race-detection handle (debug mode; the coordinator installs
+        # it).  The ``epoch`` counter is deliberately not tracked: it is
+        # a single-step atomic increment, never read-modify-written
+        # across a yield.
+        self.race = NULL_SHARED
 
     # -- tables ---------------------------------------------------------
 
@@ -129,6 +135,7 @@ class TabletMap:
             raise ValueError(f"span must be >= 1, got {span}")
         if not server_ids:
             raise ValueError("no servers to place tablets on")
+        self.race.write("tables")
         table = Table(self._next_table_id, name, span)
         self._next_table_id += 1
         self._tables_by_id[table.table_id] = table
@@ -142,6 +149,7 @@ class TabletMap:
 
     def drop_table(self, name: str) -> None:
         """Remove a table and its tablets."""
+        self.race.write("tables")
         table = self._tables_by_name.pop(name, None)
         if table is None:
             raise KeyError(f"no table {name!r}")
@@ -166,10 +174,14 @@ class TabletMap:
         if table is None:
             raise KeyError(f"no table id {table_id}")
         index = key_hash(key) % table.span
+        # Routing reads are optimistic by design: a stale route fails at
+        # the server and the client refreshes (epoch protocol).
+        self.race.read(f"{table_id}.{index}", relaxed=True)
         return self._tablets[(table_id, index)]
 
     def tablets_of_server(self, server_id: str) -> List[Tuple[Tablet, int]]:
-        """Every (tablet, shard_index) the server owns."""
+        """Every (tablet, shard_index) the server owns (optimistic scan)."""
+        self.race.read("tables", relaxed=True)
         owned = []
         for tablet in self._tablets.values():
             for shard, owner in enumerate(tablet.shards):
@@ -186,6 +198,7 @@ class TabletMap:
         """Split one shard of a tablet into ``len(new_owners)`` subshards
         (recovery partitioning).  Only unsplit tablets can be split
         further — recovered shards stay atomic in later recoveries."""
+        self.race.write(f"{tablet_id[0]}.{tablet_id[1]}.{shard}")
         tablet = self._tablets[tablet_id]
         if tablet.shard_count == 1:
             tablet.shards = list(new_owners)
@@ -202,6 +215,7 @@ class TabletMap:
                        new_server: str,
                        status: str = TabletStatus.NORMAL) -> None:
         """Point one subshard at a new owner."""
+        self.race.write(f"{tablet_id[0]}.{tablet_id[1]}.{shard}")
         tablet = self._tablets[tablet_id]
         tablet.shards[shard] = new_server
         tablet.statuses[shard] = status
@@ -210,6 +224,7 @@ class TabletMap:
     def set_shard_status(self, tablet_id: Tuple[int, int], shard: int,
                          status: str) -> None:
         """Change one subshard's serving status."""
+        self.race.write(f"{tablet_id[0]}.{tablet_id[1]}.{shard}")
         self._tablets[tablet_id].statuses[shard] = status
         self.epoch += 1
 
@@ -217,6 +232,7 @@ class TabletMap:
 
     def snapshot(self) -> "TabletMapSnapshot":
         """An immutable copy for a client cache."""
+        self.race.read("tables", relaxed=True)
         tablets = {tid: t.clone() for tid, t in self._tablets.items()}
         tables_by_name = dict(self._tables_by_name)
         tables_by_id = dict(self._tables_by_id)

@@ -294,7 +294,7 @@ class Process(Event):
     def _step(self, value: Any, throw: bool) -> None:
         sanitizer = self.sim._sanitizer
         if sanitizer is not None:
-            sanitizer.current_process = self
+            sanitizer.begin_step(self)
         try:
             if throw:
                 target = self.generator.throw(value)
@@ -323,7 +323,7 @@ class Process(Event):
             return
         finally:
             if sanitizer is not None:
-                sanitizer.current_process = None
+                sanitizer.end_step()
         if not isinstance(target, Event):
             error = SimulationError(
                 f"process {self.name!r} yielded {target!r}, expected an Event"

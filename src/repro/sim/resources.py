@@ -88,6 +88,9 @@ class Resource:
     def _grant(self, req: Request) -> None:
         self._users.append(req)
         self.total_wait_time += self.sim.now - req.enqueued_at
+        sanitizer = self.sim._sanitizer
+        if sanitizer is not None:
+            sanitizer.races.lock_granted(req)
         req.succeed(req)
 
     def release(self, req: Request) -> None:
@@ -98,6 +101,9 @@ class Resource:
             raise SimulationError(
                 f"release of a request not holding {self.name or 'resource'}"
             ) from None
+        sanitizer = self.sim._sanitizer
+        if sanitizer is not None:
+            sanitizer.races.lock_released(req)
         nxt = self._dequeue()
         if nxt is not None:
             self._grant(nxt)

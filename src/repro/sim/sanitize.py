@@ -74,6 +74,22 @@ class Sanitizer:
         # The process whose generator is currently executing; requests
         # created during its step are attributed to it.
         self.current_process: Optional["Process"] = None
+        # Lockset race detection over annotated shared structures
+        # (imported lazily: racecheck imports SanitizerWarning from here).
+        from repro.sim.racecheck import RaceDetector
+        self.races = RaceDetector(sim)
+
+    # -- step attribution (called from Process._step) --------------------
+
+    def begin_step(self, process: "Process") -> None:
+        """A process generator is about to run one step."""
+        self.current_process = process
+        self.races.begin_step(process)
+
+    def end_step(self) -> None:
+        """The current step finished (normally or not)."""
+        self.current_process = None
+        self.races.end_step()
 
     # -- registration hooks (called from the kernel) --------------------
 
@@ -163,6 +179,7 @@ class Sanitizer:
 
     def process_died(self, process: "Process") -> None:
         """Check a just-finished process for leaked resource claims."""
+        self.races.process_died(process)
         held = self.held_requests(process)
         if not held:
             return

@@ -1,0 +1,15 @@
+"""True-positive fixture for SIM006: the same ``self.*`` field is
+written before and after a yield point with no lock held across it.
+
+Never imported or executed — only linted.
+"""
+
+
+class ReplicaCounter:
+    def record_write(self, sim, nbytes):
+        # The read-modify-write of ``self.total_bytes`` spans the yield:
+        # whatever runs while this process sleeps can also update it,
+        # and the second += resumes from a stale baseline.
+        self.total_bytes += nbytes
+        yield sim.timeout(0.01)
+        self.total_bytes += self.ack_bytes  # SIM006 fires here

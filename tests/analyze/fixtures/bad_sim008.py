@@ -1,0 +1,53 @@
+"""True-positive fixture for SIM008: the classic ABBA lock-order
+inversion — one path acquires ``lock_a`` then ``lock_b``, another path
+the reverse.  Two processes taking the two paths park forever.
+
+Each critical section individually follows the kernel's canonical
+(SIM002-clean) shape; the bug is only visible across functions.
+
+Never imported or executed — only linted.
+"""
+
+
+def transfer_ab(sim, lock_a, lock_b, log):
+    ta = lock_a.acquire()
+    try:
+        yield ta
+    except BaseException:
+        lock_a.abort(ta)
+        raise
+    try:
+        tb = lock_b.acquire()  # SIM008: A held, acquiring B
+        try:
+            yield tb
+        except BaseException:
+            lock_b.abort(tb)
+            raise
+        try:
+            log.append("ab")
+        finally:
+            lock_b.release(tb)
+    finally:
+        lock_a.release(ta)
+
+
+def transfer_ba(sim, lock_a, lock_b, log):
+    tb = lock_b.acquire()
+    try:
+        yield tb
+    except BaseException:
+        lock_b.abort(tb)
+        raise
+    try:
+        ta = lock_a.acquire()  # SIM008: B held, acquiring A
+        try:
+            yield ta
+        except BaseException:
+            lock_a.abort(ta)
+            raise
+        try:
+            log.append("ba")
+        finally:
+            lock_a.release(ta)
+    finally:
+        lock_b.release(tb)

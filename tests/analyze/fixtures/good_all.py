@@ -66,3 +66,90 @@ def settle(sim, interval, rounds):
     for _ in range(rounds):
         yield sim.timeout(interval)
     return sim.now
+
+
+class Gauge:
+    def guarded_update(self, sim, mutex):
+        # SIM006-clean: the lock is held across the yield between the
+        # two writes, so nothing else can touch ``self.value``.
+        token = mutex.acquire()
+        try:
+            yield token
+        except BaseException:
+            mutex.abort(token)
+            raise
+        try:
+            self.value += 1
+            yield sim.timeout(0.01)
+            self.value += 1
+        finally:
+            mutex.release(token)
+
+    def exclusive_update(self, sim, flag):
+        # SIM006-clean: the two writes sit on opposite arms of the same
+        # if — they can never bracket one pass over the yield.
+        if flag:
+            self.value += 1
+            yield sim.timeout(0.01)
+        else:
+            yield sim.timeout(0.02)
+            self.value -= 1
+
+
+def launch(sim, coro):
+    # A spawner: forwards its argument into the kernel.
+    sim.process(coro, name="launched")
+
+
+def start_flush(sim, disk):
+    # SIM007-clean: every coroutine is spawned (directly or through the
+    # 'launch' spawner) or returned for the caller to drive.
+    sim.process(flush_segment(sim, disk), name="flush")
+    launch(sim, flush_segment(sim, disk))
+    return flush_segment(sim, disk)
+
+
+def ordered_one(sim, lock_a, lock_b, log):
+    # SIM008-clean: both paths take lock_a before lock_b.
+    ta = lock_a.acquire()
+    try:
+        yield ta
+    except BaseException:
+        lock_a.abort(ta)
+        raise
+    try:
+        tb = lock_b.acquire()
+        try:
+            yield tb
+        except BaseException:
+            lock_b.abort(tb)
+            raise
+        try:
+            log.append("one")
+        finally:
+            lock_b.release(tb)
+    finally:
+        lock_a.release(ta)
+
+
+def ordered_two(sim, lock_a, lock_b, log):
+    # SIM008-clean: same order as ordered_one — no inversion exists.
+    ta = lock_a.acquire()
+    try:
+        yield ta
+    except BaseException:
+        lock_a.abort(ta)
+        raise
+    try:
+        tb = lock_b.acquire()
+        try:
+            yield tb
+        except BaseException:
+            lock_b.abort(tb)
+            raise
+        try:
+            log.append("two")
+        finally:
+            lock_b.release(tb)
+    finally:
+        lock_a.release(ta)

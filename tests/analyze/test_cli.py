@@ -4,6 +4,7 @@ This is what CI runs — exit 0 on the real tree, non-zero on the bad
 fixtures — so the contract is pinned here.
 """
 
+import json
 import os
 import subprocess
 import sys
@@ -32,7 +33,8 @@ def test_clean_tree_exits_zero():
 def test_bad_fixtures_exit_nonzero_and_name_every_rule():
     proc = run_cli(FIXTURES)
     assert proc.returncode == 1
-    for code in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005"):
+    for code in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005",
+                 "SIM006", "SIM007", "SIM008"):
         assert code in proc.stdout, f"{code} missing from:\n{proc.stdout}"
     assert "finding(s)" in proc.stderr
 
@@ -53,10 +55,39 @@ def test_select_unknown_code_is_usage_error():
 def test_missing_path_is_usage_error():
     proc = run_cli("no/such/dir")
     assert proc.returncode == 2
+    assert "no such file or directory: no/such/dir" in proc.stderr
+    assert proc.stdout.strip() == ""
+
+
+def test_one_missing_path_among_good_ones_still_errors():
+    proc = run_cli("src", "no/such/dir")
+    assert proc.returncode == 2
+    assert "no/such/dir" in proc.stderr
 
 
 def test_list_rules_prints_catalogue():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
-    for code in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005"):
+    for code in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005",
+                 "SIM006", "SIM007", "SIM008"):
         assert code in proc.stdout
+
+
+def test_json_format_is_machine_readable():
+    proc = run_cli("--format", "json",
+                   os.path.join(FIXTURES, "bad_sim006.py"))
+    assert proc.returncode == 1
+    report = json.loads(proc.stdout)
+    assert report["errors"] == []
+    assert len(report["findings"]) == 1
+    finding = report["findings"][0]
+    assert finding["code"] == "SIM006"
+    assert finding["path"].endswith("bad_sim006.py")
+    assert isinstance(finding["line"], int) and finding["line"] > 0
+
+
+def test_json_format_on_clean_tree_is_empty_report():
+    proc = run_cli("--format", "json", "src")
+    assert proc.returncode == 0
+    report = json.loads(proc.stdout)
+    assert report == {"errors": [], "findings": []}

@@ -62,6 +62,10 @@ def digest(result) -> str:
         latencies = stats.all_latencies().latencies
         for latency in latencies:
             feed(f"client[{i}].lat", latency)
+    # Race reports (nonempty only under REPRO_SIM_DEBUG=1) must also be
+    # byte-identical across same-seed runs.
+    for report in result.race_reports:
+        feed("race", report)
     return h.hexdigest()
 
 
@@ -140,6 +144,8 @@ def crash_digest(result) -> str:
         feed(f"{series.name}.values", series.values)
     for name in sorted(result.per_node_power):
         feed(f"power[{name}]", result.per_node_power[name].values)
+    for report in result.race_reports:
+        feed("race", report)
     return h.hexdigest()
 
 

@@ -303,6 +303,229 @@ class TestSim005:
 
 
 # ---------------------------------------------------------------------------
+# SIM006 — torn read-modify-write across a yield
+# ---------------------------------------------------------------------------
+
+class TestSim006:
+    def test_bad_fixture_fires_once(self):
+        findings = lint_fixture("bad_sim006.py")
+        assert codes(findings) == ["SIM006"]
+        assert "self.total_bytes" in findings[0].message
+        assert "no lock held" in findings[0].message
+
+    def test_lock_held_across_yield_is_clean(self):
+        assert lint_snippet("""
+            class Gauge:
+                def update(self, sim, mutex):
+                    token = mutex.acquire()
+                    try:
+                        yield token
+                    except BaseException:
+                        mutex.abort(token)
+                        raise
+                    try:
+                        self.value += 1
+                        yield sim.timeout(0.01)
+                        self.value += 1
+                    finally:
+                        mutex.release(token)
+        """) == []
+
+    def test_exclusive_branches_are_clean(self):
+        assert lint_snippet("""
+            class Gauge:
+                def update(self, sim, flag):
+                    if flag:
+                        self.value += 1
+                        yield sim.timeout(0.01)
+                    else:
+                        yield sim.timeout(0.02)
+                        self.value -= 1
+        """) == []
+
+    def test_single_write_is_clean(self):
+        assert lint_snippet("""
+            class Gauge:
+                def update(self, sim):
+                    yield sim.timeout(0.01)
+                    self.value += 1
+        """) == []
+
+    def test_plain_data_generator_is_not_analyzed(self):
+        # A data generator never suspends a process: writes around its
+        # yields are ordinary iteration state.
+        assert lint_snippet("""
+            class Walker:
+                def ancestors(self, parents, node):
+                    self.steps += 1
+                    cur = parents.get(node)
+                    while cur is not None:
+                        yield cur
+                        cur = parents.get(cur)
+                    self.steps += 1
+        """) == []
+
+    def test_disable_pragma_with_justification_silences(self):
+        findings = lint_snippet("""
+            class Gauge:
+                def update(self, sim, nbytes):
+                    self.value += nbytes
+                    yield sim.timeout(0.01)
+                    self.value += 1  # simlint: disable=SIM006 gauge
+        """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SIM007 — may-yield call from a non-generator
+# ---------------------------------------------------------------------------
+
+class TestSim007:
+    def test_bad_fixture_fires_four_ways(self):
+        findings = lint_fixture("bad_sim007.py")
+        assert codes(findings) == ["SIM007"] * 4
+        discarded, summed, iterated, bound = findings
+        assert "discarded" in discarded.message
+        assert "sum(...)" in summed.message
+        assert "iterating" in iterated.message
+        assert "never spawned or returned" in bound.message
+
+    def test_spawned_and_returned_are_clean(self):
+        assert lint_snippet("""
+            def work(sim):
+                yield sim.timeout(0.01)
+
+            def wrapper(sim):
+                return work(sim)
+
+            def starter(sim):
+                sim.process(wrapper(sim), name="w")
+                return wrapper(sim)
+        """) == []
+
+    def test_forwarding_through_a_spawner_is_clean(self):
+        assert lint_snippet("""
+            def work(sim):
+                yield sim.timeout(0.01)
+
+            def launch(sim, coro):
+                sim.process(coro, name="launched")
+
+            def starter(sim):
+                launch(sim, work(sim))
+        """) == []
+
+    def test_bound_then_spawned_is_clean(self):
+        assert lint_snippet("""
+            def work(sim):
+                yield sim.timeout(0.01)
+
+            def starter(sim):
+                pending = work(sim)
+                sim.process(pending, name="w")
+        """) == []
+
+    def test_unambiguous_generator_discard_stays_sim001(self):
+        # Direct discard of a known generator name is SIM001's exact
+        # finding; SIM007 must not double-report it.
+        findings = lint_snippet("""
+            def work(sim):
+                yield sim.timeout(0.01)
+
+            def starter(sim):
+                work(sim)
+        """)
+        assert codes(findings) == ["SIM001"]
+
+
+# ---------------------------------------------------------------------------
+# SIM008 — lock-order inversion
+# ---------------------------------------------------------------------------
+
+class TestSim008:
+    def test_bad_fixture_reports_both_sides(self):
+        findings = lint_fixture("bad_sim008.py")
+        assert codes(findings) == ["SIM008", "SIM008"]
+        ab, ba = findings
+        assert "'lock_b'" in ab.message and "holding 'lock_a'" in ab.message
+        assert "'lock_a'" in ba.message and "holding 'lock_b'" in ba.message
+        # Each side points at the opposite-order witness.
+        assert f":{ba.line}" in ab.message
+        assert f":{ab.line}" in ba.message
+
+    def test_consistent_order_is_clean(self):
+        findings = lint_fixture("good_all.py")
+        assert findings == []
+
+    def test_sequential_locks_are_clean(self):
+        # Release before the next acquire: no nesting, no pair.
+        assert lint_snippet("""
+            def one_then_other(sim, lock_a, lock_b, log):
+                ta = lock_a.acquire()
+                try:
+                    yield ta
+                    log.append("a")
+                finally:
+                    lock_a.release(ta)
+                tb = lock_b.acquire()
+                try:
+                    yield tb
+                    log.append("b")
+                finally:
+                    lock_b.release(tb)
+
+            def other_then_one(sim, lock_a, lock_b, log):
+                tb = lock_b.acquire()
+                try:
+                    yield tb
+                    log.append("b")
+                finally:
+                    lock_b.release(tb)
+                ta = lock_a.acquire()
+                try:
+                    yield ta
+                    log.append("a")
+                finally:
+                    lock_a.release(ta)
+        """) == []
+
+    def test_transitive_inversion_through_a_call_fires(self):
+        # One side nests directly; the other reaches the inner lock
+        # through a helper called while the outer lock is held.
+        findings = lint_snippet("""
+            def helper(sim, lock_a, log):
+                ta = lock_a.acquire()
+                try:
+                    yield ta
+                    log.append("h")
+                finally:
+                    lock_a.release(ta)
+
+            def path_one(sim, lock_a, lock_b, log):
+                tb = lock_b.acquire()
+                try:
+                    yield tb
+                    yield from helper(sim, lock_a, log)
+                finally:
+                    lock_b.release(tb)
+
+            def path_two(sim, lock_a, lock_b, log):
+                ta = lock_a.acquire()
+                try:
+                    yield ta
+                    tb = lock_b.acquire()
+                    try:
+                        yield tb
+                        log.append("p2")
+                    finally:
+                        lock_b.release(tb)
+                finally:
+                    lock_a.release(ta)
+        """)
+        assert "SIM008" in codes(findings)
+
+
+# ---------------------------------------------------------------------------
 # finding ordering & rendering
 # ---------------------------------------------------------------------------
 
@@ -324,6 +547,7 @@ def test_render_is_path_line_col_code():
 def test_the_whole_source_tree_is_clean():
     repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
         os.path.abspath(__file__))))
-    findings, errors = analyze_paths([os.path.join(repo_root, "src")])
+    paths = [os.path.join(repo_root, d) for d in ("src", "examples", "tools")]
+    findings, errors = analyze_paths([p for p in paths if os.path.isdir(p)])
     assert not errors
     assert findings == [], "\n".join(f.render() for f in findings)
