@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.deployment import Cluster, ClusterSpec
 from repro.faults.schedule import FaultSchedule
-from repro.ramcloud.coordinator import RecoveryStats
+from repro.ramcloud.coordinator import RecoveryStats, RepairStats
 from repro.sim.distributions import RandomStream
 from repro.sim.monitor import TimeSeries
 from repro.ycsb.client import YcsbClient
@@ -62,8 +62,14 @@ class CrashExperimentResult:
     spec: CrashExperimentSpec
     recovery: Optional[RecoveryStats] = None
     crashed_server: str = ""
+    # One RepairStats per server eviction: how many segment replicas
+    # the death cost, how far replication dropped, and how long the
+    # surviving masters took to restore the replication factor.
+    repairs: List[RepairStats] = field(default_factory=list)
     # 1 Hz timelines.
     cluster_cpu: TimeSeries = field(default_factory=lambda: TimeSeries("cpu%"))
+    under_replicated: TimeSeries = field(
+        default_factory=lambda: TimeSeries("under-replicated segments"))
     disk_read_mbps: TimeSeries = field(
         default_factory=lambda: TimeSeries("read MB/s"))
     disk_write_mbps: TimeSeries = field(
@@ -82,6 +88,14 @@ class CrashExperimentResult:
     def recovery_time(self) -> Optional[float]:
         """Recovery duration, or None if it never completed."""
         return self.recovery.duration if self.recovery else None
+
+    @property
+    def repair_time(self) -> Optional[float]:
+        """Time from the first eviction to full re-replication, or None
+        if no eviction happened or repair never completed."""
+        if not self.repairs:
+            return None
+        return self.repairs[0].duration
 
     def avg_power_during_recovery(self) -> float:
         """Average per-node power over the recovery window, survivors
@@ -174,6 +188,8 @@ def run_crash_experiment(spec: CrashExperimentSpec) -> CrashExperimentResult:
                 now, read_delta / interval / (1024 * 1024))
             result.disk_write_mbps.record(
                 now, write_delta / interval / (1024 * 1024))
+            result.under_replicated.record(
+                now, cluster.coordinator.under_replicated_total())
 
     cluster.sim.process(sampler(), name="crash-sampler")
 
@@ -229,6 +245,7 @@ def run_crash_experiment(spec: CrashExperimentSpec) -> CrashExperimentResult:
         result.crashed_server = injector.killed_servers[0].server_id
     if cluster.coordinator.recoveries:
         result.recovery = cluster.coordinator.recoveries[0]
+    result.repairs = list(cluster.coordinator.repairs)
     result.fault_log = list(injector.applied)
     if cluster.sim._sanitizer is not None:
         result.race_reports = list(cluster.sim._sanitizer.races.reports)

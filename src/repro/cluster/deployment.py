@@ -59,6 +59,7 @@ class Cluster:
         self.sim = Simulator()
         self.fabric = Fabric(self.sim)
         self.stream = RandomStream(spec.seed, "cluster")
+        self._paused_servers: List[RamCloudServer] = []
 
         self.coordinator_node = Node(self.sim, spec.machine, "coord")
         self.fabric.attach(self.coordinator_node)
@@ -182,6 +183,41 @@ class Cluster:
             if victim.killed:
                 raise ValueError(f"server {index} already killed")
         victim.kill()
+        return victim
+
+    def pause_server(self, index: Optional[int] = None) -> RamCloudServer:
+        """Silence one server's NIC while its process keeps running —
+        the network-silent-but-alive zombie ingredient (random live,
+        unpaused victim if ``index`` is None)."""
+        candidates = [s for s in self.servers
+                      if not s.killed
+                      and not self.fabric.is_paused(s.node.name)]
+        if not candidates:
+            raise RuntimeError("no live unpaused servers to pause")
+        if index is None:
+            victim = self.stream.choice(candidates)
+        else:
+            victim = self.servers[index]
+            if victim.killed:
+                raise ValueError(f"server {index} is dead, cannot pause")
+        self.fabric.pause_node(victim.node.name)
+        self._paused_servers.append(victim)
+        return victim
+
+    def resume_server(self, index: Optional[int] = None) -> RamCloudServer:
+        """Wake a paused server's NIC (the earliest still-paused server
+        if ``index`` is None)."""
+        if index is None:
+            paused = [s for s in self._paused_servers
+                      if self.fabric.is_paused(s.node.name)]
+            if not paused:
+                raise RuntimeError("no paused servers to resume")
+            victim = paused[0]
+        else:
+            victim = self.servers[index]
+        self.fabric.resume_node(victim.node.name)
+        self._paused_servers = [s for s in self._paused_servers
+                                if s is not victim]
         return victim
 
     def inject_faults(self, schedule) -> "FaultInjector":

@@ -26,7 +26,9 @@ from repro.faults.schedule import (
     HealAll,
     HealGroups,
     PartitionGroups,
+    PauseServer,
     RestoreDisk,
+    ResumeServer,
     RpcMatch,
 )
 from repro.faults.injector import FaultInjector
@@ -38,6 +40,8 @@ __all__ = [
     "FaultInjector",
     "RpcMatch",
     "CrashServer",
+    "PauseServer",
+    "ResumeServer",
     "PartitionGroups",
     "HealGroups",
     "HealAll",

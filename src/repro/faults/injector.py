@@ -25,7 +25,9 @@ from repro.faults.schedule import (
     HealAll,
     HealGroups,
     PartitionGroups,
+    PauseServer,
     RestoreDisk,
+    ResumeServer,
     resolve_group,
     resolve_node,
 )
@@ -89,6 +91,14 @@ class FaultInjector:
             victim = self.cluster.kill_server(action.index)
             self.killed_servers.append(victim)
             self._log(f"crash-server {victim.server_id}")
+            return
+        if isinstance(action, PauseServer):
+            victim = self.cluster.pause_server(action.index)
+            self._log(f"pause-server {victim.server_id}")
+            return
+        if isinstance(action, ResumeServer):
+            victim = self.cluster.resume_server(action.index)
+            self._log(f"resume-server {victim.server_id}")
             return
         if isinstance(action, PartitionGroups):
             fabric.partition_groups(resolve_group(action.group_a),

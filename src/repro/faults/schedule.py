@@ -23,6 +23,8 @@ __all__ = [
     "RpcMatch",
     "FaultAction",
     "CrashServer",
+    "PauseServer",
+    "ResumeServer",
     "PartitionGroups",
     "HealGroups",
     "HealAll",
@@ -104,6 +106,38 @@ class CrashServer(FaultAction):
 
     def describe(self) -> str:
         return f"crash-server index={self.index}"
+
+
+@dataclass(frozen=True)
+class PauseServer(FaultAction):
+    """Silence one server's NIC while its process keeps running (a
+    SIGSTOP, a GC pause, a wedged switch port): the zombie-master
+    ingredient.  The failure detector sees only silence, so a long
+    enough pause produces an honest false positive — the server is
+    declared dead, evicted from the server list, and fenced, while
+    still believing it owns its tablets.
+
+    ``index`` is the server index; ``None`` picks a random live,
+    unpaused victim from the cluster's seeded stream.
+    """
+
+    index: Optional[int] = None
+
+    def describe(self) -> str:
+        return f"pause-server index={self.index}"
+
+
+@dataclass(frozen=True)
+class ResumeServer(FaultAction):
+    """Wake a paused server's NIC back up.  ``index`` is the server
+    index; ``None`` resumes the earliest still-paused server (FIFO), so
+    a schedule of symmetric pause/resume pairs needs no bookkeeping.
+    """
+
+    index: Optional[int] = None
+
+    def describe(self) -> str:
+        return f"resume-server index={self.index}"
 
 
 @dataclass(frozen=True)

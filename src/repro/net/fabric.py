@@ -43,6 +43,12 @@ class Fabric:
         self._nodes: Dict[str, Node] = {}
         self._tx_queues: Dict[str, Resource] = {}
         self._partitions: Set[Tuple[str, str]] = set()
+        # Nodes whose NIC is administratively silenced (PauseServer): the
+        # process is alive but no packet leaves or reaches the machine —
+        # a SIGSTOP'd process or a wedged switch port.  Unlike a
+        # partition, the sender cannot tell: its bytes are spent and it
+        # waits out its own timeout (drop semantics).
+        self._paused: Set[str] = set()
         # Installed RPC faults: (predicate(src, dst, op), kind, delay)
         # where kind is "delay" or "drop".  A list, not a set: faults
         # are matched in installation order, deterministically.
@@ -94,6 +100,28 @@ class Fabric:
         """Remove every partition cut."""
         self.race.write("partitions")
         self._partitions.clear()
+
+    # -- paused nodes (network-silent but alive; repro.faults) -----------
+
+    def pause_node(self, name: str) -> None:
+        """Silence a node's NIC in both directions.  The node's processes
+        keep running (and keep simulated time flowing); only its traffic
+        is lost, which is what makes paused servers look exactly like
+        crashed ones to a failure detector."""
+        if name not in self._nodes:
+            raise KeyError(f"node {name!r} not attached")
+        self.race.write("paused")
+        self._paused.add(name)
+
+    def resume_node(self, name: str) -> None:
+        """Lift a :meth:`pause_node` silence."""
+        self.race.write("paused")
+        self._paused.discard(name)
+
+    def is_paused(self, name: str) -> bool:
+        """Whether the node's NIC is silenced (optimistic check)."""
+        self.race.read("paused", relaxed=True)
+        return name in self._paused
 
     def is_partitioned(self, a: str, b: str) -> bool:
         """Whether a partition separates the two machines (an optimistic

@@ -122,16 +122,22 @@ class RpcService:
         if fault is not None and fault[0] == "delay":
             yield self.sim.timeout(fault[1])
         yield from self.fabric.transfer(src, self.node, size_bytes)
-        if fault is not None and fault[0] == "drop":
+        dropped = fault is not None and fault[0] == "drop"
+        # A paused endpoint (PauseServer) is network-silent but alive:
+        # the bytes are spent, nothing arrives, and — unlike a crash or
+        # a partition — the sender gets no error, only its own timeout.
+        if (dropped or self.fabric.is_paused(src.name)
+                or self.fabric.is_paused(self.node.name)):
             # The request vanished in the network after its bytes were
             # spent: no server ever sees it, the caller waits out its
             # own deadline.
+            why = "dropped" if dropped else "paused endpoint"
             if timeout is None:
                 raise NodeUnreachable(
-                    f"{op} to {self.name} dropped by fault injection")
+                    f"{op} to {self.name} lost in the network ({why})")
             yield self.sim.timeout(timeout)
             raise RpcTimeout(
-                f"{op} to {self.name} timed out after {timeout}s (dropped)")
+                f"{op} to {self.name} timed out after {timeout}s ({why})")
         request = RpcRequest(self.sim, op, args, size_bytes,
                              response_bytes, src)
         self.deliver(request)

@@ -20,6 +20,7 @@ from repro.ramcloud.coordinator import Coordinator
 from repro.ramcloud.errors import (
     ObjectDoesntExist,
     RetryLater,
+    StaleEpoch,
     TableDoesntExist,
     WrongServer,
 )
@@ -92,6 +93,13 @@ class RamCloudClient:
             raise NodeUnreachable(f"unknown server {server_id}")
         return master, table.span
 
+    @property
+    def _epoch(self) -> int:
+        """The cached map's server-list epoch, stamped onto data RPCs
+        so a master can reject routes that predate the membership
+        change that moved its tablets (StaleEpoch → refresh + retry)."""
+        return self._map.membership_version
+
     # -- administrative ops -------------------------------------------------
 
     def create_table(self, name: str, span: int) -> Generator:
@@ -125,7 +133,12 @@ class RamCloudClient:
                 return result
             except (ObjectDoesntExist, TableDoesntExist):
                 raise
-            except (NodeUnreachable, WrongServer, RetryLater) as exc:
+            except (NodeUnreachable, WrongServer, RetryLater,
+                    StaleEpoch) as exc:
+                # StaleEpoch: the cached map predates a membership
+                # change — invalidate it and re-route (a fenced zombie
+                # answers WrongServer; either way the refresh below
+                # finds the new owner).
                 del exc
             except RpcTimeout:
                 self.timeouts += 1
@@ -142,7 +155,7 @@ class RamCloudClient:
 
         def attempt(master, span):
             return master.call(
-                self.node, "read", args=(table_id, key, span),
+                self.node, "read", args=(table_id, key, span, self._epoch),
                 size_bytes=READ_REQUEST_BYTES,
                 response_bytes=RESPONSE_OVERHEAD_BYTES
                 + self._expected_size(table_id, key),
@@ -171,7 +184,7 @@ class RamCloudClient:
             return master.call(
                 self.node, "write",
                 args=(table_id, key, value_size, value, span,
-                      expected_version),
+                      expected_version, self._epoch),
                 size_bytes=WRITE_OVERHEAD_BYTES + value_size,
                 response_bytes=RESPONSE_OVERHEAD_BYTES,
                 timeout=self.rpc_timeout,
@@ -212,7 +225,8 @@ class RamCloudClient:
                                   + 1024 * len(batch))
                 calls.append(self.sim.process(
                     master.call(self.node, "multiread",
-                                args=(table_id, batch, table.span),
+                                args=(table_id, batch, table.span,
+                                      self._epoch),
                                 size_bytes=request_bytes,
                                 response_bytes=response_bytes,
                                 timeout=self.rpc_timeout)))
@@ -226,7 +240,7 @@ class RamCloudClient:
                     self.ops_done += len(keys)
                     return merged
                 except (NodeUnreachable, WrongServer, RetryLater,
-                        RpcTimeout):
+                        RpcTimeout, StaleEpoch):
                     pass
             tries += 1
             self.retries += 1
@@ -241,7 +255,8 @@ class RamCloudClient:
 
         def attempt(master, span):
             return master.call(
-                self.node, "delete", args=(table_id, key, span),
+                self.node, "delete",
+                args=(table_id, key, span, self._epoch),
                 size_bytes=READ_REQUEST_BYTES,
                 response_bytes=RESPONSE_OVERHEAD_BYTES,
                 timeout=self.rpc_timeout,

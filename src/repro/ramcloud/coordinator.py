@@ -31,7 +31,32 @@ from repro.sim.distributions import RandomStream
 from repro.sim.kernel import Simulator
 from repro.sim.racecheck import shared, task_boundary
 
-__all__ = ["Coordinator", "RecoveryStats"]
+__all__ = ["Coordinator", "RecoveryStats", "RepairStats"]
+
+
+@dataclass
+class RepairStats:
+    """Durability repair after one server's eviction: how far segment
+    replication dropped and how long the surviving masters took to
+    restore it (re-replication through ``replicate_segment``).
+
+    ``finished_at`` stays None if under-replication never returned to
+    zero inside the watch window (e.g. too few live backups to reach
+    the replication factor again)."""
+
+    dead_server: str
+    started_at: float
+    peak_under_replicated: int = 0
+    replicas_lost: int = 0
+    segments_repaired: int = 0
+    finished_at: Optional[float] = None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Time from eviction to full replication, or None."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
 
 
 @dataclass
@@ -88,7 +113,9 @@ class Coordinator(RpcService):
                  stream: RandomStream,
                  ping_interval: float = 0.5,
                  ping_timeout: float = 0.4,
-                 detection_misses: int = 2):
+                 detection_misses: int = 2,
+                 verify_rounds: int = 2,
+                 verify_gap: float = 0.1):
         super().__init__(sim, fabric, node, name="coordinator")
         self.config = config
         self.cost = cost
@@ -96,6 +123,19 @@ class Coordinator(RpcService):
         self.ping_interval = ping_interval
         self.ping_timeout = ping_timeout
         self.detection_misses = detection_misses
+        # Honest suspicion handling: after ``detection_misses`` missed
+        # pings the coordinator runs a second round of ``verify_rounds``
+        # back-to-back pings before declaring the server dead.  There is
+        # no ground-truth peek anywhere in the path, so a server that is
+        # merely slow, paused or partitioned long enough IS declared
+        # dead — false positives are real, which is exactly why the
+        # epoch/fencing machinery below exists.
+        self.verify_rounds = verify_rounds
+        self.verify_gap = verify_gap
+        # Repair watcher cadence (see RepairStats / _repair_watcher).
+        self.repair_poll = 0.05
+        self.repair_grace = 0.2
+        self.repair_watch_cap = 60.0
         # How many segments each recovery master fetches/replays/
         # re-replicates concurrently.  RAMCloud pipelines deeply enough
         # to keep recovery masters CPU-bound (Fig. 9a: >90 % CPU).
@@ -109,7 +149,19 @@ class Coordinator(RpcService):
         self._servers: Dict[str, object] = {}  # server_id → RamCloudServer
         self._live: Dict[str, bool] = {}
         self._missed_pings: Dict[str, int] = {}
+        # The epoch-stamped server list: every membership change bumps
+        # ``membership_version`` and pushes the new (version, live, dead)
+        # view to every live server; ``_dead`` remembers the version at
+        # which each server was evicted (its fencing epoch).
+        self.membership_version = 0
+        self._dead: Dict[str, int] = {}
+        self._verifying: set = set()
+        self._pushes: List = []
         self.recoveries: List[RecoveryStats] = []
+        # One RepairStats per eviction: the under-replication window the
+        # death opened and when the survivors closed it.
+        self.repairs: List[RepairStats] = []
+        self._repair_watchers: List = []
         self._detector = None
         # Observers called with the RecoveryStats the instant a recovery
         # is scheduled (repro.faults anchors "crash a backup
@@ -125,13 +177,32 @@ class Coordinator(RpcService):
 
     def enlist(self, server) -> None:
         """Register a storage server (object handle kept for metadata
-        lookups; all timed interactions still go through RPC)."""
+        lookups; all timed interactions still go through RPC).
+
+        Enlistment bumps the membership epoch and installs the new view
+        directly on every live server — this models the enlistment RPC
+        handshake (the response carries the current server list) at
+        zero simulated time, matching the zero-time build-phase enlist.
+        Later changes (evictions) disseminate through real RPCs."""
         if server.server_id in self._servers:
             raise ValueError(f"server {server.server_id!r} already enlisted")
         self._servers[server.server_id] = server
         self.race.write(f"live/{server.server_id}")
         self._live[server.server_id] = True
         self._missed_pings[server.server_id] = 0
+        self.membership_version += 1
+        live, dead = self._view_tuples()
+        for sid in live:
+            peer = self._servers[sid]
+            if not peer.killed:
+                peer.apply_server_list(self.membership_version, live, dead)
+
+    def _view_tuples(self):
+        """The current server list as ``(live, dead)`` tuples, in
+        deterministic enlistment order."""
+        live = tuple(sid for sid in self._servers if self._live.get(sid))
+        dead = tuple(sorted(self._dead))
+        return live, dead
 
     def lookup_server(self, server_id: str):
         """The server object handle, or None if never enlisted."""
@@ -168,7 +239,12 @@ class Coordinator(RpcService):
 
     def _serve(self, request: RpcRequest) -> None:
         if request.op == "get_tablet_map":
-            request.respond(self.tablet_map.snapshot())
+            snapshot = self.tablet_map.snapshot()
+            # Stamp the snapshot with the membership epoch: clients
+            # carry it on data RPCs so masters can reject routes that
+            # predate an ownership change (stale-epoch rejection).
+            snapshot.membership_version = self.membership_version
+            request.respond(snapshot)
         elif request.op == "create_table":
             name, span = request.args
             table = self.create_table(name, span)
@@ -276,10 +352,13 @@ class Coordinator(RpcService):
         membership (no crash recovery fires) and power the machine off —
         the Sierra/Rabbit-style energy lever the paper's §IX cites."""
         moved = yield from self.drain_server(server_id)
-        self.race.write(f"live/{server_id}")
-        self._live[server_id] = False
         server = self._servers[server_id]
         server.kill()
+        # Retire it from the epoch-stamped server list (no recovery —
+        # the drain moved its tablets — but masters that replicated
+        # segments onto it learn of the loss and re-replicate).
+        self._mark_dead(server_id)
+        self._watch_repair(server_id)
         server.node.power.powered_off = True
         return moved
 
@@ -307,6 +386,9 @@ class Coordinator(RpcService):
         self.stop_failure_detector()
         self.shutdown()
         self._service.interrupt("coordinator stopped")
+        for proc in self._repair_watchers + self._pushes:
+            if proc.is_alive:
+                proc.interrupt("coordinator stopped")
 
     def _ping_loop(self) -> Generator:
         while True:
@@ -318,10 +400,17 @@ class Coordinator(RpcService):
     def _ping_one(self, server_id: str) -> Generator:
         server = self._servers[server_id]
         try:
-            yield from server.call(self.node, "ping",
-                                   timeout=self.ping_timeout)
+            pong = yield from server.call(self.node, "ping",
+                                          timeout=self.ping_timeout)
             self.race.write(f"pings/{server_id}")
             self._missed_pings[server_id] = 0
+            # Pong piggybacks the server's server-list version: re-push
+            # the list to anyone who missed an update (healed partition,
+            # dropped dissemination RPC).
+            _ack, version = pong
+            if (version < self.membership_version
+                    and self._live.get(server_id, False)):
+                self._push_server_list(server_id)
         except (NodeUnreachable, RpcTimeout):
             if not self._live.get(server_id, False):
                 return
@@ -331,14 +420,74 @@ class Coordinator(RpcService):
                 self._on_server_suspected(server_id)
 
     def _on_server_suspected(self, server_id: str) -> None:
-        """Verified-dead path: schedule a recovery exactly once."""
+        """Suspicion path: verify with a second ping round, then (and
+        only then) declare the server dead.  No ground truth anywhere —
+        a live server that stays silent through the verification round
+        (paused, partitioned) is honestly, wrongly, declared dead."""
         if not self._live.get(server_id, False):
             return
+        if server_id in self._verifying:
+            return
+        self._verifying.add(server_id)
+        self.sim.process(self._verify_suspect(server_id),
+                         name=f"coordinator:verify:{server_id}")
+
+    def _verify_suspect(self, server_id: str) -> Generator:
         server = self._servers[server_id]
-        if not server.killed:
-            return  # transient timeout, not a real crash
+        try:
+            for attempt in range(self.verify_rounds):
+                if attempt:
+                    yield self.sim.timeout(self.verify_gap)
+                try:
+                    yield from server.call(self.node, "ping",
+                                           timeout=self.ping_timeout)
+                except (NodeUnreachable, RpcTimeout):
+                    continue
+                # Alive after all: clear the suspicion.
+                self.race.write(f"pings/{server_id}")
+                self._missed_pings[server_id] = 0
+                return
+            if self._live.get(server_id, False):
+                self._declare_dead(server_id)
+        finally:
+            self._verifying.discard(server_id)
+
+    def _mark_dead(self, server_id: str) -> None:
+        """Evict a server from the list: bump the epoch, record the
+        eviction version, and disseminate the new view."""
         self.race.write(f"live/{server_id}")
         self._live[server_id] = False
+        self.membership_version += 1
+        self._dead[server_id] = self.membership_version
+        for sid in self.live_server_ids():
+            self._push_server_list(sid)
+
+    def _push_server_list(self, server_id: str) -> None:
+        """Fire-and-forget push of the current server list (failures are
+        healed later by the ping piggyback)."""
+        proc = self.sim.process(self._push_one(server_id),
+                                name=f"coordinator:serverlist:{server_id}")
+        self._pushes.append(proc)
+        if len(self._pushes) > 64:
+            self._pushes = [p for p in self._pushes if p.is_alive]
+
+    def _push_one(self, server_id: str) -> Generator:
+        server = self._servers[server_id]
+        live, dead = self._view_tuples()
+        update = (self.membership_version, live, dead)
+        try:
+            yield from server.call(
+                self.node, "server_list", args=update,
+                size_bytes=128 + 16 * (len(live) + len(dead)),
+                response_bytes=64, timeout=self.config.rpc_timeout)
+        except (NodeUnreachable, RpcTimeout):
+            pass  # unreachable now; the ping piggyback re-pushes later
+
+    def _declare_dead(self, server_id: str) -> None:
+        """Verified-dead path: evict, disseminate, watch the repair, and
+        schedule a recovery exactly once."""
+        self._mark_dead(server_id)
+        self._watch_repair(server_id)
         stats = RecoveryStats(crashed_id=server_id,
                               detected_at=self.sim.now,
                               started_at=self.sim.now)
@@ -347,6 +496,49 @@ class Coordinator(RpcService):
             observer(stats)
         self.sim.process(self._run_recovery(server_id, stats),
                          name=f"coordinator:recovery:{server_id}")
+
+    # ------------------------------------------------------------------
+    # durability repair tracking
+    # ------------------------------------------------------------------
+
+    def under_replicated_total(self) -> int:
+        """Segment replicas currently known lost and not yet repaired,
+        summed over the live masters (a metrics scan, like the stats
+        aggregation in :mod:`repro.cluster.crash`)."""
+        return sum(len(self._servers[sid].under_replicated)
+                   for sid in self.live_server_ids())
+
+    def _repair_counters(self):
+        lost = sum(self._servers[sid].replicas_lost
+                   for sid in self.live_server_ids())
+        repaired = sum(self._servers[sid].segments_repaired
+                       for sid in self.live_server_ids())
+        return lost, repaired
+
+    def _watch_repair(self, server_id: str) -> None:
+        stats = RepairStats(dead_server=server_id, started_at=self.sim.now)
+        self.repairs.append(stats)
+        proc = self.sim.process(self._repair_watcher(stats),
+                                name=f"coordinator:repair-watch:{server_id}")
+        self._repair_watchers.append(proc)
+
+    def _repair_watcher(self, stats: RepairStats) -> Generator:
+        """Sample under-replication until the survivors restore full
+        replication; fills in the eviction's :class:`RepairStats`."""
+        lost0, repaired0 = self._repair_counters()
+        deadline = stats.started_at + self.repair_watch_cap
+        settle_at = stats.started_at + self.repair_grace
+        while self.sim.now < deadline:
+            yield self.sim.timeout(self.repair_poll)
+            total = self.under_replicated_total()
+            if total > stats.peak_under_replicated:
+                stats.peak_under_replicated = total
+            lost, repaired = self._repair_counters()
+            stats.replicas_lost = lost - lost0
+            stats.segments_repaired = repaired - repaired0
+            if total == 0 and self.sim.now >= settle_at:
+                stats.finished_at = self.sim.now
+                return
 
     # ------------------------------------------------------------------
     # crash recovery orchestration
@@ -361,16 +553,25 @@ class Coordinator(RpcService):
         partitions ≈ the number of survivors ("to have as many machines
         performing the crash-recovery as possible", §II-B).
         """
-        # Exclude servers that are dead but not yet detected (their own
-        # recoveries are seconds behind this one): the coordinator
-        # verifies candidates before using them as sources or recovery
-        # masters, exactly as it verified the crash itself.
-        survivors = [sid for sid in self.live_server_ids()
-                     if not self._servers[sid].killed]
+        # Survivors are whatever the verified membership state says is
+        # alive — nothing else.  A server that is dead but not yet
+        # detected can be picked as a recovery master or segment source;
+        # the RPC failure surfaces it and the retry rounds (below) and
+        # per-segment source fallback absorb it, exactly as in the real
+        # system.
+        survivors = list(self.live_server_ids())
         if not survivors:
             raise RuntimeError("no survivors to recover onto")
 
-        owned = self.tablet_map.tablets_of_server(server_id)
+        # Units already RECOVERING were assigned to this server by
+        # another in-flight recovery (it died before finishing the
+        # replay): that recovery's own retry rounds re-assign them, so
+        # claiming them here would have two recoveries fighting over
+        # the same shard.
+        owned = [(tablet, shard)
+                 for tablet, shard in
+                 self.tablet_map.tablets_of_server(server_id)
+                 if tablet.statuses[shard] != TabletStatus.RECOVERING]
         if not owned:
             stats.finished_at = self.sim.now
             return {}, [], {}
@@ -445,6 +646,10 @@ class Coordinator(RpcService):
             return
         total_units = sum(len(u) for u in partitions.values())
         completed: Dict[str, List] = {}
+        # Masters whose recover_partition RPC failed: the coordinator
+        # just observed them unreachable, so later rounds avoid them
+        # even while the ping detector has not evicted them yet.
+        failed_masters: set = set()
 
         # Recovery masters can themselves die mid-recovery; real
         # RAMCloud restarts the affected partitions on other servers,
@@ -472,10 +677,13 @@ class Coordinator(RpcService):
                     completed.setdefault(master_id, []).extend(units)
                 else:
                     failed_units.extend(units)
+                    failed_masters.add(master_id)
             if not failed_units:
                 break
             survivors = [sid for sid in self.live_server_ids()
-                         if not self._servers[sid].killed]
+                         if sid not in failed_masters]
+            if not survivors:
+                survivors = list(self.live_server_ids())
             if not survivors:
                 stats.recovery_masters.append("FAILED: no survivors")
                 return

@@ -10,6 +10,7 @@ __all__ = [
     "WrongServer",
     "LogOutOfMemory",
     "StaleVersion",
+    "StaleEpoch",
 ]
 
 
@@ -40,3 +41,11 @@ class LogOutOfMemory(RamCloudError):
 
 class StaleVersion(RamCloudError):
     """Conditional write rejected: the object's version moved on."""
+
+
+class StaleEpoch(RamCloudError):
+    """The caller acted on a server-list epoch the receiver has moved
+    past — a backup fencing a master its epoch marks dead, or a master
+    rejecting a client whose cached map predates an ownership change.
+    The correct reaction is to refresh state and retry (clients) or to
+    self-quiesce (a fenced master)."""

@@ -41,6 +41,7 @@ from repro.ramcloud.errors import (
     ObjectDoesntExist,
     RamCloudError,
     RetryLater,
+    StaleEpoch,
     StaleVersion,
     WrongServer,
 )
@@ -102,6 +103,34 @@ class RamCloudServer(RpcService):
         self.cost = cost
         self.coordinator = coordinator
         self.stream = stream
+
+        # ---- membership view (the epoch-stamped server list) ----
+        # Installed by the coordinator's enlistment handshake and kept
+        # current by ``server_list`` pushes; every placement and
+        # liveness decision below consults THIS view, never the
+        # coordinator's ground truth.  Initialized before the log so
+        # the segment-open callback can already consult it.
+        self.server_list_version = 0
+        self.live_view: Tuple[str, ...] = ()
+        self.dead_view: frozenset = frozenset()
+        # Fencing: set when this server learns (via a server-list
+        # update or a backup's StaleEpoch rejection) that the cluster
+        # evicted it.  A fenced server self-quiesces: it stops serving
+        # data RPCs and stops replicating, so it can never diverge the
+        # durable log after its own recovery began.
+        self.fenced = False
+        self.fenced_at: Optional[float] = None
+        self.writes_completed_at_fence: Optional[int] = None
+        # Clients whose cached map predates this epoch are rejected
+        # with StaleEpoch (raised after recovery hands us tablets).
+        self.min_client_epoch = 0
+        # Durability repair: (segment_id, slot) pairs whose replica was
+        # lost with a dead backup, awaiting re-replication.
+        self.under_replicated: set = set()
+        self.replicas_lost = 0
+        self.segments_repaired = 0
+        self._repair_proc: Optional[Process] = None
+        self.view_race = shared(sim, f"{self.server_id}:view")
 
         # ---- master state ----
         self._bulk_loading = False
@@ -192,6 +221,131 @@ class RamCloudServer(RpcService):
         return proc
 
     # ------------------------------------------------------------------
+    # membership view, fencing, durability repair
+    # ------------------------------------------------------------------
+
+    def apply_server_list(self, version: int, live, dead) -> None:
+        """Install a coordinator server-list update.
+
+        Idempotent and monotonic: stale or duplicate versions are
+        ignored.  Runs at zero simulated time — the RPC that carried
+        the update already paid the wire and CPU costs.  Side effects:
+        newly-dead backups kick durability repair; finding *ourselves*
+        in the dead set fences this server.
+        """
+        if self.killed or version <= self.server_list_version:
+            return
+        self.view_race.write("view")
+        old_dead = self.dead_view
+        self.server_list_version = version
+        self.live_view = tuple(live)
+        self.dead_view = frozenset(dead)
+        if self.server_id in self.dead_view:
+            self._fence()
+            return
+        for backup_id in sorted(self.dead_view - old_dead):
+            self._on_backup_lost(backup_id)
+
+    def _handle_server_list(self, request: RpcRequest) -> Generator:
+        version, live, dead = request.args
+        yield from self.node.cpu.execute(2.0e-6)
+        self.apply_server_list(version, live, dead)
+        request.respond(("ack", self.server_list_version))
+
+    def _fence(self) -> None:
+        """Self-quiesce: the cluster evicted this server (a server-list
+        update lists it dead, or a backup rejected its replication with
+        StaleEpoch).  Clients get WrongServer and re-route to the
+        recovery masters; replication stops, so nothing this zombie
+        appends can ever reach the durable log."""
+        if self.fenced:
+            return
+        self.view_race.write("view")
+        self.fenced = True
+        self.fenced_at = self.sim.now
+        self.writes_completed_at_fence = self.writes_completed
+        # The repair loop (and every other background producer) checks
+        # ``self.fenced`` at each step and winds down on its own; no
+        # interrupt here — _fence may be called from inside one of them.
+
+    def _on_backup_lost(self, backup_id: str) -> None:
+        """A server-list update evicted ``backup_id``: every replica we
+        placed on it is gone.  Record the holes and kick repair."""
+        if self.killed or self.fenced:
+            return
+        for segment_id in sorted(self.log.segments):
+            segment = self.log.segments[segment_id]
+            for slot, sid in enumerate(segment.replica_backups):
+                if sid == backup_id:
+                    self._record_lost_replica(segment, slot)
+
+    def _record_lost_replica(self, segment: Segment, slot: int) -> None:
+        """One replica of ``segment`` is known lost (dead backup or a
+        replication RPC that never acknowledged): remember the hole and
+        make sure the repair loop is running."""
+        key = (segment.segment_id, slot)
+        # under_replicated is a work-queue set touched by several
+        # producers (append/close failures, server-list deltas, recovery
+        # lanes rolling the log head) plus the repair consumer.  Every
+        # mutation is a single-step guarded add or discard — no
+        # read-modify-write ever spans a yield — so accesses are
+        # declared relaxed.
+        self.view_race.write("under_replicated", relaxed=True)
+        if key not in self.under_replicated:
+            self.under_replicated.add(key)
+            self.replicas_lost += 1
+        self._kick_repair()
+
+    def _kick_repair(self) -> None:
+        if self.killed or self.fenced:
+            return
+        if self._repair_proc is not None and self._repair_proc.is_alive:
+            return
+        self._repair_proc = self._spawn(self._repair_loop(),
+                                        name=f"{self.name}:repair")
+
+    def _repair_loop(self) -> Generator:
+        """Re-replicate every under-replicated segment through the
+        normal ``replicate_segment`` path until the set drains (the
+        paper's durability invariant: every segment back at the
+        replication factor).  Single instance per master; retries with
+        a pause while no candidate backups exist."""
+        try:
+            while not (self.killed or self.fenced):
+                self.view_race.read("under_replicated", relaxed=True)
+                pending = sorted(self.under_replicated)
+                if not pending:
+                    return
+                progressed = False
+                for segment_id, slot in pending:
+                    if self.killed or self.fenced:
+                        return
+                    segment = self.log.segments.get(segment_id)
+                    if segment is None:
+                        # Cleaned away while queued: nothing to repair.
+                        self.view_race.write("under_replicated",
+                                             relaxed=True)
+                        self.under_replicated.discard((segment_id, slot))
+                        progressed = True
+                        continue
+                    backup = yield from self._replace_backup(segment, slot)
+                    if backup is not None:
+                        self.view_race.write("under_replicated",
+                                             relaxed=True)
+                        self.under_replicated.discard((segment_id, slot))
+                        # Monotonic single-writer progress counter.
+                        self.segments_repaired += 1  # simlint: disable=SIM006 gauge
+                        progressed = True
+                if not progressed:
+                    # No live replacement candidates right now; wait for
+                    # membership to change.
+                    yield self.sim.timeout(0.1)
+        except StaleEpoch:
+            # A backup's view says we are dead; _replace_backup already
+            # fenced us.  The repair is the new owners' problem now.
+            return
+
+    # ------------------------------------------------------------------
     # tablet ownership
     # ------------------------------------------------------------------
 
@@ -210,7 +364,20 @@ class RamCloudServer(RpcService):
         self.race.write(f"{unit[0]}.{unit[1]}.{unit[2]}")
         self.tablets.pop(unit, None)
 
-    def _check_ownership(self, table_id: int, key: str, span: int) -> None:
+    def _check_ownership(self, table_id: int, key: str, span: int,
+                         epoch: Optional[int] = None) -> None:
+        if self.fenced:
+            # Evicted from the cluster: route the client to whoever
+            # recovered our tablets (it refreshes its map and retries).
+            raise WrongServer(
+                f"{self.server_id} is fenced (evicted from the cluster)")
+        if epoch is not None and epoch < self.min_client_epoch:
+            # The client routed here off a map that predates the
+            # membership change that handed us these tablets; its view
+            # of *other* tablets is equally stale, so force a refresh.
+            raise StaleEpoch(
+                f"client map epoch {epoch} predates ownership change "
+                f"(this master requires >= {self.min_client_epoch})")
         h = key_hash(key)
         index = h % span
         shard_count = self.tablet_shards.get((table_id, index), 1)
@@ -234,7 +401,7 @@ class RamCloudServer(RpcService):
         rf = self.config.replication_factor
         if rf == 0:
             return ()
-        candidates = [sid for sid in self.coordinator.live_server_ids()
+        candidates = [sid for sid in self.live_view
                       if sid != self.server_id]
         if len(candidates) < rf:
             raise RuntimeError(
@@ -249,7 +416,7 @@ class RamCloudServer(RpcService):
         backups assigned lazily by :meth:`_ensure_head_replicated` on
         the first actual append."""
         rf = self.config.replication_factor
-        candidates = [sid for sid in self.coordinator.live_server_ids()
+        candidates = [sid for sid in self.live_view
                       if sid != self.server_id]
         if rf == 0 or len(candidates) < rf:
             return ()
@@ -264,17 +431,22 @@ class RamCloudServer(RpcService):
         """Log head rolled: tell this segment's backups to flush."""
         if self.killed or self._bulk_loading:
             return
-        for backup_id in segment.replica_backups:
+        for slot, backup_id in enumerate(segment.replica_backups):
+            if backup_id in self.dead_view:
+                # Known dead per our server-list view: the replica is
+                # already gone; go straight to repair.
+                self._record_lost_replica(segment, slot)
+                continue
             backup = self.coordinator.lookup_server(backup_id)
-            if backup is None or backup.killed:
+            if backup is None:
                 continue
             self._spawn(
-                self._send_close(backup, segment),
+                self._send_close(backup, segment, slot),
                 name=f"{self.name}:close-seg{segment.segment_id}",
             )
 
-    def _send_close(self, backup: "RamCloudServer",
-                    segment: Segment) -> Generator:
+    def _send_close(self, backup: "RamCloudServer", segment: Segment,
+                    slot: int) -> Generator:
         try:
             yield from backup.call(
                 self.node, "replicate_close",
@@ -282,8 +454,18 @@ class RamCloudServer(RpcService):
                 size_bytes=64, response_bytes=64,
                 timeout=self.config.rpc_timeout,
             )
-        except (NodeUnreachable, RpcTimeout, Interrupt):
-            pass  # backup died; re-replication is out of scope here
+        except StaleEpoch:
+            # The backup's epoch marks US dead: quiesce quietly (this
+            # is a background process with no client to answer).
+            self._fence()
+        except (NodeUnreachable, RpcTimeout):
+            # The backup died with the close in flight.  Its replica of
+            # this segment can no longer be trusted durable: record the
+            # hole and let the repair loop re-replicate elsewhere.
+            if not self.killed:
+                self._record_lost_replica(segment, slot)
+        except Interrupt:
+            pass  # killed while the close was in flight
 
     # ------------------------------------------------------------------
     # dispatch and workers
@@ -292,9 +474,12 @@ class RamCloudServer(RpcService):
     # Ops served by the collocated backup service's own threads (they
     # never issue nested RPCs, which is what makes the split
     # deadlock-free; see ServerConfig.backup_worker_threads).
+    # ``server_list`` rides the backup queue too: membership updates
+    # must keep flowing even when every master worker is wedged behind
+    # the log lock (and the handler issues no nested RPCs).
     _BACKUP_OPS = frozenset({
         "replicate_append", "replicate_close", "replicate_segment",
-        "recovery_read", "free_replica", "ping",
+        "recovery_read", "free_replica", "ping", "server_list",
     })
 
     def _dispatch_loop(self) -> Generator:
@@ -397,11 +582,12 @@ class RamCloudServer(RpcService):
     # ------------------------------------------------------------------
 
     def _handle_read(self, request: RpcRequest) -> Generator:
-        table_id, key, span = request.args
+        table_id, key, span = request.args[:3]
+        epoch = request.args[3] if len(request.args) > 3 else None
         yield from self.node.cpu.execute(self.cost.read_service)
         try:
-            self._check_ownership(table_id, key, span)
-        except (WrongServer, RetryLater) as exc:
+            self._check_ownership(table_id, key, span, epoch)
+        except (WrongServer, RetryLater, StaleEpoch) as exc:
             request.fail(exc)
             return
         found = self.hashtable.lookup(table_id, key)
@@ -499,13 +685,22 @@ class RamCloudServer(RpcService):
         With ``async_replication=True`` (the §IX relaxed-consistency
         ablation): spend the send CPU, fire the replication RPCs in the
         background and return immediately.
+
+        Raises :class:`StaleEpoch` (after fencing this server) if a
+        backup's server-list epoch marks us dead — the client's request
+        fails, it refreshes its map and retries at the new owner.
         """
         for slot, backup_id in enumerate(segment.replica_backups):
+            if (backup_id in self.dead_view
+                    or (segment.segment_id, slot) in self.under_replicated):
+                # Known-lost replica (dead backup, or an earlier append
+                # already failed): write through degraded, the repair
+                # loop re-replicates the whole segment asynchronously.
+                self._record_lost_replica(segment, slot)
+                continue
             backup = self.coordinator.lookup_server(backup_id)
-            if backup is None or backup.killed:
-                backup = yield from self._replace_backup(segment, slot)
-                if backup is None:
-                    continue  # degraded: no replacement available
+            if backup is None:
+                continue
             yield from self.node.cpu.execute(self.cost.replication_send)
             call = backup.call(
                 self.node, "replicate_append",
@@ -522,27 +717,35 @@ class RamCloudServer(RpcService):
                 # (RPC waits spin in RAMCloud): replication raises power
                 # per node with the replication factor (paper Fig. 7).
                 yield from self.node.cpu.spinning(call)
+            except StaleEpoch:
+                self._fence()
+                raise
             except (NodeUnreachable, RpcTimeout):
-                # The backup died mid-replication: replace it (which
-                # re-replicates the whole segment, entry included).
-                yield from self._replace_backup(segment, slot)
+                # The backup went silent mid-replication: record the
+                # lost replica and continue degraded; repair runs in
+                # the background rather than stalling this write.
+                self._record_lost_replica(segment, slot)
 
     def _replace_backup(self, segment: Segment, slot: int):
-        """A backup of ``segment`` is dead: pick a live replacement and
-        re-replicate the segment's current contents to it (RAMCloud's
-        backup-failure handling keeps every segment at full replication).
+        """A backup of ``segment`` is dead: pick a replacement from our
+        server-list view and re-replicate the segment's current contents
+        to it (RAMCloud's backup-failure handling keeps every segment at
+        full replication).
 
-        Returns the new backup server, or None if no candidate exists.
+        Returns the new backup server, or None if no candidate exists
+        or the replacement could not be reached.  Raises
+        :class:`StaleEpoch` (after fencing) if the replacement's epoch
+        marks us dead.
         """
         current = list(segment.replica_backups)
-        candidates = [sid for sid in self.coordinator.live_server_ids()
+        candidates = [sid for sid in self.live_view
                       if sid != self.server_id and sid not in current]
         if not candidates:
             return None
         new_id = self.stream.choice(candidates)
-        current[slot] = new_id
-        segment.replica_backups = tuple(current)
         backup = self.coordinator.lookup_server(new_id)
+        if backup is None:
+            return None
         yield from self.node.cpu.execute(self.cost.replication_send)
         try:
             yield from backup.call(
@@ -552,8 +755,13 @@ class RamCloudServer(RpcService):
                 size_bytes=segment.bytes_used + 64, response_bytes=64,
                 timeout=self.config.rpc_timeout,
             )
+        except StaleEpoch:
+            self._fence()
+            raise
         except (NodeUnreachable, RpcTimeout):
             return None
+        current[slot] = new_id
+        segment.replica_backups = tuple(current)
         return backup
 
     def _background_replicate(self, call) -> Generator:
@@ -566,10 +774,12 @@ class RamCloudServer(RpcService):
         """Write one object.  ``expected_version`` (if not None) makes
         the write conditional — RAMCloud's reject-rules, the primitive
         its linearizable read-modify-write builds on [10]."""
-        table_id, key, value_size, value, span, expected_version = request.args
+        table_id, key, value_size, value, span, expected_version = \
+            request.args[:6]
+        epoch = request.args[6] if len(request.args) > 6 else None
         try:
-            self._check_ownership(table_id, key, span)
-        except (WrongServer, RetryLater) as exc:
+            self._check_ownership(table_id, key, span, epoch)
+        except (WrongServer, RetryLater, StaleEpoch) as exc:
             request.fail(exc)
             return
         try:
@@ -589,10 +799,11 @@ class RamCloudServer(RpcService):
         request.respond(entry.version)
 
     def _handle_delete(self, request: RpcRequest) -> Generator:
-        table_id, key, span = request.args
+        table_id, key, span = request.args[:3]
+        epoch = request.args[3] if len(request.args) > 3 else None
         try:
-            self._check_ownership(table_id, key, span)
-        except (WrongServer, RetryLater) as exc:
+            self._check_ownership(table_id, key, span, epoch)
+        except (WrongServer, RetryLater, StaleEpoch) as exc:
             request.fail(exc)
             return
         try:
@@ -612,15 +823,16 @@ class RamCloudServer(RpcService):
     def _handle_multiread(self, request: RpcRequest) -> Generator:
         """Batched read (RAMCloud's MultiRead RPC): one dispatch, one
         worker pass over many keys.  YCSB's scans map onto this."""
-        table_id, keys, span = request.args
+        table_id, keys, span = request.args[:3]
+        epoch = request.args[3] if len(request.args) > 3 else None
         yield from self.node.cpu.execute(
             self.cost.multiread_batch_overhead
             + self.cost.multiread_per_key * len(keys))
         results = {}
         for key in keys:
             try:
-                self._check_ownership(table_id, key, span)
-            except (WrongServer, RetryLater) as exc:
+                self._check_ownership(table_id, key, span, epoch)
+            except (WrongServer, RetryLater, StaleEpoch) as exc:
                 request.fail(exc)
                 return
             found = self.hashtable.lookup(table_id, key)
@@ -633,11 +845,35 @@ class RamCloudServer(RpcService):
 
     def _handle_ping(self, request: RpcRequest) -> Generator:
         yield from self.node.cpu.execute(1.0e-6)
-        request.respond("pong")
+        # The pong carries our server-list version so the coordinator
+        # can re-push updates we missed (healed partition, lost push).
+        request.respond(("pong", self.server_list_version))
 
     # ------------------------------------------------------------------
     # backup ops
     # ------------------------------------------------------------------
+
+    def _reject_if_fenced(self, request: RpcRequest,
+                          master_id: str) -> bool:
+        """Backup-side zombie fencing (the heart of the epoch protocol):
+        refuse replication from any master our server-list epoch marks
+        dead — its recovery may already be replaying the old replicas,
+        and accepting the write would diverge the durable log.  A fenced
+        backup likewise refuses everything: it is out of the cluster.
+
+        Fails the request and returns True when rejecting.
+        """
+        self.view_race.read("view", relaxed=True)
+        if self.fenced:
+            request.fail(NodeUnreachable(
+                f"{self.server_id} is fenced (evicted from the cluster)"))
+            return True
+        if master_id in self.dead_view:
+            request.fail(StaleEpoch(
+                f"{self.server_id} rejects {request.op} from {master_id}: "
+                f"evicted as of epoch {self.server_list_version}"))
+            return True
+        return False
 
     def _replica_for(self, master_id: str, segment: Segment) -> SegmentReplica:
         key = (master_id, segment.segment_id)
@@ -649,6 +885,8 @@ class RamCloudServer(RpcService):
 
     def _handle_replicate_append(self, request: RpcRequest) -> Generator:
         master_id, segment_id, nbytes = request.args
+        if self._reject_if_fenced(request, master_id):
+            return
         load = (len(self.backup_queue) + len(self.worker_queue)
                 + self.active_workers - 1)
         yield from self.node.cpu.execute(self.cost.replication_cost(load))
@@ -663,6 +901,8 @@ class RamCloudServer(RpcService):
 
     def _handle_replicate_close(self, request: RpcRequest) -> Generator:
         master_id, segment_id = request.args
+        if self._reject_if_fenced(request, master_id):
+            return
         yield from self.node.cpu.execute(2.0e-6)
         replica = self.replicas.get((master_id, segment_id))
         if replica is not None and not replica.closed:
@@ -691,6 +931,8 @@ class RamCloudServer(RpcService):
         the write burst of Fig. 12.
         """
         master_id, segment_id, nbytes = request.args
+        if self._reject_if_fenced(request, master_id):
+            return
         yield from self.node.cpu.execute(
             self.cost.replication_segment_per_byte * nbytes)
         master = self.coordinator.lookup_server(master_id)
@@ -829,6 +1071,12 @@ class RamCloudServer(RpcService):
         background process answers the coordinator when the partition is
         durable.
         """
+        if self.fenced:
+            # An evicted server cannot be a recovery master; failing
+            # fast lets the coordinator reassign the partition.
+            request.fail(NodeUnreachable(
+                f"{self.server_id} is fenced (evicted from the cluster)"))
+            return
         plan = request.args
         self._spawn(self._run_recovery(request, plan),
                     name=f"{self.name}:recover")
@@ -888,6 +1136,11 @@ class RamCloudServer(RpcService):
                             unit_filter, spans, share)
                         recovered = True
                         break
+                    except StaleEpoch:
+                        # WE were evicted mid-recovery (fenced inside
+                        # the re-replication path): abandon the lane;
+                        # the coordinator reassigns our partitions.
+                        return
                     except (NodeUnreachable, RpcTimeout,
                             ObjectDoesntExist):
                         # The designated source died mid-recovery: fall
@@ -905,19 +1158,33 @@ class RamCloudServer(RpcService):
         lanes = [self._spawn(pump(), name=f"{self.name}:recover-lane{i}")
                  for i in range(min(pipeline_width, max(1, len(pending))))]
         yield self.sim.all_of(lanes)
+        if self.fenced:
+            # Evicted while recovering: never take ownership; fail the
+            # coordinator's RPC so it reassigns the partition.
+            raise NodeUnreachable(f"{self.server_id} fenced mid-recovery")
         # Partition replayed and durable: this master now owns the units.
         for table_id, index, shard, shard_count in units:
             self.take_tablet((table_id, index, shard), shard_count,
                              ready=True)
+        # Ownership just moved because of a membership change: clients
+        # still routing off a map that predates our current server-list
+        # epoch get StaleEpoch until they refresh (cache invalidation).
+        self.min_client_epoch = max(self.min_client_epoch,
+                                    self.server_list_version)
         return sorted(lost_ids)
 
     def _find_live_replica_source(self, crashed_id: str, segment_id: int,
                                   exclude) -> Optional[str]:
-        for sid in self.coordinator.live_server_ids():
+        """Another holder of the segment, per OUR server-list view (no
+        ground-truth liveness peek: a stale pick fails its RPC and the
+        caller excludes it and asks again).  Peeking the candidate's
+        replica index stands in for the replica inventory the
+        coordinator collects at planning time."""
+        for sid in self.live_view:
             if sid in exclude:
                 continue
             backup = self.coordinator.lookup_server(sid)
-            if backup is None or backup.killed:
+            if backup is None:
                 continue
             if (crashed_id, segment_id) in backup.replicas:
                 return sid
@@ -992,6 +1259,14 @@ class RamCloudServer(RpcService):
                         entry.version, value=entry.value)
                     self.hashtable.insert(entry.table_id, entry.key,
                                           segment, new_entry)
+                    # A recovered object keeps its acknowledged version,
+                    # so this master's counter must advance past it —
+                    # otherwise a post-recovery write could re-issue an
+                    # already-acknowledged version number for different
+                    # data, and a client holding the old (value,
+                    # version) pair could never detect the change.
+                    if entry.version >= self._next_version:
+                        self._next_version = entry.version + 1
             finally:
                 self.log_lock.release(token)
             self.recovery_bytes_replayed += my_bytes
@@ -1003,23 +1278,33 @@ class RamCloudServer(RpcService):
                 targets = self._choose_backups_for_bytes()
                 for backup_id2 in targets:
                     target = self.coordinator.lookup_server(backup_id2)
-                    if target is None or target.killed:
+                    if target is None:
                         continue
                     yield from self.node.cpu.execute(
                         self.cost.replication_send)
-                    yield from self.node.cpu.spinning(target.call(
-                        self.node, "replicate_segment",
-                        args=(self.server_id, self.log.head.segment_id,
-                              my_bytes),
-                        size_bytes=my_bytes + 64, response_bytes=64,
-                        timeout=30.0,
-                    ))
+                    try:
+                        yield from self.node.cpu.spinning(target.call(
+                            self.node, "replicate_segment",
+                            args=(self.server_id, self.log.head.segment_id,
+                                  my_bytes),
+                            size_bytes=my_bytes + 64, response_bytes=64,
+                            timeout=30.0,
+                        ))
+                    except StaleEpoch:
+                        self._fence()
+                        raise
+                    except (NodeUnreachable, RpcTimeout):
+                        # Target died while we re-replicated: continue
+                        # with the remaining targets; the durability
+                        # hole is visible in the recovered segments'
+                        # replica sets and repaired like any other.
+                        continue
         finally:
             self.replay_lock.release(stream_token)
 
     def _choose_backups_for_bytes(self) -> Tuple[str, ...]:
         rf = self.config.replication_factor
-        candidates = [sid for sid in self.coordinator.live_server_ids()
+        candidates = [sid for sid in self.live_view
                       if sid != self.server_id]
         if len(candidates) < rf:
             return tuple(candidates)
@@ -1080,11 +1365,20 @@ class RamCloudServer(RpcService):
         finally:
             self.log_lock.release(token)
         for backup_id in victim.replica_backups:
+            if backup_id in self.dead_view:
+                continue  # per our view; a stale skip just leaks a free
             backup = self.coordinator.lookup_server(backup_id)
-            if backup is None or backup.killed:
+            if backup is None:
                 continue
             self._spawn(self._send_free_replica(backup, victim),
                         name=f"{self.name}:free-seg{victim.segment_id}")
+        # The victim can no longer be under-replicated: it is gone.
+        doomed = [k for k in self.under_replicated
+                  if k[0] == victim.segment_id]
+        if doomed:
+            self.view_race.write("under_replicated", relaxed=True)
+            for k in doomed:
+                self.under_replicated.discard(k)
         return True
 
     def _send_free_replica(self, backup: "RamCloudServer",
@@ -1152,6 +1446,7 @@ class RamCloudServer(RpcService):
         "write": _handle_write,
         "delete": _handle_delete,
         "ping": _handle_ping,
+        "server_list": _handle_server_list,
         "replicate_append": _handle_replicate_append,
         "replicate_close": _handle_replicate_close,
         "replicate_segment": _handle_replicate_segment,

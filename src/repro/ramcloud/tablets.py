@@ -242,12 +242,18 @@ class TabletMap:
 
 @dataclass
 class TabletMapSnapshot:
-    """A client's cached view of the tablet map."""
+    """A client's cached view of the tablet map.
+
+    ``membership_version`` is the coordinator's server-list epoch at
+    snapshot time; clients stamp it onto data RPCs so a master can
+    reject routes that predate the membership change that moved its
+    tablets (see :class:`~repro.ramcloud.errors.StaleEpoch`)."""
 
     epoch: int
     tables_by_name: Dict[str, Table]
     tables_by_id: Dict[int, Table]
     tablets: Dict[Tuple[int, int], Tablet]
+    membership_version: int = 0
 
     def tablet_for_key(self, table_id: int, key: str) -> Tablet:
         """Route a key to its tablet in this snapshot."""

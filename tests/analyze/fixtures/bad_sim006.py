@@ -13,3 +13,16 @@ class ReplicaCounter:
         self.total_bytes += nbytes
         yield sim.timeout(0.01)
         self.total_bytes += self.ack_bytes  # SIM006 fires here
+
+
+class TornRepair:
+    def repair_one(self, sim, replace, item):
+        # The repair-loop anti-idiom: an under-replication counter
+        # decremented on both sides of the re-replication RPC.  While
+        # the RPC is in flight, append failures and recovery lanes also
+        # adjust the counter, so the second -= tears their updates.
+        # (The clean shape — a work-queue set mutated only by
+        # single-step adds/discards — is in good_all.py.)
+        self.under_replicated -= 1
+        yield from replace(item)
+        self.under_replicated -= self.failed_slots  # SIM006 fires here

@@ -79,11 +79,11 @@ def test_json_format_is_machine_readable():
     assert proc.returncode == 1
     report = json.loads(proc.stdout)
     assert report["errors"] == []
-    assert len(report["findings"]) == 1
-    finding = report["findings"][0]
-    assert finding["code"] == "SIM006"
-    assert finding["path"].endswith("bad_sim006.py")
-    assert isinstance(finding["line"], int) and finding["line"] > 0
+    assert len(report["findings"]) == 2
+    for finding in report["findings"]:
+        assert finding["code"] == "SIM006"
+        assert finding["path"].endswith("bad_sim006.py")
+        assert isinstance(finding["line"], int) and finding["line"] > 0
 
 
 def test_json_format_on_clean_tree_is_empty_report():

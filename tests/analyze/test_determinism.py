@@ -138,8 +138,14 @@ def crash_digest(result) -> str:
                       stats.partitions, stats.segments,
                       stats.bytes_to_recover, stats.lost_segments,
                       tuple(stats.recovery_masters)))
+    for i, repair in enumerate(result.repairs):
+        feed(f"repair[{i}]", (repair.dead_server, repair.started_at,
+                              repair.peak_under_replicated,
+                              repair.replicas_lost,
+                              repair.segments_repaired,
+                              repair.finished_at))
     for series in (result.cluster_cpu, result.disk_read_mbps,
-                   result.disk_write_mbps):
+                   result.disk_write_mbps, result.under_replicated):
         feed(f"{series.name}.times", result.cluster_cpu.times)
         feed(f"{series.name}.values", series.values)
     for name in sorted(result.per_node_power):
@@ -158,4 +164,54 @@ def test_same_seed_same_digest_crash_experiment():
 def test_crash_digest_diverges_across_seeds():
     a = crash_digest(run_small_crash(seed=7))
     b = crash_digest(run_small_crash(seed=8))
+    assert a != b
+
+
+# -- membership / fencing / repair scenarios (ISSUE 4) -----------------------
+#
+# The two robustness scenarios — backup crash → repair restores RF →
+# later master crash loses nothing, and pause-induced false positive →
+# zombie fenced — must rerun byte-identically: their digests cover the
+# epoch-stamped server lists, fencing state, repair counters and the
+# fault log, so any nondeterminism in the new membership machinery
+# (set iteration feeding repair order, unseeded backup choice, …)
+# shows up here.
+
+from tests.integration.test_fault_scenarios import (  # noqa: E402
+    drain_and_check,
+    run_repair_scenario,
+    run_zombie_scenario,
+    scenario_digest,
+)
+
+
+def _scenario_rerun_digests(runner):
+    cluster, injector, _extra = runner()
+    first = scenario_digest(cluster, injector)
+    drain_and_check(cluster)
+    cluster, injector, _extra = runner()
+    second = scenario_digest(cluster, injector)
+    drain_and_check(cluster)
+    return first, second
+
+
+def test_repair_scenario_rerun_digest_identical():
+    first, second = _scenario_rerun_digests(run_repair_scenario)
+    assert first == second
+
+
+def test_zombie_scenario_rerun_digest_identical():
+    first, second = _scenario_rerun_digests(run_zombie_scenario)
+    assert first == second
+
+
+def test_repair_and_zombie_scenarios_diverge_across_seeds():
+    # Guard the digests: they must actually see the repair/fencing
+    # state they claim to cover.
+    cluster_a, injector_a, _ = run_repair_scenario(seed=3)
+    a = scenario_digest(cluster_a, injector_a)
+    drain_and_check(cluster_a)
+    cluster_b, injector_b, _ = run_repair_scenario(seed=4)
+    b = scenario_digest(cluster_b, injector_b)
+    drain_and_check(cluster_b)
     assert a != b

@@ -103,7 +103,9 @@ class TestCrashExperiment:
             record_size=2048,
             kill_at=3.0,
             run_until=90.0,
-            sample_interval=0.2,
+            # Finer than the ~0.2 s recovery so at least one CPU/disk
+            # sample always lands inside the recovery window.
+            sample_interval=0.1,
         )
         defaults.update(overrides)
         return CrashExperimentSpec(**defaults)

@@ -14,7 +14,9 @@ from repro.faults import (
     HealAll,
     HealGroups,
     PartitionGroups,
+    PauseServer,
     RestoreDisk,
+    ResumeServer,
     RpcMatch,
 )
 from repro.hardware.specs import MB
@@ -63,6 +65,64 @@ class TestCrashes:
         injector = cluster.inject_faults(FaultSchedule())
         with pytest.raises(RuntimeError, match="already started"):
             injector.start()
+
+
+class TestPauseResume:
+    def test_pause_silences_but_keeps_process_alive(self):
+        cluster = build_cluster()
+        injector = cluster.inject_faults(FaultSchedule((
+            FaultEntry(at=1.0, action=PauseServer(index=1)),
+        )))
+        cluster.run(until=1.5)
+        server = cluster.servers[1]
+        assert not server.killed
+        assert cluster.fabric.is_paused(server.node.name)
+        assert injector.applied == [(1.0, "pause-server server1")]
+
+        # RPCs to the paused server burn the caller's full timeout
+        # (drop semantics): unlike a crash or a partition, the sender
+        # gets no error — exactly what a failure detector would see.
+        def probe():
+            start = cluster.sim.now
+            try:
+                yield from server.call(cluster.clients[0].node, "ping",
+                                       timeout=0.5)
+            except RpcTimeout:
+                return cluster.sim.now - start
+            return None
+
+        elapsed = run_script(cluster, probe())
+        assert elapsed is not None and elapsed >= 0.5
+
+    def test_resume_restores_service(self):
+        cluster = build_cluster()
+        injector = cluster.inject_faults(FaultSchedule((
+            FaultEntry(at=1.0, action=PauseServer(index=1)),
+            # index=None resumes the earliest still-paused server.
+            FaultEntry(at=2.0, action=ResumeServer()),
+        )))
+        cluster.run(until=2.5)
+        server = cluster.servers[1]
+        assert not cluster.fabric.is_paused(server.node.name)
+        assert injector.applied[-1] == (2.0, "resume-server server1")
+
+        def probe():
+            return (yield from server.call(cluster.clients[0].node,
+                                           "ping", timeout=0.5))
+
+        ack, _version = run_script(cluster, probe())
+        assert ack == "pong"
+
+    def test_random_pause_victim_is_seed_deterministic(self):
+        def victim_of(seed):
+            cluster = build_cluster(seed=seed)
+            injector = cluster.inject_faults(FaultSchedule((
+                FaultEntry(at=1.0, action=PauseServer()),
+            )))
+            cluster.run(until=2.0)
+            return injector.applied[0][1]
+
+        assert victim_of(9) == victim_of(9)
 
 
 class TestPartitions:

@@ -13,6 +13,8 @@ from repro.faults import (
     HealAll,
     HealGroups,
     PartitionGroups,
+    PauseServer,
+    ResumeServer,
     RpcMatch,
 )
 from repro.faults.schedule import resolve_group, resolve_node
@@ -110,6 +112,8 @@ class TestDescribe:
     def test_action_descriptions_are_stable(self):
         cases = [
             (CrashServer(index=2), "crash-server index=2"),
+            (PauseServer(index=2), "pause-server index=2"),
+            (ResumeServer(), "resume-server index=None"),
             (PartitionGroups((0, 1), ("coord",)),
              "partition [server0,server1] | [coord]"),
             (HealGroups((0,), (1,)), "heal [server0] | [server1]"),

@@ -30,9 +30,12 @@ from repro.faults import (
     FaultSchedule,
     HealAll,
     PartitionGroups,
+    PauseServer,
+    ResumeServer,
 )
 from repro.hardware.specs import MB
 from repro.ramcloud.config import ServerConfig
+from repro.ramcloud.tablets import key_hash
 from repro.sim.sanitize import SanitizerWarning
 
 pytestmark = pytest.mark.faults
@@ -108,17 +111,22 @@ class TestPartitionHeal:
         assert read_version == version
         drain_and_check(cluster)
 
-    def test_partition_alone_triggers_no_recovery(self):
-        # The coordinator verifies a suspect is actually dead before
-        # recovering it: a partitioned-but-alive server must keep its
-        # tablets (recovering a live master would fork the data).
+    def test_short_partition_triggers_no_recovery(self):
+        # Failure detection is honest: the coordinator cannot peek at
+        # ground truth, so it tolerates exactly what its ping protocol
+        # tolerates.  A network blip shorter than the detection window
+        # (two missed pings at ping_interval=0.5 plus the verify round)
+        # must not evict the server; a longer partition honestly would
+        # (that false positive is exercised by the zombie-fencing
+        # scenario, not here).
         cluster = build_cluster(failure_detection=True)
         table_id = cluster.create_table("t")
         cluster.preload(table_id, 30, 128)
         cluster.inject_faults(FaultSchedule((
-            FaultEntry(at=0.5, action=PartitionGroups(
+            FaultEntry(at=0.6, action=PartitionGroups(
                 ("coord",), ("server0",))),
-            FaultEntry(at=4.0, action=HealAll()),
+            # Healed after one missed ping — under detection_misses=2.
+            FaultEntry(at=1.3, action=HealAll()),
         )))
         cluster.run(until=8.0)
         assert cluster.coordinator.recoveries == []
@@ -183,9 +191,20 @@ def scenario_digest(cluster, injector) -> str:
                                 stats.bytes_to_recover,
                                 stats.lost_segments,
                                 tuple(stats.recovery_masters)))
+    for i, repair in enumerate(cluster.coordinator.repairs):
+        feed(f"repair[{i}]", (repair.dead_server, repair.started_at,
+                              repair.peak_under_replicated,
+                              repair.replicas_lost,
+                              repair.segments_repaired,
+                              repair.finished_at))
     for server in cluster.servers:
         feed(f"server[{server.server_id}]",
              (server.killed, server.ops_completed, len(server.hashtable)))
+        feed(f"membership[{server.server_id}]",
+             (server.server_list_version, server.fenced, server.fenced_at,
+              server.writes_completed_at_fence, server.replicas_lost,
+              server.segments_repaired,
+              tuple(sorted(server.under_replicated))))
     feed("net", (cluster.fabric.messages_delivered,
                  cluster.fabric.bytes_delivered))
     feed("now", cluster.sim.now)
@@ -201,10 +220,15 @@ class TestAcceptanceScenario:
         FaultEntry(at=0.5, action=PartitionGroups(("coord",),
                                                   ("server5",))),
         FaultEntry(at=1.0, action=CrashServer(index=0)),
+        # Heal before server5 misses a second ping: with honest failure
+        # detection a longer coordinator partition would (correctly)
+        # evict the live server and spawn a third recovery, which is
+        # the zombie-fencing scenario's job — here the partition only
+        # has to overlap the crash and the start of recovery.
+        FaultEntry(at=1.2, action=HealAll()),
         # 0.2 s into the first recovery, kill another (random) server —
         # some of the crashed master's backups are now gone too.
         FaultEntry(at=0.2, action=CrashServer(), anchor="recovery"),
-        FaultEntry(at=1.0, action=HealAll(), anchor="recovery"),
     ))
 
     def _run(self, seed=11):
@@ -250,6 +274,185 @@ class TestAcceptanceScenario:
         b = scenario_digest(cluster_b, injector_b)
         drain_and_check(cluster_b)
         assert a != b
+
+
+def run_repair_scenario(seed=3):
+    """ISSUE 4 scenario (a): a backup crash strips replicas, the repair
+    loop restores the replication factor, and a later master crash
+    therefore loses zero segments.  Deterministic: rerun-digested by
+    ``tests/analyze/test_determinism.py``."""
+    cluster = build_cluster(num_servers=4, num_clients=1,
+                            replication_factor=1, seed=seed,
+                            failure_detection=True)
+    table_id = cluster.create_table("t")
+    cluster.preload(table_id, 200, 512)
+    injector = cluster.inject_faults(FaultSchedule((
+        # server1's death costs every master that replicated to it one
+        # replica per affected segment; with RF=1 those segments are
+        # then completely unprotected until repair re-replicates them.
+        FaultEntry(at=1.0, action=CrashServer(index=1)),
+        # Well after repair has restored RF: this crash must lose
+        # nothing, which is precisely what repair buys.
+        FaultEntry(at=8.0, action=CrashServer(index=0)),
+    )))
+    run_until_recovered(cluster, expected=2)
+    # Drain the second crash's own repair before digesting.
+    cluster.run(until=cluster.sim.now + 5.0)
+    return cluster, injector, table_id
+
+
+def run_zombie_scenario(seed=5):
+    """ISSUE 4 scenario (b): a paused (network-silent but alive) master
+    is honestly declared dead, its tablets move, and on resume the
+    zombie is fenced by its backups before it can acknowledge a write
+    from a stale-mapped client.  Deterministic: rerun-digested by
+    ``tests/analyze/test_determinism.py``.
+
+    Returns ``(cluster, injector, outcome)`` where ``outcome`` carries
+    the acknowledged versions the exactly-once assertions need.
+    """
+    cluster = build_cluster(num_servers=4, num_clients=2,
+                            replication_factor=1, seed=seed,
+                            failure_detection=True)
+    table_id = cluster.create_table("t")
+    span = 4
+    key = next(f"user{i}" for i in range(100)
+               if key_hash(f"user{i}") % span == 0)  # owned by server0
+    injector = cluster.inject_faults(FaultSchedule((
+        FaultEntry(at=1.0, action=PauseServer(index=0)),
+        # Resumed only after the false-positive eviction and recovery:
+        # the zombie comes back believing it still owns its tablets.
+        FaultEntry(at=6.0, action=ResumeServer(index=0)),
+    )))
+    fresh, stale = cluster.clients
+    outcome = {"table_id": table_id, "key": key}
+
+    def fresh_script():
+        yield from fresh.refresh_map()
+        outcome["v1"] = yield from fresh.write(table_id, key, 64,
+                                               value=b"before-pause")
+
+    def stale_script():
+        # Cache the pre-eviction tablet map, then write through it
+        # after the zombie is resumed: the write routes to the zombie,
+        # whose backups reject the replication (its epoch marks the
+        # master dead), fencing it; the client retries against the new
+        # owner.
+        yield from stale.refresh_map()
+        yield cluster.sim.timeout(6.5)
+        outcome["v2"] = yield from stale.write(table_id, key, 64,
+                                               value=b"after-fence")
+        value, version, _size = yield from stale.read(table_id, key)
+        outcome["read"] = (value, version)
+
+    cluster.sim.process(fresh_script(), name="fresh-client")
+    cluster.sim.process(stale_script(), name="stale-client")
+    cluster.run(until=15.0)
+    return cluster, injector, outcome
+
+
+class TestDurabilityRepair:
+    def test_repair_restores_rf_so_second_crash_loses_nothing(self):
+        cluster, injector, table_id = run_repair_scenario()
+        # Both deaths were detected honestly and recovered fully.
+        recoveries = cluster.coordinator.recoveries
+        assert [r.crashed_id for r in recoveries] == ["server1", "server0"]
+        for stats in recoveries:
+            assert stats.finished_at is not None
+            assert stats.lost_segments == 0
+            assert stats.runtime_lost_segment_ids == set()
+        # Each death kicked a tracked repair that ran to completion.
+        repairs = cluster.coordinator.repairs
+        assert [r.dead_server for r in repairs] == ["server1", "server0"]
+        for repair in repairs:
+            assert repair.replicas_lost > 0
+            assert repair.segments_repaired > 0
+            assert repair.finished_at is not None
+            assert repair.duration > 0
+        assert cluster.coordinator.under_replicated_total() == 0
+
+        # Every preloaded record survived both crashes.
+        client = cluster.clients[0]
+
+        def read_all():
+            sizes = []
+            for i in range(200):
+                _value, _version, size = yield from client.read(
+                    table_id, f"user{i}")
+                sizes.append(size)
+            return sizes
+
+        sizes = run_script(cluster, read_all())
+        assert sizes == [512] * 200
+        drain_and_check(cluster)
+
+    def test_backup_crash_experiment_reports_repair(self):
+        # Acceptance: a backup-crash experiment surfaces the repair as
+        # first-class stats — under-replication peaks then returns to
+        # zero, and the repair duration lands in CrashExperimentResult.
+        spec = CrashExperimentSpec(
+            cluster=ClusterSpec(
+                num_servers=4, num_clients=0,
+                server_config=ServerConfig(log_memory_bytes=64 * MB,
+                                           segment_size=1 * MB,
+                                           replication_factor=1)),
+            # Enough data that every master holds several segments, so
+            # some replica slots land on the victim (RF=1 spreads each
+            # segment's single replica over the three peers).
+            num_records=8000,
+            record_size=2048,
+            kill_at=2.0,
+            run_until=60.0,
+            sample_interval=0.25,
+            victim_index=1,
+        )
+        result = run_crash_experiment(spec)
+        assert result.repair_time is not None and result.repair_time > 0
+        assert result.repairs[0].dead_server == "server1"
+        assert result.repairs[0].peak_under_replicated > 0
+        assert result.repairs[0].replicas_lost > 0
+        # The timeline ends with the replication factor restored.
+        assert result.under_replicated.values[-1] == 0
+
+
+class TestZombieFencing:
+    def test_paused_master_is_fenced_and_exactly_once_holds(self):
+        cluster, injector, outcome = run_zombie_scenario()
+        zombie = cluster.servers[0]
+        coordinator = cluster.coordinator
+
+        # The pause produced an honest false positive: the coordinator
+        # evicted a server whose process never died.
+        assert not zombie.killed
+        assert not coordinator.is_live("server0")
+        recoveries = coordinator.recoveries
+        assert [r.crashed_id for r in recoveries] == ["server0"]
+        assert recoveries[0].finished_at is not None
+
+        # The zombie got fenced by its backups on its first post-resume
+        # replication attempt — before acknowledging the stale write.
+        assert zombie.fenced
+        assert zombie.fenced_at > 6.0  # only after the resume
+        # Zero writes acknowledged after eviction: the only completed
+        # write is the pre-pause one.
+        assert zombie.writes_completed == 1
+        assert zombie.writes_completed_at_fence == 1
+
+        # No duplicate tablet ownership: the key's tablet moved, and
+        # the zombie's stale claim is quarantined behind the fence.
+        table_id, key = outcome["table_id"], outcome["key"]
+        snapshot = coordinator.tablet_map.snapshot()
+        tablet = snapshot.tablet_for_key(table_id, key)
+        owner = tablet.owner_for_key(key, 4)
+        assert owner != "server0"
+        assert coordinator.is_live(owner)
+
+        # Exactly-once: the stale client's write was acknowledged once,
+        # with the version the recovered object implies, and reads see
+        # exactly that state on the new owner.
+        assert outcome["v2"] == outcome["v1"] + 1
+        assert outcome["read"] == (b"after-fence", outcome["v2"])
+        drain_and_check(cluster)
 
 
 class TestDegradedDiskRecovery:

@@ -49,8 +49,9 @@ class TestAsyncReplication:
 
 class TestBackupFailureHandling:
     def test_write_succeeds_after_backup_death(self):
-        """A master whose backup died must replace it and keep serving
-        writes (no infinite retry loop)."""
+        """A master whose backup died keeps serving writes (degraded,
+        no stall) while the background repair loop replaces the backup
+        and re-replicates the segment."""
         cluster = build_cluster(num_servers=4, num_clients=1,
                                 replication_factor=1, seed=6)
         table_id = cluster.create_table("t")
@@ -70,16 +71,24 @@ class TestBackupFailureHandling:
             backup_id = master.log.head.replica_backups[0]
             victim = cluster.coordinator.lookup_server(backup_id)
             victim.kill()
-            # The next write must still succeed (backup replaced).
+            # The next write must still succeed (degraded, repair
+            # pending in the background).
             version = yield from rc.write(table_id, key, 256)
             return version, backup_id
 
         version, dead_backup = run_client_script(cluster, script(),
                                                  until=120.0)
         assert version >= 2
+        # The failed append was recorded as a lost replica...
+        assert master.replicas_lost >= 1
+        # ...and after the repair loop runs, the dead backup is gone
+        # from the segment's replica set and nothing is under-replicated.
+        cluster.run(until=cluster.sim.now + 5.0)
         new_backups = master.log.head.replica_backups
         assert dead_backup not in new_backups
         assert len(new_backups) == 1
+        assert not master.under_replicated
+        assert master.segments_repaired >= 1
 
     def test_replacement_backup_holds_full_segment(self):
         cluster = build_cluster(num_servers=5, num_clients=1,
@@ -98,9 +107,13 @@ class TestBackupFailureHandling:
             backup_id = master.log.head.replica_backups[0]
             cluster.coordinator.lookup_server(backup_id).kill()
             yield from rc.write(table_id, key, 1024)
+            return backup_id
 
-        run_client_script(cluster, script(), until=120.0)
+        dead_backup = run_client_script(cluster, script(), until=120.0)
+        # Let the background repair loop replace the dead backup.
+        cluster.run(until=cluster.sim.now + 5.0)
         new_backup_id = master.log.head.replica_backups[0]
+        assert new_backup_id != dead_backup
         new_backup = cluster.coordinator.lookup_server(new_backup_id)
         replica = new_backup.replicas[(master.server_id,
                                        master.log.head.segment_id)]
