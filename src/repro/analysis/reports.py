@@ -7,7 +7,7 @@ from typing import Dict, Sequence
 from repro.analysis.charts import ascii_chart, ascii_multi_chart
 
 __all__ = ["cpu_usage_table", "crash_timeline_report",
-           "energy_proportionality_index"]
+           "energy_proportionality_index", "energy_proportionality_report"]
 
 
 def cpu_usage_table(results_by_config: Dict[str, Dict[str, float]]) -> str:
@@ -77,6 +77,39 @@ def crash_timeline_report(result, width: int = 68) -> str:
         sections.append(ascii_multi_chart(
             named, title="per-op latency (µs, bucket means)  [Fig. 10]",
             width=width, x_label="seconds"))
+    return "\n\n".join(sections)
+
+
+def energy_proportionality_report(result, width: int = 68) -> str:
+    """Render an energy-proportionality sweep
+    (:class:`~repro.experiments.energy_proportionality.EnergyProportionalityResult`)
+    the way an operator reads it: one watts-vs-load curve per governor,
+    then the per-governor proportionality index and the latency price.
+
+    A perfectly proportional system's curve is a straight line through
+    the origin; the paper's machine (``static``) is a flat ≈75 W floor.
+    """
+    governors = sorted(result.ep_index)
+    if not governors:
+        raise ValueError("empty sweep result")
+    curves = {}
+    for governor in governors:
+        points = result.by_governor(governor)
+        curves[governor] = [(p.throughput / 1000.0, p.watts_per_server)
+                            for p in points]
+    sections = [ascii_multi_chart(
+        curves, title="watts/server vs load (Kop/s) by governor",
+        width=width, x_label="Kop/s")]
+    lines = [f"{'governor':<16} {'EP index':>8} {'idle W':>7} "
+             f"{'peak Kop/s':>10} {'peak op/J':>9}"]
+    for governor in governors:
+        points = result.by_governor(governor)
+        idle, peak = points[0], points[-1]
+        lines.append(f"{governor:<16} {result.ep_index[governor]:>8.2f} "
+                     f"{idle.watts_per_server:>7.1f} "
+                     f"{peak.throughput / 1000.0:>10.1f} "
+                     f"{peak.ops_per_joule:>9.0f}")
+    sections.append("\n".join(lines))
     return "\n\n".join(sections)
 
 

@@ -19,11 +19,14 @@ from repro.cluster.crash import (
     CrashExperimentSpec,
     run_crash_experiment,
 )
+from repro.cluster.powercap import AdmissionThrottle, PowerCapController
 
 __all__ = [
+    "AdmissionThrottle",
     "Aggregate",
     "Cluster",
     "ClusterSpec",
+    "PowerCapController",
     "CrashExperimentResult",
     "CrashExperimentSpec",
     "ExperimentResult",

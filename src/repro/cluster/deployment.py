@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.hardware.node import Node
 from repro.hardware.specs import GRID5000_NANCY_NODE, MachineSpec
 from repro.net.fabric import Fabric
+from repro.powermgmt import PowerManager, PowerPolicy
 from repro.ramcloud.client import RamCloudClient
 from repro.ramcloud.config import CostModel, ServerConfig
 from repro.ramcloud.coordinator import Coordinator
@@ -34,6 +35,10 @@ class ClusterSpec:
     machine: MachineSpec = GRID5000_NANCY_NODE
     seed: int = 1
     failure_detection: bool = False
+    # Adaptive power management (repro.powermgmt, docs/POWER.md).  The
+    # default policy (static governor, no cap) creates no controller
+    # machinery at all, keeping paper reproductions bit-unchanged.
+    power_policy: PowerPolicy = field(default_factory=PowerPolicy)
 
     def __post_init__(self):
         if self.num_servers < 1:
@@ -94,8 +99,71 @@ class Cluster:
                                stream=RandomStream(spec.seed,
                                                    f"client{i}:rpc")))
 
+        # Power management: nothing at all is built for the default
+        # policy — no manager objects, no streams, no throttle — so the
+        # event schedule of every paper reproduction is untouched.
+        self.power_policy = spec.power_policy
+        self.power_managers: List[PowerManager] = []
+        self.admission_throttle = None
+        self.power_cap = None
+        if not spec.power_policy.is_default:
+            self._create_power_managers()
+            if spec.power_policy.power_cap_watts is not None:
+                self._create_power_cap(spec.power_policy)
+
         if spec.failure_detection:
             self.coordinator.start_failure_detector()
+
+    def _create_power_managers(self) -> None:
+        policy = self.power_policy
+        for i, (node, server) in enumerate(zip(self.server_nodes,
+                                               self.servers)):
+            self.power_managers.append(PowerManager(
+                self.sim, node, server, policy,
+                RandomStream(self.spec.seed, f"powermgmt{i}")))
+
+    def _create_power_cap(self, policy: PowerPolicy) -> None:
+        from repro.cluster.powercap import (AdmissionThrottle,
+                                            PowerCapController)
+        self.admission_throttle = AdmissionThrottle(self.sim)
+        self.power_cap = PowerCapController(
+            self.sim, self.server_nodes, self.servers,
+            self.admission_throttle, policy)
+
+    # -- power management ---------------------------------------------------
+
+    def set_governor(self, name: str, index: Optional[int] = None) -> None:
+        """Switch the power governor at run time on every server node
+        (or only ``index``).  Creates the per-node managers lazily if
+        the cluster was built with the default policy — which is how a
+        :class:`~repro.faults.schedule.SetGovernor` fault flips a
+        static cluster into power-managed mode mid-run."""
+        if not self.power_managers:
+            # Lazily bring up managers under the *static* governor (a
+            # no-op that changes nothing), then switch only the targets.
+            self.power_policy = self.power_policy.with_(governor="static")
+            self._create_power_managers()
+        targets = (self.power_managers if index is None
+                   else [self.power_managers[index]])
+        for manager in targets:
+            manager.set_governor(name)
+
+    def set_power_cap(self, watts: Optional[float]) -> None:
+        """Engage, move, or (``None``) lift the cluster power cap at
+        run time (the :class:`~repro.faults.schedule.SetPowerCap`
+        fault action)."""
+        if watts is None:
+            if self.power_cap is not None:
+                self.power_cap.stop()
+                self.power_cap = None
+            if self.admission_throttle is not None:
+                self.admission_throttle.rate = float("inf")
+            return
+        if self.power_cap is not None:
+            self.power_cap.cap_watts = watts
+            return
+        self.power_policy = self.power_policy.with_(power_cap_watts=watts)
+        self._create_power_cap(self.power_policy)
 
     # -- table management ---------------------------------------------------
 
@@ -237,6 +305,10 @@ class Cluster:
         drain then asserts no event leaks — the end-state check the
         fault-scenario suite runs after every schedule."""
         self.stop_metering()
+        for manager in self.power_managers:
+            manager.stop()
+        if self.power_cap is not None:
+            self.power_cap.stop()
         self.coordinator.stop_service()
         for server in self.servers:
             if not server.killed:

@@ -30,6 +30,8 @@ from repro.faults.schedule import (
     RestoreDisk,
     ResumeServer,
     RpcMatch,
+    SetGovernor,
+    SetPowerCap,
 )
 from repro.faults.injector import FaultInjector
 
@@ -50,4 +52,6 @@ __all__ = [
     "DelayRpcs",
     "DropRpcs",
     "ClearRpcFaults",
+    "SetGovernor",
+    "SetPowerCap",
 ]

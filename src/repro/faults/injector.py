@@ -28,6 +28,8 @@ from repro.faults.schedule import (
     PauseServer,
     RestoreDisk,
     ResumeServer,
+    SetGovernor,
+    SetPowerCap,
     resolve_group,
     resolve_node,
 )
@@ -121,6 +123,10 @@ class FaultInjector:
             fabric.add_rpc_fault(action.match, kind="drop")
         elif isinstance(action, ClearRpcFaults):
             fabric.clear_rpc_faults(action.match)
+        elif isinstance(action, SetGovernor):
+            self.cluster.set_governor(action.governor, action.index)
+        elif isinstance(action, SetPowerCap):
+            self.cluster.set_power_cap(action.watts)
         else:
             raise TypeError(f"unknown fault action: {action!r}")
         self._log(action.describe())

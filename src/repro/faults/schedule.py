@@ -33,6 +33,8 @@ __all__ = [
     "DelayRpcs",
     "DropRpcs",
     "ClearRpcFaults",
+    "SetGovernor",
+    "SetPowerCap",
     "FaultEntry",
     "FaultSchedule",
 ]
@@ -229,6 +231,35 @@ class ClearRpcFaults(FaultAction):
     def describe(self) -> str:
         inner = self.match.describe() if self.match is not None else "*"
         return f"clear-rpc-faults [{inner}]"
+
+
+@dataclass(frozen=True)
+class SetGovernor(FaultAction):
+    """Switch the power governor at run time (docs/POWER.md): on every
+    server node, or only server ``index``.  An operator action rather
+    than a failure, but scheduling it through the fault vocabulary lets
+    scenarios mix power-mode flips with crashes — e.g. kill a server
+    while its workers are parked and assert recovery still replays
+    byte-identically."""
+
+    governor: str
+    index: Optional[int] = None
+
+    def describe(self) -> str:
+        where = "all" if self.index is None else f"server{self.index}"
+        return f"set-governor {self.governor} on {where}"
+
+
+@dataclass(frozen=True)
+class SetPowerCap(FaultAction):
+    """Engage or move the cluster power cap (watts); ``None`` lifts it."""
+
+    watts: Optional[float]
+
+    def describe(self) -> str:
+        if self.watts is None:
+            return "set-power-cap none"
+        return f"set-power-cap {self.watts:g}W"
 
 
 @dataclass(frozen=True)

@@ -11,6 +11,22 @@ behaviours matter for the reproduction:
 * **Utilization windows** — the PDU power model and Table I both need
   per-interval utilization; the embedded
   :class:`~repro.sim.monitor.UtilizationTracker` provides it.
+
+Two power-management extensions (opt-in, see docs/POWER.md):
+
+* **DVFS** — :meth:`set_frequency` slows every subsequent
+  :meth:`execute` by ``1/ratio`` (the X3440's single package-wide
+  frequency domain).  Busy-time accounting runs in wall-clock seconds,
+  so utilization rises at low frequency exactly as ``top`` would show.
+* **Core parking / C-states** — :meth:`try_park_core` power-gates one
+  idle core (the power model subtracts per-parked-core watts);
+  :meth:`unpark_core` restores it.  The wake latency is charged by the
+  *caller* (the worker that parked pays it before serving its next
+  request), keeping the pool resize itself instantaneous and
+  interrupt-safe.  :meth:`pinned_core_idle`/:meth:`pinned_core_busy`
+  model a dispatch thread that blocks on interrupts instead of
+  busy-polling: the core stays reserved (pinned) but stops counting as
+  busy, which is what collapses the paper's 25 % idle-CPU floor.
 """
 
 from __future__ import annotations
@@ -34,26 +50,42 @@ class Cpu:
         self.cores = cores
         self.name = name
         self._pinned = 0
+        self._pinned_idle = 0  # pinned cores whose poller is blocked
         self._active = 0  # cores executing real work
         self._spinning = 0  # threads busy-polling while they wait
+        self._parked = 0  # cores power-gated in a deep C-state
+        self._freq_ratio = 1.0  # package DVFS ratio (1.0 = nominal)
         self._pool = Resource(sim, cores, name=f"{name}:cores")
         self.utilization = UtilizationTracker(sim, capacity=cores,
                                               name=f"{name}:util")
 
     def _update_busy(self) -> None:
-        """Utilization = pinned pollers + executing work + spin-waiting
-        threads, capped at the core count (a spinning thread yields the
-        instant real work needs the core, so spins never add latency —
-        they only burn watts, which is exactly what the paper's CPU and
-        power figures observe)."""
+        """Utilization = awake pinned pollers + executing work +
+        spin-waiting threads, capped at the core count (a spinning
+        thread yields the instant real work needs the core, so spins
+        never add latency — they only burn watts, which is exactly what
+        the paper's CPU and power figures observe).  A pinned core whose
+        poller is blocked (adaptive dispatch asleep) stays reserved but
+        counts as idle."""
         busy = min(float(self.cores),
-                   self._pinned + self._active + self._spinning)
+                   (self._pinned - self._pinned_idle)
+                   + self._active + self._spinning)
         self.utilization.set_busy(busy)
 
     @property
     def schedulable_cores(self) -> int:
         """Cores available to workers (total minus pinned)."""
         return self.cores - self._pinned
+
+    @property
+    def parked_cores(self) -> int:
+        """Cores currently power-gated (deep C-state)."""
+        return self._parked
+
+    @property
+    def frequency_ratio(self) -> float:
+        """Current package frequency as a fraction of nominal."""
+        return self._freq_ratio
 
     @property
     def busy_cores(self) -> float:
@@ -72,17 +104,17 @@ class Cpu:
         ``top`` reports for RAMCloud's dispatch thread) and is no longer
         available to workers.
         """
-        if self._pinned >= self.cores - 1:
+        if self._pinned + self._parked >= self.cores - 1:
             raise ValueError(
                 f"cannot pin {self._pinned + 1} of {self.cores} cores: "
                 "at least one schedulable core must remain"
             )
         # Pinning must happen before workers pile in — which matches
         # reality: the dispatch thread is pinned at server start-up.
-        if self._pool.count > self.cores - self._pinned - 1:
+        if self._pool.count > self.cores - self._pinned - self._parked - 1:
             raise ValueError("pin_core() after workers already saturated the pool")
         self._pinned += 1
-        self._pool.resize(self.schedulable_cores)
+        self._pool.resize(self.cores - self._pinned - self._parked)
         self._update_busy()
 
     def unpin_core(self) -> None:
@@ -91,8 +123,71 @@ class Cpu:
         if self._pinned < 1:
             raise ValueError("no pinned cores to release")
         self._pinned -= 1
+        # An unpinned core cannot stay in the blocked-poller state.
+        self._pinned_idle = min(self._pinned_idle, self._pinned)
         self._update_busy()
-        self._pool.resize(self.schedulable_cores)
+        self._pool.resize(self.cores - self._pinned - self._parked)
+
+    # -- power-management knobs (docs/POWER.md) ------------------------
+
+    def pinned_core_idle(self) -> None:
+        """A pinned poller blocked on interrupts: its core stays
+        reserved but stops accruing busy time (adaptive dispatch going
+        to sleep after its empty-poll threshold)."""
+        if self._pinned_idle >= self._pinned:
+            raise ValueError("no awake pinned core to idle")
+        self._pinned_idle += 1
+        self._update_busy()
+
+    def pinned_core_busy(self) -> None:
+        """The blocked poller woke up; its core is 100 % busy again.
+        Lenient when no pinned core is idle (the unpin in ``kill()``
+        may already have cleared the state before the sleeping dispatch
+        thread's interrupt handler runs)."""
+        if self._pinned_idle > 0:
+            self._pinned_idle -= 1
+            self._update_busy()
+
+    def set_frequency(self, ratio: float) -> None:
+        """Set the package DVFS ratio (1.0 = nominal frequency).
+
+        Subsequent :meth:`execute` calls take ``seconds / ratio`` wall
+        time; work already on a core finishes at the old speed (the
+        granularity of a P-state transition is far below our cost
+        quanta).  Busy-time integrates wall seconds, so utilization
+        rises at low frequency — the power model compensates through
+        :meth:`PowerSpec.watts`'s ``freq_ratio`` term.
+        """
+        if not 0.0 < ratio <= 1.5:
+            raise ValueError(f"frequency ratio {ratio} outside (0, 1.5]")
+        self._freq_ratio = ratio
+
+    def try_park_core(self) -> bool:
+        """Power-gate one schedulable core if the invariants allow it:
+        at least one unparked schedulable core must always remain, and
+        parking never strands a thread already running on a core.
+        Returns True if a core was parked.
+
+        The wake side (:meth:`unpark_core`) restores capacity
+        immediately; the *caller* models the C-state exit by charging
+        its wake latency before using the core again.
+        """
+        unparked = self.cores - self._pinned - self._parked
+        if unparked <= 1:
+            return False
+        if self._pool.count > unparked - 1:
+            return False  # every unparked core is running a thread
+        self._parked += 1
+        self._pool.resize(self.cores - self._pinned - self._parked)
+        return True
+
+    def unpark_core(self) -> None:
+        """Bring one parked core back online (capacity is restored
+        immediately; the caller pays the C-state exit latency)."""
+        if self._parked < 1:
+            raise ValueError("no parked cores to wake")
+        self._parked -= 1
+        self._pool.resize(self.cores - self._pinned - self._parked)
 
     def execute(self, seconds: float) -> Generator:
         """Run ``seconds`` of work on some core; queues if all are busy.
@@ -117,7 +212,9 @@ class Cpu:
         self._active += 1
         self._update_busy()
         try:
-            yield self.sim.timeout(seconds)
+            # DVFS: the same work takes 1/ratio longer at reduced
+            # frequency (ratio 1.0 divides out bit-exactly).
+            yield self.sim.timeout(seconds / self._freq_ratio)
         finally:
             self._active -= 1
             self._update_busy()

@@ -39,19 +39,32 @@ class Node:
     # -- power metering -------------------------------------------------
 
     def start_metering(self, interval: float = 1.0) -> None:
-        """Start the 1 Hz PDU-polling script for this node."""
+        """Start the 1 Hz PDU-polling script for this node.
+
+        Records an immediate boundary sample so the power series starts
+        at the metering instant — without it the first ``interval`` of
+        the window falls outside :meth:`TimeSeries.integral`'s coverage
+        (see its contract) and energy totals under-count.
+        """
         if self._metering:
             return
         self._metering = True
         self._pdu_interval = interval
         self.cpu.mark()
+        self.power.sample()
         self._pdu_process = self.sim.process(self._pdu_loop(),
                                              name=f"pdu:{self.name}")
 
     def stop_metering(self) -> None:
-        """Stop the PDU sampler; recorded samples are kept."""
+        """Stop the PDU sampler; recorded samples are kept.  A final
+        boundary sample closes the window (unless the periodic loop
+        already sampled at this instant) so the tail since the last
+        tick still enters the energy integral."""
         if self._metering and self._pdu_process is not None:
             self._metering = False
+            series = self.power.series
+            if not series.times or series.times[-1] < self.sim.now:
+                self.power.sample()
             self._pdu_process.interrupt("metering stopped")
             self._pdu_process = None
 

@@ -49,7 +49,10 @@ class PowerModel:
             return 0.0
         if util_pct is None:
             util_pct = self.cpu.utilization_since_mark()
-        return self.spec.watts(min(util_pct, 100.0), disk_active=self.disk.busy)
+        return self.spec.watts(min(util_pct, 100.0),
+                               disk_active=self.disk.busy,
+                               freq_ratio=self.cpu.frequency_ratio,
+                               parked_cores=self.cpu.parked_cores)
 
     def sample(self) -> float:
         """One PDU reading: average power over the interval since the
@@ -65,7 +68,12 @@ class PowerModel:
         io_delta = (reads - self._last_io[0]) + (writes - self._last_io[1])
         self._last_io = (reads, writes)
         disk_active = io_delta > 0 or self.disk.busy
-        watts = self.spec.watts(min(util, 100.0), disk_active=disk_active)
+        # DVFS ratio and parked-core count are read at sample time (the
+        # PDU sees the P-/C-state currently in effect; governors change
+        # state on scales much coarser than the sampling interval).
+        watts = self.spec.watts(min(util, 100.0), disk_active=disk_active,
+                                freq_ratio=self.cpu.frequency_ratio,
+                                parked_cores=self.cpu.parked_cores)
         self.series.record(self.sim.now, watts)
         return watts
 
@@ -75,5 +83,11 @@ class PowerModel:
         return self.series.integral()
 
     def average_watts(self) -> float:
-        """Mean of the recorded PDU samples."""
+        """Mean of the recorded PDU samples.
+
+        The sampler runs at a fixed cadence with boundary samples at
+        metering start/stop, so the plain sample mean matches the
+        time-weighted mean; use ``series.time_weighted_mean()`` when
+        combining traces recorded at different intervals.
+        """
         return self.series.mean()

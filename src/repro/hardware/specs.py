@@ -39,13 +39,33 @@ GB = 1024 * MB
 
 @dataclass(frozen=True)
 class CpuSpec:
-    """A multi-core CPU."""
+    """A multi-core CPU.
+
+    ``freq_steps`` are the DVFS P-states as ratios of the nominal
+    frequency, lowest first.  The paper's Xeon X3440 (Lynnfield) is
+    nominally 2.53 GHz with SpeedStep P-states down to ≈1.2 GHz; all
+    four cores share a single PLL/voltage domain, so frequency changes
+    are package-wide — which is why :meth:`~repro.hardware.cpu.Cpu.set_frequency`
+    takes one ratio for the whole CPU, not per core.
+    """
 
     cores: int = 4
+    nominal_freq_ghz: float = 2.53
+    freq_steps: tuple = (0.47, 0.63, 0.79, 1.0)
 
     def __post_init__(self):
         if self.cores < 1:
             raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.nominal_freq_ghz <= 0:
+            raise ValueError("nominal frequency must be positive")
+        if not self.freq_steps:
+            raise ValueError("need at least one frequency step")
+        if tuple(sorted(self.freq_steps)) != tuple(self.freq_steps):
+            raise ValueError("freq_steps must be sorted ascending")
+        if any(not 0.0 < s <= 1.5 for s in self.freq_steps):
+            raise ValueError("freq_steps must lie in (0, 1.5]")
+        if self.freq_steps[-1] != 1.0:
+            raise ValueError("the highest freq_step must be 1.0 (nominal)")
 
 
 @dataclass(frozen=True)
@@ -99,17 +119,54 @@ class PowerSpec:
 
     ``watts(util_pct) = idle_watts + slope_watts_per_pct * util_pct``
     (+ ``disk_active_watts`` while the disk head is busy).
+
+    Two optional knobs extend the model for the power-management
+    subsystem (docs/POWER.md) without disturbing the paper calibration:
+
+    * **DVFS** — at a reduced frequency ratio ``f`` the *dynamic* term
+      (the utilization slope) scales with ``f ** dvfs_exponent``,
+      following the ≈f·V² CMOS scaling Lang et al. measure on server
+      parts; the idle floor (fans, PSU losses, DRAM refresh, uncore)
+      does not scale.  At ``freq_ratio=1.0`` the formula is
+      bit-identical to the paper's linear fit.
+    * **Core parking** — each core in a deep C-state (power-gated)
+      drops ``parked_core_watts`` from the floor.  Nehalem-class deep
+      C-states save a few watts per core below the C1 idle the 57.5 W
+      anchor already includes.
     """
 
     idle_watts: float = 57.5
     slope_watts_per_pct: float = 0.69
     disk_active_watts: float = 6.0
+    # Exponent on the frequency ratio applied to the dynamic (slope)
+    # term; ≈2.2 approximates f·V² with the shallow voltage scaling of
+    # server SpeedStep ranges.
+    dvfs_exponent: float = 2.2
+    # Watts saved per power-gated (parked) core, below the idle floor.
+    parked_core_watts: float = 2.5
 
-    def watts(self, util_pct: float, disk_active: bool = False) -> float:
-        """Node power draw at the given CPU utilization."""
+    def watts(self, util_pct: float, disk_active: bool = False,
+              freq_ratio: float = 1.0, parked_cores: int = 0) -> float:
+        """Node power draw at the given CPU utilization.
+
+        ``freq_ratio`` is the current DVFS ratio (1.0 = nominal);
+        ``parked_cores`` the number of power-gated cores.  With the
+        defaults the return value is bit-identical to the original
+        two-argument calibration, so every paper reproduction is
+        unaffected unless a governor actually moves these knobs.
+        """
         if not 0.0 <= util_pct <= 100.0 + 1e-9:
             raise ValueError(f"utilization {util_pct} outside [0, 100]")
         base = self.idle_watts + self.slope_watts_per_pct * util_pct
+        if freq_ratio != 1.0:
+            if not 0.0 < freq_ratio <= 1.5:
+                raise ValueError(f"freq_ratio {freq_ratio} outside (0, 1.5]")
+            base = (self.idle_watts + self.slope_watts_per_pct * util_pct
+                    * freq_ratio ** self.dvfs_exponent)
+        if parked_cores:
+            if parked_cores < 0:
+                raise ValueError("parked_cores cannot be negative")
+            base = max(base - parked_cores * self.parked_core_watts, 0.0)
         return base + (self.disk_active_watts if disk_active else 0.0)
 
 

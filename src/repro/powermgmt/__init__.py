@@ -1,0 +1,30 @@
+"""repro.powermgmt — adaptive power management (docs/POWER.md).
+
+The paper's central negative result is that RAMCloud is far from
+energy-proportional: the pinned dispatch thread busy-polls the NIC, so
+an *idle* 4-core server sits at 25 % CPU and ≈75 W, and efficiency
+collapses ≈7x from 1→10 servers (Figs. 1–4, Table I).  This package
+models the knobs a real operator has against that pathology and the
+controllers that drive them:
+
+* **hardware** — DVFS (:meth:`~repro.hardware.cpu.Cpu.set_frequency`)
+  and core parking / C-states, folded into the calibrated
+  :class:`~repro.hardware.specs.PowerSpec` power curve;
+* **server** — adaptive dispatch polling and worker core parking in
+  :class:`~repro.ramcloud.server.RamCloudServer` (strictly opt-in);
+* **control** — a per-node :class:`PowerManager` running a governor
+  (``static`` | ``ondemand`` | ``poll-adaptive``) and a cluster-level
+  :class:`~repro.cluster.powercap.PowerCapController` that throttles
+  admission (the paper's Fig. 13 path) to hold a fleet power cap.
+
+Everything is deterministic: governors are pure functions of sampled
+simulation state, the only randomness (sampler phase stagger) comes
+from the cluster's seeded :class:`~repro.sim.distributions.RandomStream`,
+and with the default ``static`` governor no process, event or float in
+any paper reproduction changes.
+"""
+
+from repro.powermgmt.manager import PowerManager
+from repro.powermgmt.policy import GOVERNORS, PowerPolicy
+
+__all__ = ["GOVERNORS", "PowerPolicy", "PowerManager"]

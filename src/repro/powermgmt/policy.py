@@ -1,0 +1,70 @@
+"""Power-policy configuration (docs/POWER.md).
+
+A :class:`PowerPolicy` is the frozen, hashable description of how a
+cluster manages power: which per-node governor runs, its thresholds,
+and an optional cluster-wide power cap.  The default policy is the
+paper's machine exactly — ``static`` governor, no cap — and the
+cluster builder creates **no** controller processes for it, so default
+runs are event-for-event identical to a build without this subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["GOVERNORS", "PowerPolicy"]
+
+# The three governors (ISSUE 5 tentpole):
+#
+# * static        — nominal frequency, busy-poll dispatch, no parking
+#                   (the paper's configuration; the do-nothing default).
+# * ondemand      — Linux-style utilization-driven DVFS: sample each
+#                   node's utilization every ``sample_interval`` and
+#                   step the package frequency up past ``up_threshold``
+#                   / down below ``down_threshold``.
+# * poll-adaptive — attack the polling pathology directly: the dispatch
+#                   thread blocks after its empty-poll threshold and
+#                   workers park idle cores (see ServerConfig knobs).
+GOVERNORS = ("static", "ondemand", "poll-adaptive")
+
+
+@dataclass(frozen=True)
+class PowerPolicy:
+    """How one cluster manages power (default: the paper's setup)."""
+
+    governor: str = "static"
+    # --- ondemand: utilization sampling and hysteresis thresholds ----
+    sample_interval: float = 0.1
+    up_threshold: float = 70.0
+    down_threshold: float = 30.0
+    # --- poll-adaptive: also park idle worker cores? ------------------
+    core_parking: bool = True
+    # --- cluster power cap (None = uncapped) --------------------------
+    power_cap_watts: Optional[float] = None
+    cap_interval: float = 0.25
+    cap_hysteresis_watts: float = 5.0
+
+    def __post_init__(self):
+        if self.governor not in GOVERNORS:
+            raise ValueError(
+                f"governor must be one of {GOVERNORS}, got {self.governor!r}")
+        if self.sample_interval <= 0 or self.cap_interval <= 0:
+            raise ValueError("intervals must be positive")
+        if not 0.0 <= self.down_threshold < self.up_threshold <= 100.0:
+            raise ValueError(
+                "thresholds must satisfy 0 <= down < up <= 100")
+        if self.power_cap_watts is not None and self.power_cap_watts <= 0:
+            raise ValueError("power cap must be positive")
+        if self.cap_hysteresis_watts < 0:
+            raise ValueError("cap hysteresis cannot be negative")
+
+    @property
+    def is_default(self) -> bool:
+        """True when no controller machinery is needed at all: static
+        governor, no cap — the bit-unchanged paper configuration."""
+        return self.governor == "static" and self.power_cap_watts is None
+
+    def with_(self, **overrides) -> "PowerPolicy":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)

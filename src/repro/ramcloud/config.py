@@ -42,6 +42,8 @@ class CostModel:
 
     # Dispatch thread: per-request polling/handoff cost on the pinned core.
     dispatch_per_request: float = 1.5e-6
+    # Liveness pong, assembled inline on the dispatch core.
+    ping_service: float = 1.0e-6
     # Read path: hash lookup + copy-out, on a worker core.
     read_service: float = 8.0e-6
     # Multiread (RAMCloud's batched read RPC): per-batch overhead plus a
@@ -181,6 +183,27 @@ class ServerConfig:
     # consistency under failures for throughput/energy; used by the
     # ablation benchmarks.
     async_replication: bool = False
+    # ---- adaptive power management (repro.powermgmt, docs/POWER.md) ----
+    # "poll" (default) keeps the paper's behaviour: the dispatch thread
+    # busy-polls forever on its pinned core (25 % CPU on an idle 4-core
+    # node).  "adaptive" lets it block interrupt-style after
+    # ``poll_idle_threshold`` consecutive empty polls; the pinned core
+    # then stops accruing busy time until the next request, which pays
+    # ``dispatch_wake_latency`` extra.  Strictly opt-in — with "poll"
+    # every paper reproduction is bit-unchanged.
+    dispatch_mode: str = "poll"
+    # Empty polls (of ``poll_interval`` each) before the adaptive
+    # dispatch thread gives up busy-polling and blocks.
+    poll_idle_threshold: int = 64
+    poll_interval: float = 10.0e-6
+    # Interrupt + cache-refill cost charged to the first request after
+    # a blocked dispatch thread wakes.
+    dispatch_wake_latency: float = 6.0e-6
+    # Workers park their core (deep C-state) instead of merely blocking
+    # once their spin window expires empty; the woken worker pays
+    # ``core_wake_latency`` before serving.  Also opt-in.
+    core_parking: bool = False
+    core_wake_latency: float = 50.0e-6
 
     def __post_init__(self):
         if self.log_memory_bytes < self.segment_size:
@@ -195,6 +218,16 @@ class ServerConfig:
             raise ValueError(
                 "cleaner watermarks must satisfy 0 < low < threshold <= 1"
             )
+        if self.dispatch_mode not in ("poll", "adaptive"):
+            raise ValueError(
+                f"dispatch_mode must be 'poll' or 'adaptive', "
+                f"got {self.dispatch_mode!r}")
+        if self.poll_idle_threshold < 1:
+            raise ValueError("poll_idle_threshold must be >= 1")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        if self.dispatch_wake_latency < 0 or self.core_wake_latency < 0:
+            raise ValueError("wake latencies cannot be negative")
 
     @property
     def total_segments(self) -> int:

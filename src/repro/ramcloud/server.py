@@ -169,6 +169,15 @@ class RamCloudServer(RpcService):
         self._background: List[Process] = []
         self.killed = False
 
+        # ---- adaptive power management (repro.powermgmt) ----
+        # Runtime-mutable copies of the config knobs so a governor (or
+        # a SetGovernor fault action) can flip policy mid-run; the
+        # dispatch and worker loops re-read them on every iteration.
+        self.dispatch_mode = config.dispatch_mode
+        self.core_parking = config.core_parking
+        self.dispatch_sleeps = 0
+        self.core_parks = 0
+
         # ---- statistics ----
         self.ops_completed = 0
         self.reads_completed = 0
@@ -211,6 +220,21 @@ class RamCloudServer(RpcService):
         for proc in self._threads + self._background:
             proc.interrupt("killed")
         self.node.cpu.unpin_core()
+
+    def set_power_mode(self, dispatch_mode: Optional[str] = None,
+                       core_parking: Optional[bool] = None) -> None:
+        """Flip the adaptive-dispatch / core-parking policy at runtime
+        (called by :class:`~repro.powermgmt.PowerManager` and the
+        ``SetGovernor`` fault action).  Loops pick the change up on
+        their next iteration; a dispatch thread already blocked stays
+        blocked until its next request, exactly like a real governor
+        change taking effect at the next idle transition."""
+        if dispatch_mode is not None:
+            if dispatch_mode not in ("poll", "adaptive"):
+                raise ValueError(f"bad dispatch_mode {dispatch_mode!r}")
+            self.dispatch_mode = dispatch_mode
+        if core_parking is not None:
+            self.core_parking = core_parking
 
     def _spawn(self, generator, name: str) -> Process:
         """Track a background process so kill() can reap it."""
@@ -476,10 +500,13 @@ class RamCloudServer(RpcService):
     # deadlock-free; see ServerConfig.backup_worker_threads).
     # ``server_list`` rides the backup queue too: membership updates
     # must keep flowing even when every master worker is wedged behind
-    # the log lock (and the handler issues no nested RPCs).
+    # the log lock (and the handler issues no nested RPCs).  ``ping``
+    # does not: liveness probes are answered inline by the dispatch
+    # thread (below), because a backup worker stuck behind a queue of
+    # long recovery reads means "busy", not "dead".
     _BACKUP_OPS = frozenset({
         "replicate_append", "replicate_close", "replicate_segment",
-        "recovery_read", "free_replica", "ping", "server_list",
+        "recovery_read", "free_replica", "server_list",
     })
 
     def _dispatch_loop(self) -> Generator:
@@ -490,15 +517,34 @@ class RamCloudServer(RpcService):
         also crosses the dispatch thread (``_rx`` pseudo-requests),
         stalling the dispatch of concurrent client requests — the
         paper's Fig. 10 collateral damage on live-data reads.
+
+        With ``dispatch_mode == "adaptive"`` (repro.powermgmt), an
+        empty inbox sends the thread through :meth:`_dispatch_idle_wait`
+        — bounded busy-polling, then an interrupt-style block that
+        releases the pinned core's busy accounting — before the normal
+        handoff.  In the default "poll" mode the code path below is
+        event-for-event identical to the original busy-poll loop.
         """
         while True:
-            request = yield self.inbox.get()
+            get = self.inbox.get()
+            if not get.triggered and self.dispatch_mode == "adaptive":
+                yield from self._dispatch_idle_wait(get)
+            request = yield get
             # Handoff cost on the dispatch core (already pinned, so this
             # is pure latency/serialization, not extra utilization).
             yield self.sim.timeout(self.cost.dispatch_per_request)
             if request.op == "_rx":
                 yield self.sim.timeout(request.args)
                 request.respond(None)
+            elif request.op == "ping":
+                # Answered from the dispatch thread itself, as in
+                # RAMCloud where the failure detector sits at transport
+                # level.  Routing pongs through a worker queue turns
+                # every long queue wedge (e.g. a backup grinding
+                # through 32 MB recovery reads) into a false-positive
+                # death — and with it a cascade of recoveries.
+                yield self.sim.timeout(self.cost.ping_service)
+                request.respond(("pong", self.server_list_version))
             elif request.op in self._BACKUP_OPS:
                 self.backup_queue.put(request)
             elif (self.config.overload_queue_limit is not None
@@ -507,6 +553,35 @@ class RamCloudServer(RpcService):
                 self._drop_overloaded(request)
             else:
                 self.worker_queue.put(request)
+
+    def _dispatch_idle_wait(self, get) -> Generator:
+        """Adaptive dispatch (docs/POWER.md): busy-poll the empty inbox
+        for ``poll_idle_threshold`` intervals, then block interrupt-style.
+
+        While blocked the pinned core is accounted idle
+        (:meth:`Cpu.pinned_core_idle`), which is what collapses the
+        paper's 25 % idle-CPU floor; the price is
+        ``dispatch_wake_latency`` added to the request that ends the
+        nap — the busy-poll/wake-latency trade the paper's §X points at.
+        Returns with ``get`` triggered.
+        """
+        polls = 0
+        while not get.triggered and polls < self.config.poll_idle_threshold:
+            deadline = self.sim.timeout(self.config.poll_interval)
+            yield self.sim.any_of([get, deadline])
+            polls += 1
+        if get.triggered:
+            return
+        self.dispatch_sleeps += 1
+        self.node.cpu.pinned_core_idle()
+        try:
+            yield get
+        finally:
+            # Also runs when kill() interrupts a sleeping dispatch
+            # thread (pinned_core_busy is lenient about the unpin
+            # having already cleared the idle state).
+            self.node.cpu.pinned_core_busy()
+        yield self.sim.timeout(self.config.dispatch_wake_latency)
 
     def _drop_overloaded(self, request: RpcRequest) -> None:
         """Admission control past ``overload_queue_limit``: drop the
@@ -549,6 +624,19 @@ class RamCloudServer(RpcService):
                 deadline = self.sim.timeout(self.cost.worker_spin)
                 yield from self.node.cpu.spinning(
                     _wait(self.sim.any_of([get, deadline])))
+                if not get.triggered and self.core_parking:
+                    # Core parking (docs/POWER.md): the spin window
+                    # expired empty, so power-gate this worker's core
+                    # while blocked; the wake pays core_wake_latency
+                    # before serving.  try_park_core refuses when it
+                    # would strand a runner or park the last core.
+                    if self.node.cpu.try_park_core():
+                        self.core_parks += 1
+                        try:
+                            yield get
+                        finally:
+                            self.node.cpu.unpark_core()
+                        yield self.sim.timeout(self.config.core_wake_latency)
             request = yield get
             # Each request is an unrelated work item for the race
             # detector: this worker's earlier touches must not pair
@@ -842,12 +930,6 @@ class RamCloudServer(RpcService):
         self.ops_completed += len(keys)
         self.reads_completed += len(keys)
         request.respond(results)
-
-    def _handle_ping(self, request: RpcRequest) -> Generator:
-        yield from self.node.cpu.execute(1.0e-6)
-        # The pong carries our server-list version so the coordinator
-        # can re-push updates we missed (healed partition, lost push).
-        request.respond(("pong", self.server_list_version))
 
     # ------------------------------------------------------------------
     # backup ops
@@ -1445,7 +1527,6 @@ class RamCloudServer(RpcService):
         "multiread": _handle_multiread,
         "write": _handle_write,
         "delete": _handle_delete,
-        "ping": _handle_ping,
         "server_list": _handle_server_list,
         "replicate_append": _handle_replicate_append,
         "replicate_close": _handle_replicate_close,

@@ -50,12 +50,41 @@ class TimeSeries:
         return max(self.values)
 
     def integral(self) -> float:
-        """Trapezoidal integral of value over time (e.g. watts → joules)."""
+        """Trapezoidal integral of value over time (e.g. watts → joules).
+
+        **Contract**: the integral covers exactly ``[times[0],
+        times[-1]]`` and linearly interpolates *between consecutive
+        samples* — including across gaps.  A producer that only samples
+        while "something is happening" therefore silently misrepresents
+        idle stretches: the gap is integrated as a straight line between
+        the two active endpoints, not as the true idle level, and
+        anything before the first or after the last sample contributes
+        nothing at all.  Producers must emit at a fixed cadence even
+        when the value is unchanged, plus boundary samples at start and
+        stop of the measured window — :class:`Sampler` and
+        :meth:`~repro.hardware.node.Node.start_metering` do exactly
+        this.
+        """
         total = 0.0
         for i in range(1, len(self.times)):
             dt = self.times[i] - self.times[i - 1]
             total += 0.5 * (self.values[i] + self.values[i - 1]) * dt
         return total
+
+    def time_weighted_mean(self) -> float:
+        """Mean value weighted by sample spacing (``integral / span``).
+
+        Equals :meth:`mean` for evenly spaced samples; prefer it when
+        the cadence varied (restarted metering, mixed intervals), where
+        the plain sample mean over-weights densely sampled stretches.
+        Falls back to :meth:`mean` when the series spans zero time.
+        """
+        if not self.values:
+            raise ValueError(f"time series {self.name!r} is empty")
+        span = self.times[-1] - self.times[0]
+        if span <= 0:
+            return self.mean()
+        return self.integral() / span
 
     def window(self, start: float, end: float) -> "TimeSeries":
         """Samples with ``start <= t <= end``."""
@@ -128,6 +157,12 @@ class Sampler:
     This is the simulated equivalent of the paper's PDU-polling script:
     "We run a script on each machine which queries the power consumption
     value from its corresponding PDU every second."
+
+    The sampler upholds :meth:`TimeSeries.integral`'s contract: it
+    records at a fixed cadence *regardless of whether the value
+    changed* (an idle gap is a run of identical samples, never a hole)
+    and :meth:`stop` records one final boundary sample so the tail of
+    the window is not dropped from the integral.
     """
 
     def __init__(self, sim: Simulator, interval: float,
@@ -147,8 +182,11 @@ class Sampler:
             yield self.sim.timeout(self.interval)
 
     def stop(self) -> None:
-        """Halt sampling permanently."""
+        """Halt sampling permanently, recording a final boundary sample
+        (unless one already landed at this instant)."""
         self._stopped = True
+        if not self.series.times or self.series.times[-1] < self.sim.now:
+            self.series.record(self.sim.now, self.probe())
         self._process.interrupt("sampler stopped")
 
 

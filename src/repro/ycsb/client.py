@@ -60,6 +60,11 @@ class YcsbClient:
             rc_client.max_retries = (
                 int(give_up_after / rc_client.retry_backoff) + 1)
         self.stats = OperationStats()
+        # Dynamic admission throttle (cluster power capping): when an
+        # experiment assigns an AdmissionThrottle here, it replaces the
+        # static ``target_ops_per_second`` pacing below.  None (the
+        # default) leaves the paper's Fig. 13 token bucket untouched.
+        self.throttle = None
         self.keys = make_key_chooser(workload.request_distribution,
                                      workload.num_records, stream)
         self._insert_counter = workload.num_records
@@ -100,7 +105,13 @@ class YcsbClient:
         start = self.sim.now
         rate = w.target_ops_per_second
         for i in range(w.ops_per_client):
-            if rate > 0:
+            if self.throttle is not None:
+                # Dynamic pacing: the power-cap controller moves the
+                # shared throttle's rate at run time.
+                delay = self.throttle.reserve()
+                if delay > 0:
+                    yield self.sim.timeout(delay)
+            elif rate > 0:
                 # Token-bucket pacing: operation i may not start before
                 # its scheduled slot.
                 slot = start + i / rate

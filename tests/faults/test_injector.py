@@ -18,6 +18,8 @@ from repro.faults import (
     RestoreDisk,
     ResumeServer,
     RpcMatch,
+    SetGovernor,
+    SetPowerCap,
 )
 from repro.hardware.specs import MB
 from repro.net.fabric import NetworkPartitioned, NodeUnreachable
@@ -261,3 +263,40 @@ class TestRecoveryAnchor:
         )))
         cluster.run(until=3.0)
         assert injector.applied == []
+
+
+class TestPowerActions:
+    def test_set_governor_all_servers(self):
+        cluster = build_cluster()
+        injector = cluster.inject_faults(FaultSchedule((
+            FaultEntry(at=1.0, action=SetGovernor("poll-adaptive")),
+        )))
+        cluster.run(until=1.5)
+        assert injector.applied == [(1.0, "set-governor poll-adaptive on all")]
+        assert len(cluster.power_managers) == len(cluster.servers)
+        assert all(s.dispatch_mode == "adaptive" for s in cluster.servers)
+
+    def test_set_governor_single_server(self):
+        cluster = build_cluster()
+        cluster.inject_faults(FaultSchedule((
+            FaultEntry(at=1.0, action=SetGovernor("ondemand", index=1)),
+        )))
+        cluster.run(until=1.5)
+        assert cluster.power_managers[1].governor == "ondemand"
+        assert cluster.power_managers[0].governor == "static"
+
+    def test_set_and_lift_power_cap(self):
+        cluster = build_cluster()
+        injector = cluster.inject_faults(FaultSchedule((
+            FaultEntry(at=1.0, action=SetPowerCap(150.0)),
+            FaultEntry(at=2.0, action=SetPowerCap(None)),
+        )))
+        cluster.run(until=1.5)
+        assert cluster.power_cap is not None
+        assert cluster.power_cap.cap_watts == 150.0
+        cluster.run(until=2.5)
+        assert cluster.power_cap is None
+        assert [d for _, d in injector.applied] == [
+            "set-power-cap 150W",
+            "set-power-cap none",
+        ]

@@ -16,6 +16,8 @@ from repro.faults import (
     PauseServer,
     ResumeServer,
     RpcMatch,
+    SetGovernor,
+    SetPowerCap,
 )
 from repro.faults.schedule import resolve_group, resolve_node
 
@@ -123,6 +125,12 @@ class TestDescribe:
              "delay-rpcs 0.01s [op=read src=* dst=*]"),
             (DropRpcs(RpcMatch(dst=0)), "drop-rpcs [op=* src=* dst=0]"),
             (ClearRpcFaults(), "clear-rpc-faults [*]"),
+            (SetGovernor("poll-adaptive"),
+             "set-governor poll-adaptive on all"),
+            (SetGovernor("ondemand", index=2),
+             "set-governor ondemand on server2"),
+            (SetPowerCap(185.0), "set-power-cap 185W"),
+            (SetPowerCap(None), "set-power-cap none"),
         ]
         for action, expected in cases:
             assert action.describe() == expected

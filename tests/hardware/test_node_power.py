@@ -53,9 +53,12 @@ class TestMetering:
         sim.process(burn())
         sim.run(until=10.0)
         spec = GRID5000_NANCY_NODE.power
-        assert node.power.average_watts() == pytest.approx(
-            spec.watts(100.0), rel=0.02
-        )
+        # The t=0 boundary sample correctly reads idle (load starts
+        # after metering); the steady-state samples read full power.
+        steady = node.power.series.window(1.0, 10.0)
+        assert steady.mean() == pytest.approx(spec.watts(100.0), rel=0.02)
+        assert node.power.series.values[0] == pytest.approx(
+            spec.watts(0.0), abs=0.5)
 
     def test_energy_integral_for_constant_load(self):
         sim = Simulator()

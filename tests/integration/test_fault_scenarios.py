@@ -32,6 +32,7 @@ from repro.faults import (
     PartitionGroups,
     PauseServer,
     ResumeServer,
+    SetGovernor,
 )
 from repro.hardware.specs import MB
 from repro.ramcloud.config import ServerConfig
@@ -200,6 +201,9 @@ def scenario_digest(cluster, injector) -> str:
     for server in cluster.servers:
         feed(f"server[{server.server_id}]",
              (server.killed, server.ops_completed, len(server.hashtable)))
+        feed(f"power[{server.server_id}]",
+             (server.dispatch_mode, server.dispatch_sleeps,
+              server.core_parks, server.node.cpu.frequency_ratio))
         feed(f"membership[{server.server_id}]",
              (server.server_list_version, server.fenced, server.fenced_at,
               server.writes_completed_at_fence, server.replicas_lost,
@@ -487,3 +491,78 @@ class TestDegradedDiskRecovery:
         assert degraded.recovery_time > 1.5 * baseline.recovery_time
         assert [d for _, d in degraded.fault_log][-1] == \
             "crash-server server0"
+
+
+def run_parked_wake_crash_scenario(seed=7):
+    """ISSUE 5 satellite: kill a master in the middle of a parked-core
+    wake.  The whole cluster is flipped to the poll-adaptive governor
+    mid-run (dispatch threads sleeping, worker cores parked); a write
+    then wakes server0 — with ``core_wake_latency`` stretched to 10 ms
+    the crash at t=2.005 lands inside the wake window, between
+    ``unpark_core()`` and the first instruction of request handling.
+    Recovery must still complete with zero lost segments, the write must
+    be acknowledged exactly once against the new owner, and a rerun must
+    digest byte-identically (the power path draws no randomness).
+    """
+    cluster = build_cluster(num_servers=4, num_clients=1,
+                            replication_factor=2, seed=seed,
+                            failure_detection=True,
+                            core_wake_latency=0.01)
+    table_id = cluster.create_table("t")
+    cluster.preload(table_id, 200, 512)
+    span = 4
+    key = next(f"user{i}" for i in range(100)
+               if key_hash(f"user{i}") % span == 0)  # owned by server0
+    injector = cluster.inject_faults(FaultSchedule((
+        FaultEntry(at=0.5, action=SetGovernor("poll-adaptive")),
+        FaultEntry(at=2.005, action=CrashServer(index=0)),
+    )))
+    client = cluster.clients[0]
+    outcome = {"table_id": table_id, "key": key}
+
+    def script():
+        yield from client.refresh_map()
+        yield cluster.sim.timeout(2.0)
+        # By now server0's dispatch thread sleeps and its workers are
+        # parked; this write starts the 10 ms wake the crash interrupts.
+        outcome["version"] = yield from client.write(table_id, key, 64,
+                                                     value=b"wake-crash")
+        value, version, _size = yield from client.read(table_id, key)
+        outcome["read"] = (value, version)
+
+    cluster.sim.process(script(), name="wake-crash-client")
+    run_until_recovered(cluster, expected=1)
+    cluster.run(until=cluster.sim.now + 5.0)
+    return cluster, injector, outcome
+
+
+class TestParkedWakeCrash:
+    def test_crash_during_wake_recovers_without_loss(self):
+        cluster, injector, outcome = run_parked_wake_crash_scenario()
+        assert injector.applied[0] == \
+            (0.5, "set-governor poll-adaptive on all")
+        # The governor actually engaged before the crash: the victim
+        # slept its dispatch thread and parked worker cores.
+        victim = cluster.servers[0]
+        assert victim.killed
+        assert victim.dispatch_sleeps > 0
+        assert victim.core_parks > 0
+        # Recovery completed with RF=2 protection intact.
+        (stats,) = cluster.coordinator.recoveries
+        assert stats.finished_at is not None
+        assert stats.lost_segments == 0
+        # The interrupted write was acknowledged exactly once and reads
+        # back with its acknowledged version on the new owner.
+        assert outcome["read"] == (b"wake-crash", outcome["version"])
+        # The write overwrote one preloaded record: every record is
+        # still indexed on exactly one live master.
+        total = sum(len(s.hashtable) for s in cluster.servers
+                    if not s.killed)
+        assert total == 200
+        first = scenario_digest(cluster, injector)
+        drain_and_check(cluster)
+
+        rerun_cluster, rerun_injector, _ = run_parked_wake_crash_scenario()
+        second = scenario_digest(rerun_cluster, rerun_injector)
+        drain_and_check(rerun_cluster)
+        assert first == second

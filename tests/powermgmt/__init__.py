@@ -1,0 +1,1 @@
+"""Tests for the adaptive power-management subsystem (docs/POWER.md)."""

@@ -1,0 +1,165 @@
+"""Unit tests for the per-node PowerManager governors."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.hardware.node import Node
+from repro.hardware.specs import GRID5000_NANCY_NODE, MB
+from repro.powermgmt import PowerManager, PowerPolicy
+from repro.ramcloud.config import ServerConfig
+from repro.sim.distributions import RandomStream
+from repro.sim.kernel import Simulator
+
+
+class StubServer:
+    """Just enough server for a PowerManager: the power-mode knob."""
+
+    def __init__(self):
+        self.dispatch_mode = "poll"
+        self.core_parking = False
+
+    def set_power_mode(self, dispatch_mode=None, core_parking=None):
+        if dispatch_mode is not None:
+            self.dispatch_mode = dispatch_mode
+        if core_parking is not None:
+            self.core_parking = core_parking
+
+
+def make_manager(governor="static", **policy_overrides):
+    sim = Simulator()
+    node = Node(sim, GRID5000_NANCY_NODE, "node0")
+    server = StubServer()
+    policy = PowerPolicy(governor=governor, **policy_overrides)
+    manager = PowerManager(sim, node, server, policy,
+                           RandomStream(1, "powermgmt-test"))
+    return sim, node, server, manager
+
+
+class TestStatic:
+    def test_static_creates_no_process_and_touches_nothing(self):
+        sim, node, server, manager = make_manager("static")
+        sim.run(until=1.0)
+        assert node.cpu.frequency_ratio == 1.0
+        assert server.dispatch_mode == "poll"
+        assert not server.core_parking
+        assert len(manager.freq_series) == 0
+
+
+class TestOndemand:
+    def test_idle_node_walks_down_to_lowest_step(self):
+        sim, node, _server, _manager = make_manager("ondemand")
+        # An idle node (0 % utilization, below down_threshold) steps
+        # down one P-state per 0.1 s sample: nominal -> floor by t=1.
+        sim.run(until=1.0)
+        assert node.cpu.frequency_ratio == pytest.approx(
+            node.spec.cpu.freq_steps[0])
+
+    def test_load_races_to_top_step(self):
+        sim, node, _server, manager = make_manager("ondemand")
+        cpu = node.cpu
+        sim.run(until=0.6)  # settle at the floor first
+        assert cpu.frequency_ratio < 1.0
+
+        def burn():
+            # Saturate all cores well past the next samples.  At the
+            # floor ratio the wall time stretches, which is fine — the
+            # governor reads utilization, not progress.
+            yield from cpu.execute(1.0)
+
+        for _ in range(cpu.cores):
+            sim.process(burn())
+        sim.run(until=0.9)
+        # 100 % > up_threshold: one sample jumps straight to nominal
+        # (race-to-idle), not one step at a time.
+        assert cpu.frequency_ratio == 1.0
+        ratios = [v for _, v in manager.freq_series.items()]
+        assert ratios[-1] == 1.0
+        assert 1.0 not in ratios[:-1]  # got there in a single jump
+
+    def test_stop_halts_the_sampler(self):
+        sim, node, _server, manager = make_manager("ondemand")
+        sim.run(until=0.35)
+        ratio = node.cpu.frequency_ratio
+        manager.stop()
+        sim.run(until=2.0)
+        # No further decisions after stop (hardware left as-is).
+        assert node.cpu.frequency_ratio == ratio
+
+
+class TestPollAdaptive:
+    def test_flips_server_power_mode(self):
+        _sim, node, server, _manager = make_manager("poll-adaptive")
+        assert server.dispatch_mode == "adaptive"
+        assert server.core_parking
+        assert node.cpu.frequency_ratio == 1.0  # DVFS untouched
+
+    def test_policy_can_disable_parking(self):
+        _sim, _node, server, _manager = make_manager("poll-adaptive",
+                                                     core_parking=False)
+        assert server.dispatch_mode == "adaptive"
+        assert not server.core_parking
+
+
+class TestGovernorSwitching:
+    def test_switch_to_static_restores_defaults(self):
+        sim, node, server, manager = make_manager("ondemand")
+        sim.run(until=0.6)
+        assert node.cpu.frequency_ratio < 1.0
+        manager.set_governor("poll-adaptive")
+        assert node.cpu.frequency_ratio == 1.0  # teardown reset DVFS
+        assert server.dispatch_mode == "adaptive"
+        manager.set_governor("static")
+        assert server.dispatch_mode == "poll"
+        assert not server.core_parking
+
+    def test_switch_is_noop_when_already_active(self):
+        sim, _node, server, manager = make_manager("poll-adaptive")
+        server.dispatch_mode = "sentinel"  # would be clobbered by a re-apply
+        manager.set_governor("poll-adaptive")
+        assert server.dispatch_mode == "sentinel"
+
+    def test_unknown_governor_rejected(self):
+        _sim, _node, _server, manager = make_manager()
+        with pytest.raises(ValueError, match="governor"):
+            manager.set_governor("performance")
+
+
+def build_cluster(num_servers=1, **spec_overrides):
+    config = ServerConfig(log_memory_bytes=16 * MB, segment_size=1 * MB,
+                          replication_factor=0)
+    return Cluster(ClusterSpec(num_servers=num_servers, num_clients=0,
+                               server_config=config, seed=1,
+                               **spec_overrides))
+
+
+class TestClusterWiring:
+    def test_default_policy_builds_no_machinery(self):
+        cluster = build_cluster()
+        assert cluster.power_managers == []
+        assert cluster.admission_throttle is None
+        assert cluster.power_cap is None
+
+    def test_ondemand_cluster_downclocks_idle_servers(self):
+        cluster = build_cluster(
+            num_servers=2, power_policy=PowerPolicy(governor="ondemand"))
+        assert len(cluster.power_managers) == 2
+        # The dispatch core busy-polls at 25 % on 4 cores — below the
+        # 30 % down_threshold, so every node walks to the floor.
+        cluster.run(until=1.0)
+        for node in cluster.server_nodes:
+            assert node.cpu.frequency_ratio == pytest.approx(
+                node.spec.cpu.freq_steps[0])
+        cluster.shutdown()
+
+    def test_set_governor_lazily_creates_managers(self):
+        cluster = build_cluster(num_servers=2)
+        assert cluster.power_managers == []
+        cluster.set_governor("poll-adaptive")
+        assert len(cluster.power_managers) == 2
+        assert all(s.dispatch_mode == "adaptive" for s in cluster.servers)
+
+    def test_set_governor_single_index(self):
+        cluster = build_cluster(num_servers=2)
+        cluster.set_governor("poll-adaptive", index=1)
+        assert cluster.servers[0].dispatch_mode == "poll"
+        assert cluster.servers[1].dispatch_mode == "adaptive"

@@ -1,0 +1,71 @@
+"""Unit tests for PowerPolicy validation and defaults."""
+
+import pytest
+
+from repro.powermgmt import GOVERNORS, PowerPolicy
+
+
+class TestValidation:
+    def test_defaults_are_the_paper_machine(self):
+        policy = PowerPolicy()
+        assert policy.governor == "static"
+        assert policy.power_cap_watts is None
+        assert policy.is_default
+
+    def test_unknown_governor_rejected(self):
+        with pytest.raises(ValueError, match="governor"):
+            PowerPolicy(governor="turbo")
+
+    def test_all_declared_governors_accepted(self):
+        for name in GOVERNORS:
+            assert PowerPolicy(governor=name).governor == name
+
+    @pytest.mark.parametrize("field", ["sample_interval", "cap_interval"])
+    def test_intervals_must_be_positive(self, field):
+        with pytest.raises(ValueError, match="positive"):
+            PowerPolicy(**{field: 0.0})
+
+    @pytest.mark.parametrize("down,up", [
+        (-1.0, 70.0),   # below range
+        (70.0, 70.0),   # not strictly ordered
+        (80.0, 70.0),   # inverted
+        (30.0, 101.0),  # above range
+    ])
+    def test_threshold_ordering_enforced(self, down, up):
+        with pytest.raises(ValueError, match="thresholds"):
+            PowerPolicy(down_threshold=down, up_threshold=up)
+
+    def test_power_cap_must_be_positive(self):
+        with pytest.raises(ValueError, match="cap"):
+            PowerPolicy(power_cap_watts=0.0)
+
+    def test_hysteresis_cannot_be_negative(self):
+        with pytest.raises(ValueError, match="hysteresis"):
+            PowerPolicy(cap_hysteresis_watts=-1.0)
+
+
+class TestIsDefault:
+    def test_nonstatic_governor_is_not_default(self):
+        assert not PowerPolicy(governor="ondemand").is_default
+        assert not PowerPolicy(governor="poll-adaptive").is_default
+
+    def test_cap_alone_is_not_default(self):
+        assert not PowerPolicy(power_cap_watts=200.0).is_default
+
+    def test_tuning_knobs_do_not_break_default(self):
+        # Threshold tweaks without an active governor or cap still need
+        # no controller machinery.
+        assert PowerPolicy(sample_interval=0.5, up_threshold=90.0).is_default
+
+
+class TestWith:
+    def test_with_replaces_and_preserves(self):
+        base = PowerPolicy(up_threshold=80.0)
+        derived = base.with_(governor="ondemand")
+        assert derived.governor == "ondemand"
+        assert derived.up_threshold == 80.0
+        assert base.governor == "static"  # frozen original untouched
+
+    def test_with_revalidates(self):
+        with pytest.raises(ValueError):
+            PowerPolicy().with_(governor="nope")

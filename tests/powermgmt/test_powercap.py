@@ -1,0 +1,108 @@
+"""Unit tests for the admission throttle and power-cap controller."""
+
+import math
+
+import pytest
+
+from repro.cluster import AdmissionThrottle, Cluster, ClusterSpec
+from repro.cluster.powercap import PowerCapController
+from repro.hardware.specs import MB
+from repro.powermgmt import PowerPolicy
+from repro.ramcloud.config import ServerConfig
+from repro.sim.kernel import Simulator
+
+
+class TestAdmissionThrottle:
+    def test_disengaged_reserve_is_free(self):
+        throttle = AdmissionThrottle(Simulator())
+        assert math.isinf(throttle.rate)
+        assert throttle.reserve() == 0.0
+        assert throttle.reserve() == 0.0  # no slot state accumulates
+
+    def test_rate_spaces_slots_evenly(self):
+        throttle = AdmissionThrottle(Simulator())
+        throttle.set_rate(100.0)
+        # All claimed at t=0: the first slot is now, then 10 ms apart.
+        delays = [throttle.reserve() for _ in range(3)]
+        assert delays == pytest.approx([0.0, 0.01, 0.02])
+
+    def test_slots_do_not_bank_idle_time(self):
+        sim = Simulator()
+        throttle = AdmissionThrottle(sim)
+        throttle.set_rate(10.0)
+
+        def scenario():
+            throttle.reserve()
+            yield sim.timeout(5.0)  # long idle gap
+            return throttle.reserve()
+
+        # After the gap the next slot is "now", not a burst of banked
+        # slots — token-bucket depth is one.
+        assert sim.run_process(sim.process(scenario())) == 0.0
+
+    def test_rate_must_be_positive(self):
+        throttle = AdmissionThrottle(Simulator())
+        with pytest.raises(ValueError, match="positive"):
+            throttle.set_rate(0.0)
+
+
+def build_capped_cluster(cap_watts, num_servers=2, cap_interval=0.05):
+    config = ServerConfig(log_memory_bytes=16 * MB, segment_size=1 * MB,
+                          replication_factor=0)
+    policy = PowerPolicy(power_cap_watts=cap_watts,
+                         cap_interval=cap_interval)
+    return Cluster(ClusterSpec(num_servers=num_servers, num_clients=0,
+                               server_config=config, seed=1,
+                               power_policy=policy))
+
+
+class TestPowerCapController:
+    def test_requires_a_cap(self):
+        cluster = build_capped_cluster(200.0)
+        with pytest.raises(ValueError, match="cap"):
+            PowerCapController(cluster.sim, cluster.server_nodes,
+                               cluster.servers, cluster.admission_throttle,
+                               PowerPolicy())
+
+    def test_unreachable_cap_throttles_to_the_floor(self):
+        # Two idle servers draw ~149.5 W from busy-polling alone; a
+        # 100 W cap can never be met, so the controller must bottom out
+        # at the forward-progress floor instead of throttling to zero.
+        cluster = build_capped_cluster(100.0)
+        cluster.run(until=1.0)
+        floor = PowerCapController.MIN_RATE_PER_SERVER * 2
+        assert cluster.admission_throttle.rate == pytest.approx(floor)
+        assert len(cluster.power_cap.watts_series) > 0
+        assert min(v for _, v in cluster.power_cap.watts_series.items()) > 100.0
+        cluster.shutdown()
+
+    def test_generous_cap_stays_disengaged(self):
+        # Idle draw is far below the cap: the throttle never engages.
+        cluster = build_capped_cluster(400.0)
+        cluster.run(until=1.0)
+        assert math.isinf(cluster.admission_throttle.rate)
+        cluster.shutdown()
+
+    def test_set_power_cap_none_lifts_the_cap(self):
+        cluster = build_capped_cluster(100.0)
+        cluster.run(until=0.5)
+        assert not math.isinf(cluster.admission_throttle.rate)
+        cluster.set_power_cap(None)
+        assert cluster.power_cap is None
+        assert math.isinf(cluster.admission_throttle.rate)
+        cluster.run(until=1.0)  # lifted controller stays gone
+        assert cluster.power_cap is None
+        cluster.shutdown()
+
+    def test_set_power_cap_on_default_cluster_creates_controller(self):
+        config = ServerConfig(log_memory_bytes=16 * MB, segment_size=1 * MB,
+                              replication_factor=0)
+        cluster = Cluster(ClusterSpec(num_servers=2, num_clients=0,
+                                      server_config=config, seed=1))
+        assert cluster.power_cap is None
+        cluster.set_power_cap(100.0)
+        assert cluster.power_cap is not None
+        cluster.run(until=1.0)
+        floor = PowerCapController.MIN_RATE_PER_SERVER * 2
+        assert cluster.admission_throttle.rate == pytest.approx(floor)
+        cluster.shutdown()
