@@ -10,6 +10,9 @@ is fatal for a measurement-study reproduction.
 ``simlint`` (this package) machine-checks those idioms:
 
 * :mod:`repro.analyze.rules` — the SIM001–SIM005 rule implementations;
+* :mod:`repro.analyze.perfrules` — the PERF001–PERF005 hot-path rules,
+  scoped by :mod:`repro.analyze.profilehot` to the benchmark's
+  cProfile hot set (``python -m repro.analyze --perf``);
 * :mod:`repro.analyze.linter` — file walking, suppression comments,
   the cross-file generator index;
 * ``python -m repro.analyze [paths]`` — the CLI, non-zero exit on
@@ -26,13 +29,18 @@ from repro.analyze.linter import (
     analyze_source,
     iter_python_files,
 )
+from repro.analyze.perfrules import PERF_RULE_CODES, PERF_RULES
+from repro.analyze.profilehot import HotSet
 from repro.analyze.rules import ALL_RULES, RULE_CODES
 
 __all__ = [
     "Finding",
+    "HotSet",
     "analyze_paths",
     "analyze_source",
     "iter_python_files",
     "ALL_RULES",
     "RULE_CODES",
+    "PERF_RULES",
+    "PERF_RULE_CODES",
 ]

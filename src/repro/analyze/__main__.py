@@ -21,7 +21,13 @@ import sys
 from typing import List, Optional
 
 from repro.analyze.linter import analyze_paths
-from repro.analyze.rules import RULE_CODES
+from repro.analyze.perfrules import PERF_RULE_CODES, PERF_RULES
+from repro.analyze.profilehot import HotSet
+from repro.analyze.rules import ALL_RULES, RULE_CODES
+
+# Every selectable rule: the SIM correctness rules plus the PERF
+# hot-path rules (run by default only with --perf or --select).
+_ALL_CODES = {**RULE_CODES, **PERF_RULE_CODES}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -34,7 +40,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="files or directories to lint (default: src)")
     parser.add_argument("--select", metavar="CODES",
                         help="comma-separated rule codes to run "
-                             "(e.g. SIM002,SIM003); default: all")
+                             "(e.g. SIM002,PERF003); default: all SIM rules")
+    parser.add_argument("--perf", action="store_true",
+                        help="also run the PERF001-PERF005 hot-path rules")
+    parser.add_argument("--profile-json", metavar="PATH",
+                        help="scope the PERF rules to the hot set of this "
+                             "bench_kernel.py --profile-json dump")
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="output format (default: text)")
     parser.add_argument("--list-rules", action="store_true",
@@ -42,20 +53,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for code in sorted(RULE_CODES):
-            doc = (RULE_CODES[code].__doc__ or "").strip().splitlines()[0]
+        for code in sorted(_ALL_CODES):
+            doc = (_ALL_CODES[code].__doc__ or "").strip().splitlines()[0]
             print(f"{code}  {doc}")
         return 0
 
     rules = None
     if args.select:
         codes = [c.strip().upper() for c in args.select.split(",") if c.strip()]
-        unknown = [c for c in codes if c not in RULE_CODES]
+        unknown = [c for c in codes if c not in _ALL_CODES]
         if unknown:
             print(f"unknown rule code(s): {', '.join(unknown)}",
                   file=sys.stderr)
             return 2
-        rules = [RULE_CODES[c] for c in codes]
+        rules = [_ALL_CODES[c] for c in codes]
+    elif args.perf:
+        rules = list(ALL_RULES) + list(PERF_RULES)
+
+    hotset = None
+    if args.profile_json:
+        if not os.path.exists(args.profile_json):
+            print(f"error: no such profile: {args.profile_json}",
+                  file=sys.stderr)
+            return 2
+        hotset = HotSet.load(args.profile_json)
 
     missing = [p for p in args.paths if not os.path.exists(p)]
     if missing:
@@ -65,7 +86,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     try:
-        findings, errors = analyze_paths(args.paths, rules=rules)
+        findings, errors = analyze_paths(args.paths, rules=rules,
+                                         hotset=hotset)
     except FileNotFoundError as exc:  # raced away after the check above
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -268,6 +268,12 @@ class CallGraphIndex:
                 summary = FunctionSummary(module, func)
                 self.summaries.append(summary)
                 self.by_name.setdefault(summary.name, []).append(summary)
+        # Class name → every project definition declares __slots__
+        # (PERF001 needs to know whether a *base* is slotted: a
+        # __dict__-carrying base makes slots in the subclass cosmetic).
+        self._class_slots: Dict[str, bool] = {}
+        for module in sorted(modules, key=lambda m: m.path):
+            self._index_class_slots(module)
         self._propagate_may_yield()
         self._spawner_names = self._propagate_spawners()
         self._acquires_by_name = self._propagate_acquires()
@@ -276,7 +282,25 @@ class CallGraphIndex:
                               List[Tuple[str, int, str]]] = {}
         self._collect_lock_pairs()
 
+    def _index_class_slots(self, module: Module) -> None:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            has = any(
+                isinstance(target, ast.Name) and target.id == "__slots__"
+                for stmt in node.body
+                if isinstance(stmt, (ast.Assign, ast.AnnAssign))
+                for target in (stmt.targets if isinstance(stmt, ast.Assign)
+                               else [stmt.target]))
+            previous = self._class_slots.get(node.name, True)
+            self._class_slots[node.name] = previous and has
+
     # -- queries -----------------------------------------------------------
+
+    def class_has_slots(self, name: str) -> bool:
+        """True when every project definition of class ``name``
+        declares ``__slots__`` (unknown names are False)."""
+        return self._class_slots.get(name, False)
 
     def may_yield_name(self, name: str) -> bool:
         """True when every known definition of ``name`` can suspend the

@@ -119,6 +119,10 @@ class Module:
     # Project-wide may-yield / lock summaries (repro.analyze.callgraph.
     # CallGraphIndex), attached by the driver for SIM006–SIM008.
     callgraph: Optional[object] = None
+    # Benchmark hot set (repro.analyze.profilehot.HotSet), attached by
+    # the driver when a profile was supplied; None = PERF rules run
+    # unscoped.
+    hotset: Optional[object] = None
 
     @classmethod
     def parse(cls, source: str, path: str) -> "Module":
@@ -245,13 +249,17 @@ def _run_rules(module: Module, rules: Iterable) -> List[Finding]:
 
 def analyze_source(source: str, path: str = "<string>",
                    rules: Optional[Iterable] = None,
-                   index: Optional[GeneratorIndex] = None) -> List[Finding]:
+                   index: Optional[GeneratorIndex] = None,
+                   hotset: Optional[object] = None) -> List[Finding]:
     """Lint one source string (the unit-test entry point)."""
     from repro.analyze.callgraph import CallGraphIndex
     from repro.analyze.rules import ALL_RULES
     module = Module.parse(source, path)
     module.index = index or _index_of([module])
     module.callgraph = CallGraphIndex([module])
+    module.hotset = hotset
+    if hotset is not None:
+        hotset.expand(module.callgraph)
     return _run_rules(module, rules if rules is not None else ALL_RULES)
 
 
@@ -263,12 +271,16 @@ def _index_of(modules: Sequence[Module]) -> GeneratorIndex:
 
 
 def analyze_paths(paths: Sequence[str],
-                  rules: Optional[Iterable] = None
+                  rules: Optional[Iterable] = None,
+                  hotset: Optional[object] = None
                   ) -> Tuple[List[Finding], List[str]]:
     """Lint files/directories.
 
     Returns ``(findings, errors)`` where ``errors`` are files that
     could not be read or parsed (reported, never silently skipped).
+    ``hotset`` (a :class:`repro.analyze.profilehot.HotSet`) scopes the
+    PERF rules to profiled-hot code; it is expanded one call-graph
+    level before the rules run.
     """
     from repro.analyze.callgraph import CallGraphIndex
     from repro.analyze.rules import ALL_RULES
@@ -283,10 +295,13 @@ def analyze_paths(paths: Sequence[str],
             errors.append(f"{path}: {exc}")
     index = _index_of(modules)
     callgraph = CallGraphIndex(modules)
+    if hotset is not None:
+        hotset.expand(callgraph)
     findings: List[Finding] = []
     for module in modules:
         module.index = index
         module.callgraph = callgraph
+        module.hotset = hotset
         findings.extend(_run_rules(module,
                                    rules if rules is not None else ALL_RULES))
     return sorted(findings), errors

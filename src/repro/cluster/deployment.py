@@ -56,7 +56,7 @@ class ClusterSpec:
         return replace(self, **overrides)
 
 
-class Cluster:
+class Cluster:  # simlint: disable=PERF001 one per run; __dict__ cost is amortized
     """A running simulated deployment."""
 
     def __init__(self, spec: ClusterSpec):

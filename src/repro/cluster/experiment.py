@@ -61,6 +61,9 @@ class ExperimentResult:
     client_errors: int = 0
     clients_gave_up: int = 0
     crashed: bool = False  # the paper's "experiments were always crashing"
+    # Kernel events scheduled over the whole run (preload included) —
+    # the work unit tools/bench_kernel.py divides wall time by.
+    sim_events: int = 0
     # Runtime lockset race reports (debug mode only; execution order,
     # which is deterministic under a fixed seed).  Empty otherwise.
     race_reports: List[str] = field(default_factory=list)
@@ -124,6 +127,7 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
 
     makespan = max(end - start, 1e-12)
     result = ExperimentResult(spec=spec)
+    result.sim_events = cluster.sim._seq
     if cluster.sim._sanitizer is not None:
         result.race_reports = list(cluster.sim._sanitizer.races.reports)
     result.makespan = makespan

@@ -43,6 +43,10 @@ __all__ = ["Cpu"]
 class Cpu:
     """A multi-core CPU shared by all threads of a simulated machine."""
 
+    __slots__ = ("sim", "cores", "name", "_pinned", "_pinned_idle",
+                 "_active", "_spinning", "_parked", "_freq_ratio",
+                 "_pool", "utilization")
+
     def __init__(self, sim: Simulator, cores: int, name: str = ""):
         if cores < 1:
             raise ValueError(f"cores must be >= 1, got {cores}")
@@ -220,6 +224,25 @@ class Cpu:
             self._update_busy()
             self._pool.release(req)
 
+    def spin_begin(self) -> None:
+        """Account one more busy-polling thread (see :meth:`spinning`).
+
+        The ``spin_begin()/try: yield ...: finally: spin_end()`` pair is
+        the flattened form of ``yield from cpu.spinning(...)`` for
+        waits on a *single event*: it burns no wrapper generator frame
+        on each resume.  Use :meth:`spinning` when the wrapped wait is
+        itself a multi-step generator (an RPC call pipeline).
+        """
+        self._spinning += 1
+        self._update_busy()
+
+    def spin_end(self) -> None:
+        """End one :meth:`spin_begin` interval."""
+        # Each += / -= is atomic within its step; the gauge is *meant*
+        # to span the caller's yield (that is the spin interval).
+        self._spinning -= 1  # simlint: disable=SIM006 gauge
+        self._update_busy()
+
     def spinning(self, inner: Generator) -> Generator:
         """Run ``inner`` (usually an RPC wait) while this thread
         busy-polls: ``result = yield from cpu.spinning(call)``.
@@ -230,15 +253,11 @@ class Cpu:
         polling, not useful work.  Spinning is accounting-only: it burns
         utilization (and therefore watts) but never delays real work.
         """
-        self._spinning += 1
-        self._update_busy()
+        self.spin_begin()
         try:
             result = yield from inner
         finally:
-            # Each += / -= is atomic within its step; the gauge is
-            # *meant* to span the yield (that is the spin interval).
-            self._spinning -= 1  # simlint: disable=SIM006 gauge
-            self._update_busy()
+            self.spin_end()
         return result
 
     def execute_sliced(self, seconds: float, slice_seconds: float = 2e-3

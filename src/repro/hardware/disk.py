@@ -107,14 +107,22 @@ class Disk:
 
     def read(self, nbytes: int, stream_id: object = None,
              priority: int = 0) -> Generator:
-        """``yield from disk.read(n)`` — read ``n`` bytes."""
-        yield from self._io(nbytes, "read", stream_id, priority)
+        """``yield from disk.read(n)`` — read ``n`` bytes.
+
+        Returns ``_io``'s generator directly (no ``yield from``
+        trampoline): the caller drives it without an extra frame per
+        resume.
+        """
+        return self._io(nbytes, "read", stream_id, priority)
 
     def write(self, nbytes: int, stream_id: object = None,
               priority: int = 0) -> Generator:
         """``yield from disk.write(n)`` — write ``n`` bytes (space is
-        accounted separately by the caller via :attr:`space`)."""
-        yield from self._io(nbytes, "write", stream_id, priority)
+        accounted separately by the caller via :attr:`space`).
+
+        Returns ``_io``'s generator directly, like :meth:`read`.
+        """
+        return self._io(nbytes, "write", stream_id, priority)
 
     def io_counters(self) -> tuple:
         """Cumulative ``(bytes_read, bytes_written)`` — the PDU-style

@@ -34,7 +34,7 @@ class NetworkPartitioned(NodeUnreachable):
     """
 
 
-class Fabric:
+class Fabric:  # simlint: disable=PERF001 one per run; __dict__ cost is amortized
     """The switch connecting every node in the testbed."""
 
     def __init__(self, sim: Simulator):

@@ -36,7 +36,7 @@ WRITE_OVERHEAD_BYTES = 64
 RESPONSE_OVERHEAD_BYTES = 64
 
 
-class RamCloudClient:
+class RamCloudClient:  # simlint: disable=PERF001 O(clients) service object; __dict__ cost is amortized
     """One application's connection to the cluster."""
 
     def __init__(self, sim: Simulator, node: Node, coordinator: Coordinator,
@@ -120,15 +120,17 @@ class RamCloudClient:
     # -- data path ---------------------------------------------------------
 
     def _with_retries(self, op: str, table_id: int, key: str,
-                      attempt) -> Generator:
-        """Run ``attempt(master, span)`` with the standard retry loop."""
+                      attempt, args=()) -> Generator:
+        """Run ``attempt(master, span, *args)`` with the standard retry
+        loop.  ``attempt`` is a bound method (not a per-operation
+        closure: the data path allocates one of these per op)."""
         if self._map is None:
             yield from self.refresh_map()
         tries = 0
         while True:
             try:
                 master, span = self._route(table_id, key)
-                result = yield from attempt(master, span)
+                result = yield from attempt(master, span, *args)
                 self.ops_done += 1
                 return result
             except (ObjectDoesntExist, TableDoesntExist):
@@ -150,19 +152,19 @@ class RamCloudClient:
             yield self.sim.timeout(self._backoff_delay(tries))
             yield from self.refresh_map()
 
+    def _read_attempt(self, master, span, table_id, key):
+        return master.call(
+            self.node, "read", args=(table_id, key, span, self._epoch),
+            size_bytes=READ_REQUEST_BYTES,
+            response_bytes=RESPONSE_OVERHEAD_BYTES
+            + self._expected_size(table_id, key),
+            timeout=self.rpc_timeout,
+        )
+
     def read(self, table_id: int, key: str) -> Generator:
         """Read one object; returns ``(value, version, value_size)``."""
-
-        def attempt(master, span):
-            return master.call(
-                self.node, "read", args=(table_id, key, span, self._epoch),
-                size_bytes=READ_REQUEST_BYTES,
-                response_bytes=RESPONSE_OVERHEAD_BYTES
-                + self._expected_size(table_id, key),
-                timeout=self.rpc_timeout,
-            )
-
-        return self._with_retries("read", table_id, key, attempt)
+        return self._with_retries("read", table_id, key,
+                                  self._read_attempt, (table_id, key))
 
     def _expected_size(self, table_id: int, key: str) -> int:
         # The response size is only known server-side; use a nominal
@@ -180,17 +182,20 @@ class RamCloudClient:
         :class:`~repro.ramcloud.errors.StaleVersion` is raised.
         """
 
-        def attempt(master, span):
-            return master.call(
-                self.node, "write",
-                args=(table_id, key, value_size, value, span,
-                      expected_version, self._epoch),
-                size_bytes=WRITE_OVERHEAD_BYTES + value_size,
-                response_bytes=RESPONSE_OVERHEAD_BYTES,
-                timeout=self.rpc_timeout,
-            )
+        return self._with_retries(
+            "write", table_id, key, self._write_attempt,
+            (table_id, key, value_size, value, expected_version))
 
-        return self._with_retries("write", table_id, key, attempt)
+    def _write_attempt(self, master, span, table_id, key, value_size,
+                       value, expected_version):
+        return master.call(
+            self.node, "write",
+            args=(table_id, key, value_size, value, span,
+                  expected_version, self._epoch),
+            size_bytes=WRITE_OVERHEAD_BYTES + value_size,
+            response_bytes=RESPONSE_OVERHEAD_BYTES,
+            timeout=self.rpc_timeout,
+        )
 
     def multiread(self, table_id: int, keys) -> Generator:
         """Batched read of many keys (RAMCloud's MultiRead).
@@ -207,9 +212,12 @@ class RamCloudClient:
             return {}
         table = self._map.tables_by_id[table_id]
 
+        sim = self.sim
         tries = 0
         while True:
-            by_master = {}
+            # Rebuilt per retry on purpose: a failed attempt refreshes
+            # the tablet map, which can regroup every key.
+            by_master = {}  # simlint: disable=PERF002 regrouped per retry after remap
             for key in keys:
                 tablet = self._map.tablet_for_key(table_id, key)
                 server_id = tablet.owner_for_key(key, table.span)
@@ -223,7 +231,7 @@ class RamCloudClient:
                 request_bytes = READ_REQUEST_BYTES + 32 * len(batch)
                 response_bytes = (RESPONSE_OVERHEAD_BYTES
                                   + 1024 * len(batch))
-                calls.append(self.sim.process(
+                calls.append(sim.process(
                     master.call(self.node, "multiread",
                                 args=(table_id, batch, table.span,
                                       self._epoch),
@@ -231,10 +239,10 @@ class RamCloudClient:
                                 response_bytes=response_bytes,
                                 timeout=self.rpc_timeout)))
             if calls is not None:
-                gathered = self.sim.all_of(calls)
+                gathered = sim.all_of(calls)
                 try:
                     yield gathered
-                    merged = {}
+                    merged = {}  # simlint: disable=PERF002 fresh result per retry
                     for call in calls:
                         merged.update(call.value)
                     self.ops_done += len(keys)
@@ -250,16 +258,16 @@ class RamCloudClient:
             yield self.sim.timeout(self._backoff_delay(tries))
             yield from self.refresh_map()
 
+    def _delete_attempt(self, master, span, table_id, key):
+        return master.call(
+            self.node, "delete",
+            args=(table_id, key, span, self._epoch),
+            size_bytes=READ_REQUEST_BYTES,
+            response_bytes=RESPONSE_OVERHEAD_BYTES,
+            timeout=self.rpc_timeout,
+        )
+
     def delete(self, table_id: int, key: str) -> Generator:
         """Delete one object; returns the tombstone's version."""
-
-        def attempt(master, span):
-            return master.call(
-                self.node, "delete",
-                args=(table_id, key, span, self._epoch),
-                size_bytes=READ_REQUEST_BYTES,
-                response_bytes=RESPONSE_OVERHEAD_BYTES,
-                timeout=self.rpc_timeout,
-            )
-
-        return self._with_retries("delete", table_id, key, attempt)
+        return self._with_retries("delete", table_id, key,
+                                  self._delete_attempt, (table_id, key))

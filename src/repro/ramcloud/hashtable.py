@@ -25,6 +25,8 @@ class HashTable:
     per-key accesses for the debug-mode race detector.
     """
 
+    __slots__ = ("_index", "race")
+
     def __init__(self):
         self._index: Dict[Tuple[int, str], Tuple[Segment, LogEntry]] = {}
         self.race = NULL_SHARED
@@ -34,14 +36,16 @@ class HashTable:
 
     def lookup(self, table_id: int, key: str) -> Optional[Tuple[Segment, LogEntry]]:
         """The live (segment, entry) for a key, or None."""
-        self.race.read(f"t{table_id}/{key}")
+        if self.race.enabled:
+            self.race.read(f"t{table_id}/{key}")
         return self._index.get((table_id, key))
 
     def insert(self, table_id: int, key: str, segment: Segment,
                entry: LogEntry) -> Optional[LogEntry]:
         """Point (table, key) at a new entry; returns the displaced
         entry (now dead) if the key existed."""
-        self.race.write(f"t{table_id}/{key}")
+        if self.race.enabled:
+            self.race.write(f"t{table_id}/{key}")
         old = self._index.get((table_id, key))
         self._index[(table_id, key)] = (segment, entry)
         if old is not None:
@@ -52,7 +56,8 @@ class HashTable:
 
     def remove(self, table_id: int, key: str) -> Optional[LogEntry]:
         """Drop the index entry (object deleted); returns the dead entry."""
-        self.race.write(f"t{table_id}/{key}")
+        if self.race.enabled:
+            self.race.write(f"t{table_id}/{key}")
         old = self._index.pop((table_id, key), None)
         if old is None:
             return None

@@ -36,6 +36,10 @@ class Log:
     # "survivor" segments for exactly this reason).
     RESERVED_SEGMENTS = 2
 
+    __slots__ = ("config", "segment_size", "max_segments", "_on_open",
+                 "_on_close", "race", "segments", "_next_segment_id",
+                 "head", "appended_bytes")
+
     def __init__(self, config: ServerConfig,
                  on_open: Optional[Callable[[Segment], Tuple[str, ...]]] = None,
                  on_close: Optional[Callable[[Segment], None]] = None):

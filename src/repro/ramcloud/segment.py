@@ -106,7 +106,8 @@ class Segment:
                 f"entry of {entry.log_bytes}B does not fit in segment "
                 f"{self.segment_id} ({self.free_bytes}B free)"
             )
-        self.race.write(f"seg{self.segment_id}")
+        if self.race.enabled:
+            self.race.write(f"seg{self.segment_id}")
         self.entries.append(entry)
         self.bytes_used += entry.log_bytes
 

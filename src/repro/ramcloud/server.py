@@ -57,12 +57,6 @@ from repro.sim.resources import Mutex, Store
 __all__ = ["RamCloudServer", "SegmentReplica"]
 
 
-def _wait(event):
-    """Tiny adapter: wait on one event inside ``yield from`` pipelines."""
-    result = yield event
-    return result
-
-
 class SegmentReplica:
     """A backup's copy of one master segment.
 
@@ -189,12 +183,16 @@ class RamCloudServer(RpcService):
         self.node.cpu.pin_core()  # the dispatch thread's core
         self._threads.append(
             sim.process(self._dispatch_loop(), name=f"{self.name}:dispatch"))
+        # Workers run _serve_queue directly (no per-thread wrapper
+        # generator: a trampoline frame would be re-entered on every
+        # resume of every worker).
         for i in range(config.worker_threads):
             self._threads.append(
-                sim.process(self._worker_loop(i), name=f"{self.name}:worker{i}"))
+                sim.process(self._serve_queue(self.worker_queue),
+                            name=f"{self.name}:worker{i}"))
         for i in range(config.backup_worker_threads):
             self._threads.append(
-                sim.process(self._backup_worker_loop(i),
+                sim.process(self._serve_queue(self.backup_queue),
                             name=f"{self.name}:backup-worker{i}"))
         self._cleaner = sim.process(self._cleaner_loop(),
                                     name=f"{self.name}:cleaner")
@@ -378,14 +376,16 @@ class RamCloudServer(RpcService):
         """Own one (tablet, shard) unit.  ``unit`` is
         ``(table_id, tablet_index, shard)``."""
         table_id, index, _shard = unit
-        self.race.write(f"{unit[0]}.{unit[1]}.{unit[2]}")
+        if self.race.enabled:
+            self.race.write(f"{unit[0]}.{unit[1]}.{unit[2]}")
         self.tablets[unit] = (TabletStatus.NORMAL if ready
                               else TabletStatus.RECOVERING)
         self.tablet_shards[(table_id, index)] = shard_count
 
     def drop_tablet(self, unit: Tuple[int, int, int]) -> None:
         """Stop owning one (tablet, shard) unit."""
-        self.race.write(f"{unit[0]}.{unit[1]}.{unit[2]}")
+        if self.race.enabled:
+            self.race.write(f"{unit[0]}.{unit[1]}.{unit[2]}")
         self.tablets.pop(unit, None)
 
     def _check_ownership(self, table_id: int, key: str, span: int,
@@ -407,7 +407,8 @@ class RamCloudServer(RpcService):
         shard_count = self.tablet_shards.get((table_id, index), 1)
         shard = (h // span) % shard_count
         unit = (table_id, index, shard)
-        self.race.read(f"{unit[0]}.{unit[1]}.{unit[2]}")
+        if self.race.enabled:
+            self.race.read(f"{unit[0]}.{unit[1]}.{unit[2]}")
         status = self.tablets.get(unit)
         if status is None:
             raise WrongServer(
@@ -525,16 +526,19 @@ class RamCloudServer(RpcService):
         handoff.  In the default "poll" mode the code path below is
         event-for-event identical to the original busy-poll loop.
         """
+        sim = self.sim
+        inbox = self.inbox
+        cost = self.cost
         while True:
-            get = self.inbox.get()
+            get = inbox.get()
             if not get.triggered and self.dispatch_mode == "adaptive":
                 yield from self._dispatch_idle_wait(get)
             request = yield get
             # Handoff cost on the dispatch core (already pinned, so this
             # is pure latency/serialization, not extra utilization).
-            yield self.sim.timeout(self.cost.dispatch_per_request)
+            yield sim.timeout(cost.dispatch_per_request)
             if request.op == "_rx":
-                yield self.sim.timeout(request.args)
+                yield sim.timeout(request.args)
                 request.respond(None)
             elif request.op == "ping":
                 # Answered from the dispatch thread itself, as in
@@ -543,7 +547,7 @@ class RamCloudServer(RpcService):
                 # every long queue wedge (e.g. a backup grinding
                 # through 32 MB recovery reads) into a false-positive
                 # death — and with it a cascade of recoveries.
-                yield self.sim.timeout(self.cost.ping_service)
+                yield sim.timeout(cost.ping_service)
                 request.respond(("pong", self.server_list_version))
             elif request.op in self._BACKUP_OPS:
                 self.backup_queue.put(request)
@@ -594,7 +598,7 @@ class RamCloudServer(RpcService):
         self.requests_dropped += 1
         failsafe = self.sim.timeout(2.0 * self.config.rpc_timeout)
 
-        def _close_reply(_ev, request=request):
+        def _close_reply(_ev, request=request):  # simlint: disable=PERF002 drop path must capture its request
             request.fail(RpcTimeout(
                 f"{request.op} dropped by {self.server_id} under overload"))
 
@@ -608,43 +612,55 @@ class RamCloudServer(RpcService):
         self.inbox.put(rx)
         yield rx.reply
 
-    def _worker_loop(self, index: int) -> Generator:
-        yield from self._serve_queue(self.worker_queue)
-
-    def _backup_worker_loop(self, index: int) -> Generator:
-        yield from self._serve_queue(self.backup_queue)
-
     def _serve_queue(self, queue: Store) -> Generator:
+        # The worker-thread inner loop: every served request resumes
+        # this generator several times, so loop-invariant lookups are
+        # bound once (self.core_parking / self.dispatch_mode stay
+        # attribute reads — they are runtime-mutable policy knobs).
+        sim = self.sim
+        cpu = self.node.cpu
+        worker_spin = self.cost.worker_spin
+        handlers = self._HANDLERS
         while True:
             get = queue.get()
             if not get.triggered:
                 # Spin-then-sleep: busy-poll briefly for the next request
                 # before blocking (RAMCloud's nanoscheduling; see
-                # CostModel.worker_spin).
-                deadline = self.sim.timeout(self.cost.worker_spin)
-                yield from self.node.cpu.spinning(
-                    _wait(self.sim.any_of([get, deadline])))
+                # CostModel.worker_spin).  The spin interval brackets the
+                # wait directly (flattened from spinning(_wait(...)) —
+                # one less generator frame per idle wait).
+                deadline = sim.timeout(worker_spin)
+                wait = sim.any_of([get, deadline])
+                cpu.spin_begin()
+                try:
+                    yield wait
+                finally:
+                    cpu.spin_end()
                 if not get.triggered and self.core_parking:
                     # Core parking (docs/POWER.md): the spin window
                     # expired empty, so power-gate this worker's core
                     # while blocked; the wake pays core_wake_latency
                     # before serving.  try_park_core refuses when it
                     # would strand a runner or park the last core.
-                    if self.node.cpu.try_park_core():
+                    if cpu.try_park_core():
                         self.core_parks += 1
                         try:
                             yield get
                         finally:
-                            self.node.cpu.unpark_core()
-                        yield self.sim.timeout(self.config.core_wake_latency)
+                            cpu.unpark_core()
+                        yield sim.timeout(self.config.core_wake_latency)
             request = yield get
             # Each request is an unrelated work item for the race
             # detector: this worker's earlier touches must not pair
             # with touches made on behalf of this request.
-            task_boundary(self.sim)
+            task_boundary(sim)
             self.active_workers += 1
             try:
-                yield from self._handle(request)
+                handler = handlers.get(request.op)
+                if handler is None:
+                    request.fail(ValueError(f"unknown op {request.op!r}"))
+                else:
+                    yield from handler(self, request)
             except Interrupt:
                 if not request.reply.triggered:
                     request.fail(NodeUnreachable(f"{self.server_id} crashed"))
@@ -657,13 +673,6 @@ class RamCloudServer(RpcService):
                 # *meant* to span the service yield (it counts busy
                 # workers).
                 self.active_workers -= 1  # simlint: disable=SIM006 gauge
-
-    def _handle(self, request: RpcRequest) -> Generator:
-        handler = self._HANDLERS.get(request.op)
-        if handler is None:
-            request.fail(ValueError(f"unknown op {request.op!r}"))
-            return
-        yield from handler(self, request)
 
     # ------------------------------------------------------------------
     # master ops
@@ -708,20 +717,27 @@ class RamCloudServer(RpcService):
         """
         self._ensure_head_replicated()
         charged_crit = False
+        log_lock = self.log_lock
+        cpu = self.node.cpu
+        hashtable = self.hashtable
         for _attempt in range(200):
-            token = self.log_lock.acquire()
+            token = log_lock.acquire()
+            # Contending writers busy-poll on the log head (the
+            # active contention — cache-line bouncing, futex storms —
+            # that makes update-heavy draw MORE power than read-only
+            # per node, paper Fig. 4a).  Flattened spin accounting: the
+            # write path traverses this section once per update.
+            cpu.spin_begin()
             try:
-                # Contending writers busy-poll on the log head (the
-                # active contention — cache-line bouncing, futex storms —
-                # that makes update-heavy draw MORE power than read-only
-                # per node, paper Fig. 4a).
-                yield from self.node.cpu.spinning(_wait(token))
+                yield token
             except BaseException:
-                self.log_lock.abort(token)
+                log_lock.abort(token)
                 raise
+            finally:
+                cpu.spin_end()
             try:
                 if expected_version is not None or require_exists:
-                    found = self.hashtable.lookup(table_id, key)
+                    found = hashtable.lookup(table_id, key)
                     if require_exists and found is None:
                         raise ObjectDoesntExist(f"t{table_id}/{key}")
                     if expected_version is not None:
@@ -731,12 +747,12 @@ class RamCloudServer(RpcService):
                                 f"t{table_id}/{key}: expected "
                                 f"v{expected_version}, at v{current}")
                 if not charged_crit:
-                    writers = self.log_lock.queue_length + 1
+                    writers = log_lock.queue_length + 1
                     other_active = max(0, self.active_workers - writers)
                     crit = self.cost.write_crit(
                         writers, other_active,
                         queued=len(self.worker_queue))
-                    yield from self.node.cpu.execute(crit)
+                    yield from cpu.execute(crit)
                     charged_crit = True
                 try:
                     version = self._next_version
@@ -748,11 +764,11 @@ class RamCloudServer(RpcService):
                 else:
                     self._next_version += 1
                     if is_tombstone:
-                        self.hashtable.remove(table_id, key)
+                        hashtable.remove(table_id, key)
                     else:
-                        self.hashtable.insert(table_id, key, segment, entry)
+                        hashtable.insert(table_id, key, segment, entry)
             finally:
-                self.log_lock.release(token)
+                log_lock.release(token)
             if segment is not None:
                 return segment, entry, closed
             # Log full: stall until the cleaner frees space (RAMCloud
@@ -1314,12 +1330,15 @@ class RamCloudServer(RpcService):
         # "data is re-inserted in the same fashion", so the Finding 3
         # degradation applies to recovery too).
         stream_token = self.replay_lock.acquire()
+        # Recovery threads poll while queueing for the stream.
+        self.node.cpu.spin_begin()
         try:
-            # Recovery threads poll while queueing for the stream.
-            yield from self.node.cpu.spinning(_wait(stream_token))
+            yield stream_token
         except BaseException:
             self.replay_lock.abort(stream_token)
             raise
+        finally:
+            self.node.cpu.spin_end()
         try:
             rf = self.config.replication_factor
             replay_cpu = (len(mine) * self.cost.replay_per_entry

@@ -108,7 +108,7 @@ class Table:
     span: int
 
 
-class TabletMap:
+class TabletMap:  # simlint: disable=PERF001 one per coordinator; __dict__ cost is amortized
     """The coordinator's table/tablet directory."""
 
     def __init__(self):
@@ -176,7 +176,8 @@ class TabletMap:
         index = key_hash(key) % table.span
         # Routing reads are optimistic by design: a stale route fails at
         # the server and the client refreshes (epoch protocol).
-        self.race.read(f"{table_id}.{index}", relaxed=True)
+        if self.race.enabled:
+            self.race.read(f"{table_id}.{index}", relaxed=True)
         return self._tablets[(table_id, index)]
 
     def tablets_of_server(self, server_id: str) -> List[Tuple[Tablet, int]]:

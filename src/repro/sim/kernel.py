@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import heapq
 import os
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -106,7 +107,14 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, PRIORITY_NORMAL, 0.0)
+        # Inlined self.sim._schedule(self, PRIORITY_NORMAL, 0.0): an
+        # untriggered event is never scheduled, so the guard is moot and
+        # this runs once per event — the kernel's hottest line.
+        sim = self.sim
+        self._scheduled = True
+        seq = sim._seq + 1
+        sim._seq = seq
+        heappush(sim._heap, (sim.now, PRIORITY_NORMAL, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -117,7 +125,11 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.sim._schedule(self, PRIORITY_NORMAL, 0.0)
+        sim = self.sim
+        self._scheduled = True
+        seq = sim._seq + 1
+        sim._seq = seq
+        heappush(sim._heap, (sim.now, PRIORITY_NORMAL, seq, self))
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -148,11 +160,20 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
+        # Event.__init__ and sim._schedule inlined: a timeout is born
+        # triggered and scheduled, and this constructor runs for roughly
+        # half of all events in a YCSB run.
+        self.sim = sim
+        self.callbacks = []
         self.delay = delay
         self._ok = True
         self._value = value
-        sim._schedule(self, PRIORITY_NORMAL, delay)
+        self._scheduled = True
+        seq = sim._seq + 1
+        sim._seq = seq
+        heappush(sim._heap, (sim.now + delay, PRIORITY_NORMAL, seq, self))
+        if sim._sanitizer is not None:
+            sim._sanitizer.event_created(self)
 
 
 class _ConditionValue:
@@ -248,10 +269,16 @@ class Process(Event):
         self._interrupts: List[Interrupt] = []
         if sim._sanitizer is not None:
             sim._sanitizer.register_process(self)
-        # Kick off at the current instant.
+        # Kick off at the current instant (an already-succeeded bootstrap
+        # event carrying our _resume, built without the constructor and
+        # succeed() detours).
         bootstrap = Event(sim)
-        bootstrap.succeed()
-        bootstrap.add_callback(self._resume)
+        bootstrap._ok = True
+        bootstrap._scheduled = True
+        bootstrap.callbacks.append(self._resume)
+        seq = sim._seq + 1
+        sim._seq = seq
+        heappush(sim._heap, (sim.now, PRIORITY_NORMAL, seq, bootstrap))
 
     @property
     def is_alive(self) -> bool:
@@ -292,9 +319,12 @@ class Process(Event):
             self._step(event.value, throw=True)
 
     def _step(self, value: Any, throw: bool) -> None:
-        sanitizer = self.sim._sanitizer
-        if sanitizer is not None:
-            sanitizer.begin_step(self)
+        # The single hottest function in the kernel: one call per process
+        # resumption.  The sanitizer hooks live in _step_debug so the
+        # production path pays one None check instead of four.
+        if self.sim._sanitizer is not None:
+            self._step_debug(value, throw)
+            return
         try:
             if throw:
                 target = self.generator.throw(value)
@@ -302,15 +332,11 @@ class Process(Event):
                 target = self.generator.send(value)
         except StopIteration as stop:
             self.succeed(stop.value)
-            if sanitizer is not None:
-                sanitizer.process_died(self)
             return
         except Interrupt:
             # An unhandled interrupt terminates the process cleanly: this
             # is the normal way a crashed server's threads die.
             self.succeed(None)
-            if sanitizer is not None:
-                sanitizer.process_died(self)
             return
         except BaseException as exc:
             if self.callbacks:
@@ -318,12 +344,46 @@ class Process(Event):
             else:
                 # Nobody is watching this process: surface the crash.
                 self.sim._crash(exc)
-            if sanitizer is not None:
-                sanitizer.process_died(self)
+            return
+        if not isinstance(target, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+            self.sim._crash(error)
+            return
+        self._waiting_on = target
+        # target.add_callback(self._resume), inlined:
+        if target.callbacks is None:
+            self._resume(target)
+        else:
+            target.callbacks.append(self._resume)
+
+    def _step_debug(self, value: Any, throw: bool) -> None:
+        """The sanitizer-instrumented twin of :meth:`_step` (debug mode)."""
+        sanitizer = self.sim._sanitizer
+        sanitizer.begin_step(self)
+        try:
+            if throw:
+                target = self.generator.throw(value)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            sanitizer.process_died(self)
+            return
+        except Interrupt:
+            self.succeed(None)
+            sanitizer.process_died(self)
+            return
+        except BaseException as exc:
+            if self.callbacks:
+                self.fail(exc)
+            else:
+                self.sim._crash(exc)
+            sanitizer.process_died(self)
             return
         finally:
-            if sanitizer is not None:
-                sanitizer.end_step()
+            sanitizer.end_step()
         if not isinstance(target, Event):
             error = SimulationError(
                 f"process {self.name!r} yielded {target!r}, expected an Event"
@@ -338,7 +398,7 @@ class Process(Event):
         return f"<Process {self.name} {state}>"
 
 
-class Simulator:
+class Simulator:  # simlint: disable=PERF001 one per run; __dict__ cost is amortized
     """The event loop: owns simulated time and the scheduling heap.
 
     ``debug=True`` attaches the runtime sanitizers
@@ -412,13 +472,18 @@ class Simulator:
         """Process the single next event."""
         if not self._heap:
             raise SimulationError("step() with an empty schedule")
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        when, _prio, _seq, event = heappop(self._heap)
         if when < self.now:
             raise SimulationError("scheduler heap corrupted: time went backwards")
         self.now = when
         if self.tracer is not None:
             self.tracer(when, event)
-        event._run_callbacks()
+        # event._run_callbacks(), inlined (once per event processed):
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for cb in callbacks:
+                cb(event)
         if self._fatal is not None:
             exc, self._fatal = self._fatal, None
             raise exc

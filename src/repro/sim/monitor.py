@@ -18,6 +18,8 @@ __all__ = ["TimeSeries", "Gauge", "Counter", "Sampler", "UtilizationTracker"]
 class TimeSeries:
     """An append-only series of ``(time, value)`` samples."""
 
+    __slots__ = ("name", "times", "values")
+
     def __init__(self, name: str = ""):
         self.name = name
         self.times: List[float] = []
@@ -102,6 +104,9 @@ class TimeSeries:
 class Gauge:
     """A piecewise-constant instantaneous value with time-weighted stats."""
 
+    __slots__ = ("sim", "name", "value", "_last_change", "_weighted_sum",
+                 "_start")
+
     def __init__(self, sim: Simulator, initial: float = 0.0, name: str = ""):
         self.sim = sim
         self.name = name
@@ -132,6 +137,8 @@ class Gauge:
 
 class Counter:
     """A monotonically increasing event count with rate helpers."""
+
+    __slots__ = ("sim", "name", "count", "_start")
 
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim
@@ -164,6 +171,8 @@ class Sampler:
     and :meth:`stop` records one final boundary sample so the tail of
     the window is not dropped from the integral.
     """
+
+    __slots__ = ("sim", "interval", "probe", "series", "_stopped", "_process")
 
     def __init__(self, sim: Simulator, interval: float,
                  probe: Callable[[], float], name: str = ""):
@@ -199,6 +208,9 @@ class UtilizationTracker:
     reports per node.
     """
 
+    __slots__ = ("sim", "capacity", "name", "_busy", "_last_change",
+                 "_busy_time", "_marks")
+
     def __init__(self, sim: Simulator, capacity: float, name: str = ""):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -217,14 +229,19 @@ class UtilizationTracker:
 
     def set_busy(self, busy: float) -> None:
         """Change the busy level, accruing busy-time at the old one."""
+        now = self.sim.now
+        self._busy_time += self._busy * (now - self._last_change)
+        self._last_change = now
+        if 0.0 <= busy <= self.capacity:
+            # In-range fast path (every caller in practice): the clamp
+            # below is the identity here, skip it.
+            self._busy = busy
+            return
         if busy < -1e-9 or busy > self.capacity + 1e-9:
             raise ValueError(
                 f"{self.name!r}: busy {busy} outside [0, {self.capacity}]"
             )
-        now = self.sim.now
-        self._busy_time += self._busy * (now - self._last_change)
         self._busy = min(max(busy, 0.0), self.capacity)
-        self._last_change = now
 
     def add_busy(self, delta: float) -> None:
         """Adjust the busy level by ``delta``."""

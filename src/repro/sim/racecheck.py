@@ -90,6 +90,11 @@ class _NullShared:
 
     __slots__ = ()
 
+    #: False: recording is off, so hot paths may skip building access
+    #: labels entirely (``if race.enabled: race.write(f"...")``) — an
+    #: eager f-string on a debug-disabled path is pure waste (PERF005).
+    enabled = False
+
     def read(self, field: str, relaxed: bool = False) -> None:
         """Record nothing."""
 
@@ -104,6 +109,10 @@ class Shared:
     """One tracked structure: a label plus its resolved guard locks."""
 
     __slots__ = ("detector", "label", "guards")
+
+    #: True: accesses are recorded (the debug-mode counterpart of
+    #: :attr:`_NullShared.enabled`).
+    enabled = True
 
     def __init__(self, detector: "RaceDetector", label: str,
                  guards: Tuple[Tuple[str, object], ...]):

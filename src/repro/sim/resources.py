@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from heapq import heappush
 from typing import Any, Deque, List, Optional, Tuple
 
-from repro.sim.kernel import Event, SimulationError, Simulator
+from repro.sim.kernel import PRIORITY_NORMAL, Event, SimulationError, Simulator
 
 __all__ = ["Request", "Resource", "PriorityResource", "Mutex", "Store", "Container"]
 
@@ -23,15 +24,25 @@ class Request(Event):
     __slots__ = ("resource", "priority", "enqueued_at", "owner")
 
     def __init__(self, resource: "Resource", priority: int = 0):
-        super().__init__(resource.sim)
+        # Event.__init__ inlined: requests are created once per resource
+        # claim, which puts this on the hot path of every RPC.
+        sim = resource.sim
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._ok = None
+        self._scheduled = False
         self.resource = resource
         self.priority = priority
-        self.enqueued_at = resource.sim.now
+        self.enqueued_at = sim.now
         # Debug-mode attribution: the process whose step created this
         # request (the would-be holder); None outside debug mode.
-        sanitizer = resource.sim._sanitizer
-        self.owner = (sanitizer.current_process
-                      if sanitizer is not None else None)
+        sanitizer = sim._sanitizer
+        if sanitizer is not None:
+            sanitizer.event_created(self)
+            self.owner = sanitizer.current_process
+        else:
+            self.owner = None
 
 
 class Resource:
@@ -44,6 +55,12 @@ class Resource:
         yield sim.timeout(service_time)
         cores.release(req)
     """
+
+    # Slotted (PERF001): resources sit on the event path of every RPC.
+    # __weakref__ because the debug-mode sanitizer tracks resources in
+    # a WeakSet.
+    __slots__ = ("sim", "capacity", "name", "_users", "_queue",
+                 "total_requests", "total_wait_time", "__weakref__")
 
     def __init__(self, sim: Simulator, capacity: int, name: str = ""):
         if capacity < 1:
@@ -74,7 +91,21 @@ class Resource:
         req = Request(self, priority)
         self.total_requests += 1
         if len(self._users) < self.capacity:
-            self._grant(req)
+            # Uncontended fast path: _grant + Event.succeed inlined.  A
+            # fresh request cannot be triggered (no guard needed) and
+            # waited zero seconds (total_wait_time += 0.0 is a no-op),
+            # but the grant event is scheduled exactly as _grant would —
+            # a synchronous grant here would reorder the whole run.
+            self._users.append(req)
+            sim = self.sim
+            if sim._sanitizer is not None:
+                sim._sanitizer.races.lock_granted(req)
+            req._ok = True
+            req._value = req
+            req._scheduled = True
+            seq = sim._seq + 1
+            sim._seq = seq
+            heappush(sim._heap, (sim.now, PRIORITY_NORMAL, seq, req))
         else:
             self._enqueue(req)
         return req
@@ -138,6 +169,8 @@ class PriorityResource(Resource):
     normal flush writes can be prioritized differently.
     """
 
+    __slots__ = ("_pqueue", "_pseq")
+
     def __init__(self, sim: Simulator, capacity: int, name: str = ""):
         super().__init__(sim, capacity, name)
         self._pqueue: List[Tuple[int, int, Request]] = []
@@ -172,6 +205,8 @@ class Mutex:
     Models the serialized sections of a RAMCloud master: the log-append
     critical path and the hash-table bucket locks.
     """
+
+    __slots__ = ("_resource",)
 
     def __init__(self, sim: Simulator, name: str = ""):
         self._resource = Resource(sim, 1, name)
@@ -211,6 +246,9 @@ class Store:
     oldest — the policy a work-stealing/nanoscheduling runtime uses to
     keep one worker thread hot instead of round-robining over the pool.
     """
+
+    __slots__ = ("sim", "name", "lifo_getters", "_items", "_getters",
+                 "max_occupancy")
 
     def __init__(self, sim: Simulator, name: str = "",
                  lifo_getters: bool = False):
@@ -262,6 +300,8 @@ class Container:
     condition handled by the caller (the cleaner, the flush path), not a
     queueing point.
     """
+
+    __slots__ = ("sim", "capacity", "level", "name")
 
     def __init__(self, sim: Simulator, capacity: float, initial: float = 0.0,
                  name: str = ""):

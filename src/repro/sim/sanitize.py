@@ -137,7 +137,7 @@ class Sanitizer:
                     waiters.append(type(owner).__name__)
             if waiters:
                 leaks.append((event, sorted(waiters)))
-        leaks.sort(key=lambda pair: pair[1])
+        leaks.sort(key=lambda pair: pair[1])  # simlint: disable=PERF002 teardown-only report ordering
         return leaks
 
     def check_leaks(self) -> None:

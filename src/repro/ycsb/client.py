@@ -34,7 +34,7 @@ __all__ = ["YcsbClient", "CLIENT_OVERHEAD"]
 CLIENT_OVERHEAD = 30.0e-6
 
 
-class YcsbClient:
+class YcsbClient:  # simlint: disable=PERF001 O(clients) service object; __dict__ cost is amortized
     """One YCSB client process bound to a client node."""
 
     def __init__(self, sim: Simulator, rc_client: RamCloudClient,
@@ -101,65 +101,66 @@ class YcsbClient:
         """Execute ``ops_per_client`` operations; returns the stats."""
         w = self.workload
         yield from self.rc.refresh_map()
-        self.stats.started_at = self.sim.now
-        start = self.sim.now
+        sim = self.sim
+        stats = self.stats
+        stats.started_at = sim.now
+        start = sim.now
         rate = w.target_ops_per_second
+        overhead = self.client_overhead
+        give_up_after = self.give_up_after
+        # op → recorder, built once (not per completed operation).
+        recorders = {"read": stats.reads, "update": stats.updates,
+                     "insert": stats.inserts, "scan": stats.scans,
+                     "rmw": stats.updates}
         for i in range(w.ops_per_client):
             if self.throttle is not None:
                 # Dynamic pacing: the power-cap controller moves the
                 # shared throttle's rate at run time.
                 delay = self.throttle.reserve()
                 if delay > 0:
-                    yield self.sim.timeout(delay)
+                    yield sim.timeout(delay)
             elif rate > 0:
                 # Token-bucket pacing: operation i may not start before
                 # its scheduled slot.
                 slot = start + i / rate
-                if self.sim.now < slot:
-                    yield self.sim.timeout(slot - self.sim.now)
-            yield self.sim.timeout(self.client_overhead)
+                if sim.now < slot:
+                    yield sim.timeout(slot - sim.now)
+            yield sim.timeout(overhead)
             op = self._choose_op()
-            issued = self.sim.now
+            issued = sim.now
             try:
-                if self.give_up_after is None:
+                if give_up_after is None:
                     yield from self._execute(op)
                 else:
                     # Race the operation against the give-up deadline:
                     # an op still unfinished at the deadline (e.g. a
                     # silently dropped request waiting out the 1 s RPC
                     # timeout) is abandoned mid-flight.
-                    proc = self.sim.process(self._execute(op),
-                                            name="ycsb:op")
-                    deadline = self.sim.timeout(self.give_up_after)
-                    yield self.sim.any_of([proc, deadline])
+                    proc = sim.process(self._execute(op), name="ycsb:op")
+                    deadline = sim.timeout(give_up_after)
+                    yield sim.any_of([proc, deadline])
                     if not proc.triggered:
                         proc.interrupt("gave up")
-                        self.stats.errors += 1
+                        stats.errors += 1
                         self.gave_up = True
                         break
                     if not proc.ok:
                         raise proc.value
             except ObjectDoesntExist:
-                self.stats.errors += 1
+                stats.errors += 1
                 continue
             except RpcTimeout:
                 # max_retries exhausted (only when configured).
-                self.stats.errors += 1
+                stats.errors += 1
                 self.gave_up = True
                 break
-            latency = self.sim.now - issued
-            if (self.give_up_after is not None
-                    and latency > self.give_up_after):
+            latency = sim.now - issued
+            if give_up_after is not None and latency > give_up_after:
                 self.gave_up = True
                 break
-            recorder = {"read": self.stats.reads,
-                        "update": self.stats.updates,
-                        "insert": self.stats.inserts,
-                        "scan": self.stats.scans,
-                        "rmw": self.stats.updates}[op]
-            recorder.record(self.sim.now, latency)
-        self.stats.finished_at = self.sim.now
-        return self.stats
+            recorders[op].record(sim.now, latency)
+        stats.finished_at = sim.now
+        return stats
 
     def _execute(self, op: str) -> Generator:
         w = self.workload

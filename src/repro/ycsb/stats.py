@@ -11,6 +11,8 @@ __all__ = ["LatencyRecorder", "OperationStats"]
 class LatencyRecorder:
     """Collects (time, latency) samples for one operation type."""
 
+    __slots__ = ("name", "samples")
+
     def __init__(self, name: str = ""):
         self.name = name
         self.samples: List[Tuple[float, float]] = []
@@ -58,6 +60,9 @@ class LatencyRecorder:
 
 class OperationStats:
     """Per-client roll-up across operation types."""
+
+    __slots__ = ("reads", "updates", "inserts", "scans", "started_at",
+                 "finished_at", "errors")
 
     def __init__(self):
         self.reads = LatencyRecorder("read")

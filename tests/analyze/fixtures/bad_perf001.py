@@ -1,0 +1,22 @@
+"""PERF001 true-positive fixture: slot-less event-path classes.
+
+Deliberately wasteful — linted by tests, never imported or executed.
+"""
+
+
+class Token:  # PERF001: no __slots__, no bases
+    def __init__(self, value):
+        self.value = value
+
+
+class Slotted:
+    __slots__ = ("x",)
+
+    def __init__(self, x):
+        self.x = x
+
+
+class Child(Slotted):  # PERF001: slotted base, no own __slots__
+    def __init__(self, x, y):
+        super().__init__(x)
+        self.y = y

@@ -1,0 +1,21 @@
+"""PERF002 true-positive fixture: per-event allocation.
+
+Deliberately wasteful — linted by tests, never imported or executed.
+"""
+
+
+def per_event(items):
+    total = 0
+    for item in items:
+        weights = {"read": 1, "update": 2}  # PERF002: dict per iteration
+        total += weights.get(item, 0)
+    return total
+
+
+def per_call(sim):
+    on_done = lambda ev: None  # PERF002: lambda per call  # noqa: E731
+
+    def helper():  # PERF002: nested def (closure cells) per call
+        return sim
+
+    return on_done, helper

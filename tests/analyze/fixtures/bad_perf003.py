@@ -1,0 +1,14 @@
+"""PERF003 true-positive fixture: repeated attribute chains in a loop.
+
+Deliberately wasteful — linted by tests, never imported or executed.
+"""
+
+
+def tight_loop(server, items):
+    total = 0.0
+    for item in items:
+        # PERF003: 'server.stats' dereferenced three times per iteration
+        total += server.stats.reads
+        server.stats.samples.append(item)
+        total += server.stats.scans
+    return total

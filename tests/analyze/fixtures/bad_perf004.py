@@ -1,0 +1,22 @@
+"""PERF004 true-positive fixture: pure generator trampolines.
+
+Deliberately wasteful — linted by tests, never imported or executed.
+"""
+
+
+def inner(sim, n):
+    yield sim.timeout(n)
+    return n
+
+
+def trampoline(sim, n):  # PERF004: body is a single 'yield from' call
+    yield from inner(sim, n)
+
+
+def returning_trampoline(sim, n):  # PERF004: same, returning the value
+    return (yield from inner(sim, n))
+
+
+def wait_one(event):  # PERF004: single-yield wrapper
+    value = yield event
+    return value

@@ -1,0 +1,21 @@
+"""PERF005 true-positive fixture: eager f-string race labels.
+
+Deliberately wasteful — linted by tests, never imported or executed.
+"""
+
+
+class Table:
+    __slots__ = ("race", "items")
+
+    def __init__(self, race):
+        self.race = race
+        self.items = {}
+
+    def lookup(self, key):
+        self.race.read(f"k{key}")  # PERF005: label built even when off
+        return self.items.get(key)
+
+    def insert(self, key, value):
+        if self.race.enabled:
+            self.race.write(f"k{key}")  # guarded: clean
+        self.items[key] = value

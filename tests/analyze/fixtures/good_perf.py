@@ -1,0 +1,68 @@
+"""PERF true-negative fixture: the efficient spellings of every
+pattern the PERF rules flag, plus their deliberate exemptions.
+
+Linted by tests, never imported or executed.
+"""
+
+from dataclasses import dataclass
+
+
+class SlottedProbe:  # clean: slots declared
+    __slots__ = ("sim", "stats")
+
+    def __init__(self, sim, stats):
+        self.sim = sim
+        self.stats = stats
+
+
+class ProbeError(Exception):  # exempt: exception hierarchies allocate rarely
+    def __init__(self, detail):
+        super().__init__(detail)
+        self.detail = detail
+
+
+@dataclass
+class Row:  # exempt: the decorator owns the instance layout
+    value: int = 0
+
+
+_WEIGHTS = {"read": 1, "update": 2}  # hoisted: built once at import
+
+
+def per_batch(items):
+    total = 0
+    for item in items:
+        total += _WEIGHTS.get(item, 0)
+    return total
+
+
+def below_threshold(server, items):
+    out = []
+    for item in items:
+        out.append(server.stats.reads)  # chain read only twice: fine
+        out.append(server.stats.scans)
+    return out
+
+
+def reassigned_in_loop(node, items):
+    total = 0.0
+    for _item in items:
+        node = node.parent  # prefix written in the loop: hoist is unsound
+        total += node.stats.reads
+        total += node.stats.scans
+        total += node.stats.updates
+    return total
+
+
+def real_generator(sim, n):  # clean: does work beyond delegating
+    yield sim.timeout(n)
+    return 2 * n
+
+
+def guarded_label(table, key):  # clean: label only built when recording
+    if table.race.enabled:
+        table.race.write(f"k{key}")
+
+
+def constant_label(table):  # clean: a constant label costs nothing
+    table.race.write("head")

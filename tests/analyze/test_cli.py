@@ -91,3 +91,50 @@ def test_json_format_on_clean_tree_is_empty_report():
     assert proc.returncode == 0
     report = json.loads(proc.stdout)
     assert report == {"errors": [], "findings": []}
+
+
+# ---------------------------------------------------------------------------
+# --perf / --profile-json (the PERF rules' CLI surface)
+# ---------------------------------------------------------------------------
+
+def test_perf_flag_runs_perf_rules_on_fixtures():
+    proc = run_cli("--perf", FIXTURES)
+    assert proc.returncode == 1
+    for code in ("PERF001", "PERF002", "PERF003", "PERF004", "PERF005"):
+        assert code in proc.stdout, f"{code} missing from:\n{proc.stdout}"
+
+
+def test_without_perf_flag_perf_rules_stay_off():
+    proc = run_cli(os.path.join(FIXTURES, "bad_perf002.py"))
+    assert proc.returncode == 0
+    assert proc.stdout.strip() == ""
+
+
+def test_select_perf_code_directly():
+    proc = run_cli("--select", "PERF004",
+                   os.path.join(FIXTURES, "bad_perf004.py"))
+    assert proc.returncode == 1
+    assert "PERF004" in proc.stdout
+    assert "PERF002" not in proc.stdout
+
+
+def test_perf_scoped_by_committed_profile_is_clean_on_tree():
+    # The CI invocation: PERF rules over the real tree, scoped to the
+    # committed benchmark profile — zero unsuppressed findings.
+    profile = os.path.join(REPO_ROOT, "BENCH_profile.json")
+    proc = run_cli("--perf", "--profile-json", profile,
+                   "src", "examples", "tools")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_missing_profile_is_usage_error():
+    proc = run_cli("--perf", "--profile-json", "no/such/profile.json", "src")
+    assert proc.returncode == 2
+    assert "no such profile" in proc.stderr
+
+
+def test_list_rules_includes_perf_catalogue():
+    proc = run_cli("--list-rules")
+    assert proc.returncode == 0
+    for code in ("PERF001", "PERF002", "PERF003", "PERF004", "PERF005"):
+        assert code in proc.stdout

@@ -1,0 +1,242 @@
+#!/usr/bin/env python
+"""Kernel benchmark harness: the repo's perf trajectory.
+
+Runs canonical paper workload cells (the fig4 configuration: workload A,
+20 servers, 30 clients, replication disabled) through the real
+``run_experiment`` path and measures **kernel events per wall-clock
+second** — the unit every optimization PR must move, committed to
+``BENCH_kernel.json`` so regressions are visible in CI.
+
+Three modes:
+
+* ``--update`` appends a labelled entry to ``BENCH_kernel.json``;
+* ``--check`` re-runs the benches and fails (exit 1) if events/sec fell
+  below ``tolerance × baseline`` for the same bench+scale (wall time is
+  machine-dependent, so the committed baseline is only a floor with a
+  generous default tolerance);
+* ``--profile-json`` additionally runs the first bench under cProfile
+  and dumps the per-function rows as JSON — the hot-set input for the
+  profile-guided lint rules (``python -m repro.analyze --perf``).
+
+Determinism note: the benches measure *wall time only*.  Simulated
+results are pinned separately by the determinism digests
+(``tests/analyze/test_determinism.py``); this harness asserts the op
+count so a silently-shrunk workload cannot fake a speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import os
+import pstats
+import sys
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_kernel.json")
+SCHEMA = 1
+
+# Canonical cells.  ``fig4`` is the paper's Fig. 4a workload-A column
+# (the most contended cell: 50 % updates through the log-append lock);
+# ``fig4_debug`` is the same cell with the runtime sanitizers attached,
+# tracking the cost of ``Simulator(debug=True)``.
+BENCHES = ("fig4", "fig4_debug")
+
+
+def _build_spec(servers: int, clients: int, ops: Optional[int],
+                scale_name: str):
+    from repro.cluster import ClusterSpec, ExperimentSpec
+    from repro.experiments.scale import _SCALES
+    from repro.ramcloud.config import ServerConfig
+    from repro.ycsb.workload import WORKLOAD_A
+
+    scale = _SCALES[scale_name]
+    workload = WORKLOAD_A.scaled(num_records=scale.num_records,
+                                 ops_per_client=scale.ops_per_client)
+    if ops is not None:
+        workload = workload.scaled(num_records=scale.num_records,
+                                   ops_per_client=ops)
+    return ExperimentSpec(
+        cluster=ClusterSpec(
+            num_servers=servers, num_clients=clients, seed=1,
+            server_config=ServerConfig(replication_factor=0)),
+        workload=workload,
+    )
+
+
+def run_bench(name: str, scale: str, servers: int, clients: int,
+              ops: Optional[int]) -> Dict[str, float]:
+    """Run one bench cell and return its measurement row."""
+    from repro.cluster import run_experiment
+
+    debug = name.endswith("_debug")
+    spec = _build_spec(servers, clients, ops, scale)
+    previous = os.environ.get("REPRO_SIM_DEBUG")
+    os.environ["REPRO_SIM_DEBUG"] = "1" if debug else "0"
+    try:
+        # The wall clock is the measurand here, not simulation state.
+        start = time.perf_counter()  # simlint: disable=SIM003 benchmarking wall time
+        result = run_experiment(spec)
+        wall = time.perf_counter() - start  # simlint: disable=SIM003 benchmarking wall time
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SIM_DEBUG", None)
+        else:
+            os.environ["REPRO_SIM_DEBUG"] = previous
+    expected = spec.workload.ops_per_client * clients
+    if result.total_ops + result.client_errors < expected:
+        raise RuntimeError(
+            f"{name}: completed {result.total_ops} + {result.client_errors} "
+            f"errors < expected {expected} ops — bench workload shrank")
+    return {
+        "bench": name,
+        "scale": scale,
+        "servers": servers,
+        "clients": clients,
+        "ops": result.total_ops,
+        "events": result.sim_events,
+        "wall_s": round(wall, 4),
+        "events_per_s": round(result.sim_events / wall, 1),
+    }
+
+
+def profile_bench(name: str, scale: str, servers: int, clients: int,
+                  ops: Optional[int], out_path: str,
+                  top: int = 120) -> None:
+    """Run one bench under cProfile and dump the hot rows as JSON.
+
+    Rows are ordered by ``tottime`` (self time) — the quantity the
+    PERF rules care about — and carry enough identity (path, function
+    name, first line) for :mod:`repro.analyze.profilehot` to map them
+    back onto source files.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        run_bench(name, scale, servers, clients, ops)
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    total_tt = 0.0
+    rows: List[Dict] = []
+    for (path, line, func), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        total_tt += tt
+        if path.startswith("<") or func.startswith("<module>"):
+            continue
+        rows.append({
+            "path": path.replace(os.sep, "/"),
+            "func": func,
+            "line": line,
+            "ncalls": nc,
+            "tottime": round(tt, 6),
+            "cumtime": round(ct, 6),
+        })
+    rows.sort(key=lambda r: (-r["tottime"], r["path"], r["line"]))
+    payload = {
+        "schema": SCHEMA,
+        "bench": name,
+        "scale": scale,
+        "total_tottime": round(total_tt, 6),
+        "total_calls": stats.total_calls,
+        "rows": rows[:top],
+    }
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote profile ({len(payload['rows'])} rows) to {out_path}")
+
+
+# -- the committed trajectory -----------------------------------------
+
+
+def load_baseline(path: str = BENCH_JSON) -> Dict:
+    if not os.path.exists(path):
+        return {"schema": SCHEMA, "entries": []}
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def latest_row(baseline: Dict, bench: str, scale: str) -> Optional[Dict]:
+    """The most recent committed measurement for one bench+scale cell."""
+    for entry in reversed(baseline.get("entries", [])):
+        for row in entry.get("rows", []):
+            if row["bench"] == bench and row["scale"] == scale:
+                return row
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_kernel",
+        description="measure kernel events/sec on canonical fig workloads")
+    parser.add_argument("--scale", default="default",
+                        choices=("smoke", "default", "full"))
+    parser.add_argument("--bench", action="append", choices=BENCHES,
+                        help="bench cell(s) to run (default: all)")
+    parser.add_argument("--servers", type=int, default=20)
+    parser.add_argument("--clients", type=int, default=30)
+    parser.add_argument("--ops", type=int, default=None,
+                        help="override ops per client (tests only)")
+    parser.add_argument("--profile-json", metavar="PATH",
+                        help="also profile the first bench, dump hot rows")
+    parser.add_argument("--update", metavar="LABEL",
+                        help="append a labelled entry to BENCH_kernel.json")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if events/sec regressed vs the baseline")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="--check floor as a fraction of baseline "
+                             "(default 0.5: fail below half baseline speed)")
+    parser.add_argument("--json", default=BENCH_JSON,
+                        help="trajectory file (default: repo BENCH_kernel.json)")
+    args = parser.parse_args(argv)
+
+    benches = args.bench or list(BENCHES)
+    rows = []
+    for name in benches:
+        row = run_bench(name, args.scale, args.servers, args.clients,
+                        args.ops)
+        rows.append(row)
+        print(f"{name:12s} scale={args.scale:8s} events={row['events']:>9d} "
+              f"wall={row['wall_s']:8.3f}s  "
+              f"events/s={row['events_per_s']:>10.0f}")
+
+    if args.profile_json:
+        profile_bench(benches[0], args.scale, args.servers, args.clients,
+                      args.ops, args.profile_json)
+
+    status = 0
+    if args.check:
+        baseline = load_baseline(args.json)
+        for row in rows:
+            base = latest_row(baseline, row["bench"], row["scale"])
+            if base is None:
+                print(f"{row['bench']}: no baseline for scale "
+                      f"{row['scale']!r}, skipping check")
+                continue
+            floor = args.tolerance * base["events_per_s"]
+            verdict = "ok" if row["events_per_s"] >= floor else "REGRESSED"
+            print(f"{row['bench']}: {row['events_per_s']:.0f} ev/s vs "
+                  f"baseline {base['events_per_s']:.0f} "
+                  f"(floor {floor:.0f}) — {verdict}")
+            if row["events_per_s"] < floor:
+                status = 1
+
+    if args.update is not None:
+        baseline = load_baseline(args.json)
+        baseline["schema"] = SCHEMA
+        baseline.setdefault("entries", []).append(
+            {"label": args.update, "rows": rows})
+        with open(args.json, "w") as fh:
+            json.dump(baseline, fh, indent=1)
+            fh.write("\n")
+        print(f"appended entry {args.update!r} to {args.json}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
