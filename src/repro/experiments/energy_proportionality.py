@@ -45,7 +45,8 @@ from repro.ycsb.stats import LatencyRecorder
 from repro.ycsb.workload import WORKLOAD_C
 
 __all__ = ["EnergyPoint", "EnergyProportionalityResult",
-           "run_energy_proportionality", "PowerCapResult", "run_power_cap"]
+           "run_energy_proportionality", "PowerCapResult", "run_power_cap",
+           "energy_sweep_plan"]
 
 # The paper's idle anchor: 25 % CPU (Table I row 0) through the power
 # model's calibration, 57.5 + 0.69 * 25 W.
@@ -283,6 +284,54 @@ def run_energy_proportionality(
     table.note("static = the paper's machine: flat ≈75 W idle floor from "
                "the busy-polling dispatch core")
     return table, result
+
+
+# -- sweep integration --------------------------------------------------------
+
+
+def _energy_cell(params, seed: int, scale: Scale):
+    """Sweep cell runner: one full idle→peak governor sweep at ``seed``.
+
+    The cell digest is :meth:`EnergyProportionalityResult.digest` — the
+    byte-exact record of every measured point — so serial/parallel
+    equivalence covers the whole sweep, not just the summary numbers.
+    """
+    from repro.experiments.sweep import CellOutcome
+    governors = tuple(params.get("governors",
+                                 ("static", "ondemand", "poll-adaptive")))
+    _table, result = run_energy_proportionality(
+        scale, governors=governors,
+        servers=int(params.get("servers", 3)),
+        clients=int(params.get("clients", 6)),
+        fractions=tuple(params.get("fractions", (0.1, 0.5))),
+        seed=seed)
+    metrics = {}
+    for governor in governors:
+        peak = result.point(governor, 1.0)
+        idle = result.point(governor, 0.0)
+        metrics[f"ep_index[{governor}]"] = result.ep_index[governor]
+        metrics[f"peak_throughput[{governor}]"] = peak.throughput
+        metrics[f"idle_watts[{governor}]"] = idle.watts_per_server
+    return CellOutcome(metrics=metrics, digest=result.digest())
+
+
+def energy_sweep_plan(scale: Scale = DEFAULT, seeds=None,
+                      governors: Sequence[str] = ("static", "ondemand",
+                                                  "poll-adaptive"),
+                      servers: int = 3, clients: int = 6,
+                      fractions: Sequence[float] = (0.1, 0.5)):
+    """The §X governor sweep as a single-point :class:`SweepPlan`
+    (each seed is one whole idle→peak sweep)."""
+    from repro.experiments.sweep import SweepPlan, SweepPoint
+    point = SweepPoint.of(
+        f"{len(governors)} governors / {servers} servers",
+        governors=tuple(governors), servers=servers, clients=clients,
+        fractions=tuple(fractions))
+    return SweepPlan("energy", (point,), tuple(seeds or scale.seeds), scale)
+
+
+SWEEP_CELLS = {"energy": _energy_cell}
+SWEEP_PLANS = {"energy": energy_sweep_plan}
 
 
 # -- cluster power capping ---------------------------------------------------

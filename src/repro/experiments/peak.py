@@ -9,15 +9,22 @@ per machine, Infiniband.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.cluster import ClusterSpec, ExperimentSpec, repeat_experiment
 from repro.experiments.reporting import ComparisonTable
 from repro.experiments.scale import DEFAULT, Scale
+from repro.experiments.sweep import (
+    SweepPlan,
+    SweepPoint,
+    SweepReport,
+    outcome_from_experiment,
+)
 from repro.ramcloud.config import ServerConfig
 from repro.ycsb.workload import WORKLOAD_C
 
-__all__ = ["run_fig1_peak", "run_table1_cpu", "run_fig2_efficiency"]
+__all__ = ["run_fig1_peak", "run_table1_cpu", "run_fig2_efficiency",
+           "fig1_sweep_plan"]
 
 # Paper values.  Text-sourced numbers are exact; curve points without a
 # number in the text are digitized from the figures (marked ~ in notes).
@@ -56,20 +63,60 @@ def _peak_spec(servers: int, clients: int, scale: Scale,
     )
 
 
+def _fig1_cell(params: Dict[str, object], seed: int,
+               scale: Scale):
+    """Sweep cell runner: one (servers, clients, seed) point of the
+    §IV read-only grid — the exact run ``repeat_experiment`` performs."""
+    from repro.cluster import run_experiment
+    result = run_experiment(_peak_spec(int(params["servers"]),
+                                       int(params["clients"]),
+                                       scale, seed=seed))
+    return outcome_from_experiment(result)
+
+
+def fig1_sweep_plan(scale: Scale = DEFAULT,
+                    seeds: Optional[Sequence[int]] = None,
+                    server_counts: Sequence[int] = (1, 5, 10),
+                    client_counts: Sequence[int] = (1, 10, 30),
+                    ) -> SweepPlan:
+    """The Fig. 1/Fig. 2 grid as a :class:`SweepPlan` (one sweep feeds
+    both runners — they measure the same cells)."""
+    points = tuple(
+        SweepPoint.of(f"{servers} servers / {clients} clients",
+                      servers=servers, clients=clients)
+        for servers in server_counts for clients in client_counts)
+    return SweepPlan("fig1", points, tuple(seeds or scale.seeds), scale)
+
+
+SWEEP_CELLS = {"fig1": _fig1_cell}
+SWEEP_PLANS = {"fig1": fig1_sweep_plan}
+
+
 def run_fig1_peak(scale: Scale = DEFAULT,
                   server_counts: Sequence[int] = (1, 5, 10),
                   client_counts: Sequence[int] = (1, 10, 30),
+                  sweep: Optional[SweepReport] = None,
                   ) -> Tuple[ComparisonTable, ComparisonTable]:
-    """Fig. 1a (throughput) and Fig. 1b (average power per server)."""
+    """Fig. 1a (throughput) and Fig. 1b (average power per server).
+
+    Pass a merged ``sweep`` (from :func:`fig1_sweep_plan` through
+    :func:`~repro.experiments.sweep.run_sweep`) to render from its
+    aggregates instead of re-running the cells serially — bit-identical
+    output, parallel wall-clock.
+    """
     throughput = ComparisonTable(
         "Fig. 1a", "read-only aggregated throughput (Kop/s)")
     power = ComparisonTable(
         "Fig. 1b", "average power per server (W)")
+    merged = sweep.checked_aggregates() if sweep is not None else None
     for servers in server_counts:
         for clients in client_counts:
-            metrics, _results = repeat_experiment(
-                _peak_spec(servers, clients, scale), scale.seeds)
             label = f"{servers} servers / {clients} clients"
+            if merged is not None:
+                metrics = merged[label]
+            else:
+                metrics, _results = repeat_experiment(
+                    _peak_spec(servers, clients, scale), scale.seeds)
             throughput.add(label,
                            PAPER_FIG1A_KOPS.get((servers, clients)),
                            metrics["throughput"].mean / 1000.0, "K")
@@ -117,14 +164,22 @@ def run_table1_cpu(scale: Scale = DEFAULT,
 def run_fig2_efficiency(scale: Scale = DEFAULT,
                         server_counts: Sequence[int] = (1, 5, 10),
                         client_counts: Sequence[int] = (1, 10, 30),
+                        sweep: Optional[SweepReport] = None,
                         ) -> ComparisonTable:
-    """Fig. 2: energy efficiency (operations per joule)."""
+    """Fig. 2: energy efficiency (operations per joule).
+
+    The same grid as Fig. 1, so the same merged ``sweep`` serves both.
+    """
     table = ComparisonTable("Fig. 2", "energy efficiency (op/joule)")
     measured_cache: Dict[Tuple[int, int], float] = {}
+    merged = sweep.checked_aggregates() if sweep is not None else None
     for servers in server_counts:
         for clients in client_counts:
-            metrics, _results = repeat_experiment(
-                _peak_spec(servers, clients, scale), scale.seeds)
+            if merged is not None:
+                metrics = merged[f"{servers} servers / {clients} clients"]
+            else:
+                metrics, _results = repeat_experiment(
+                    _peak_spec(servers, clients, scale), scale.seeds)
             eff = metrics["energy_efficiency"].mean
             measured_cache[(servers, clients)] = eff
             table.add(f"{servers} servers / {clients} clients",

@@ -8,7 +8,7 @@ and Fig. 12 (aggregate disk activity during recovery).
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.cluster import (
     ClusterSpec,
@@ -18,11 +18,18 @@ from repro.cluster import (
 )
 from repro.experiments.reporting import ComparisonTable
 from repro.experiments.scale import DEFAULT, Scale
+from repro.experiments.sweep import (
+    SweepPlan,
+    SweepPoint,
+    SweepReport,
+    outcome_from_crash,
+)
 from repro.ramcloud.config import ServerConfig
 from repro.ycsb.workload import WORKLOAD_C
 
 __all__ = ["run_fig9_crash_timeline", "run_fig10_latency_crash",
-           "run_fig11_recovery_rf", "run_fig12_disk_activity"]
+           "run_fig11_recovery_rf", "run_fig12_disk_activity",
+           "fig11_sweep_plan"]
 
 # Paper anchors (§VII text + digitized curves).
 PAPER_FIG9A_PEAK_CPU = 92.0  # cluster average CPU % during recovery
@@ -141,19 +148,70 @@ def run_fig10_latency_crash(scale: Scale = DEFAULT,
     return table, result
 
 
+def _fig11_cell(params: Dict[str, object], seed: int, scale: Scale):
+    """Sweep cell runner: one (servers, rf, seed) crash-recovery run of
+    the Fig. 11 grid."""
+    spec = _crash_spec(scale, servers=int(params["servers"]),
+                       rf=int(params["rf"]),
+                       bytes_per_server=scale.recovery_bytes_per_server,
+                       kill_at=10.0, seed=seed)
+    return outcome_from_crash(run_crash_experiment(spec))
+
+
+def fig11_sweep_plan(scale: Scale = DEFAULT,
+                     seeds: Optional[Sequence[int]] = None,
+                     rfs: Sequence[int] = (1, 2, 3, 4, 5),
+                     servers: int = 9) -> SweepPlan:
+    """The Fig. 11 grid as a :class:`SweepPlan`.
+
+    Defaults to the serial runner's pinned seed 3, so a merged sweep
+    renders the exact table :func:`run_fig11_recovery_rf` produces
+    today; pass ``seeds`` to average recovery times over reruns the
+    way the paper did.
+    """
+    points = tuple(SweepPoint.of(f"RF {rf}", servers=servers, rf=rf)
+                   for rf in rfs)
+    return SweepPlan("fig11", points, tuple(seeds or (3,)), scale)
+
+
+SWEEP_CELLS = {"fig11": _fig11_cell}
+SWEEP_PLANS = {"fig11": fig11_sweep_plan}
+
+
 def run_fig11_recovery_rf(scale: Scale = DEFAULT,
                           rfs: Sequence[int] = (1, 2, 3, 4, 5),
                           servers: int = 9,
+                          sweep: Optional[SweepReport] = None,
                           ) -> Tuple[ComparisonTable, ComparisonTable]:
     """Fig. 11a (recovery time vs RF) and Fig. 11b (per-node energy
-    during recovery vs RF); 9 servers, ≈1.085 GB to recover."""
+    during recovery vs RF); 9 servers, ≈1.085 GB to recover.
+
+    Pass a merged ``sweep`` (from :func:`fig11_sweep_plan`) to render
+    from its aggregates instead of re-running the cells serially.
+    """
     time_table = ComparisonTable(
         "Fig. 11a", f"recovery time vs replication factor ({servers} "
         "servers, ~1.085 GB/server)")
     energy_table = ComparisonTable(
         "Fig. 11b", "per-node energy during recovery vs RF")
     durations: Dict[int, float] = {}
+    merged = sweep.checked_aggregates() if sweep is not None else None
     for rf in rfs:
+        if merged is not None:
+            metrics = merged.get(f"RF {rf}")
+            # ``recovery_time`` is aggregated only when every seed's
+            # recovery finished (metric-key intersection).
+            if metrics is None or "recovery_time" not in metrics:
+                time_table.add(f"RF {rf}", PAPER_FIG11A_SECONDS.get(rf),
+                               None, " s", note="recovery did not finish")
+                continue
+            durations[rf] = metrics["recovery_time"].mean
+            time_table.add(f"RF {rf}", PAPER_FIG11A_SECONDS.get(rf),
+                           durations[rf], " s")
+            energy_table.add(
+                f"RF {rf}", PAPER_FIG11B_KILOJOULES.get(rf),
+                metrics["energy_per_node_joules"].mean / 1000.0, " kJ")
+            continue
         spec = _crash_spec(scale, servers=servers, rf=rf,
                            bytes_per_server=scale.recovery_bytes_per_server,
                            kill_at=10.0)

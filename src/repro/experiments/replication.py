@@ -15,11 +15,18 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.cluster import ClusterSpec, ExperimentSpec, repeat_experiment
 from repro.experiments.reporting import ComparisonTable
 from repro.experiments.scale import DEFAULT, Scale
+from repro.experiments.sweep import (
+    SweepPlan,
+    SweepPoint,
+    SweepReport,
+    outcome_from_experiment,
+)
 from repro.ramcloud.config import ServerConfig
 from repro.ycsb.workload import WORKLOAD_A
 
 __all__ = ["run_fig5_replication", "run_fig6_replication_scale",
-           "run_fig7_power_rf", "run_fig8_efficiency_rf"]
+           "run_fig7_power_rf", "run_fig8_efficiency_rf",
+           "fig5_sweep_plan"]
 
 # Fig. 5 (20 servers): exact where stated in the text, digitized (~)
 # elsewhere.  Kop/s.
@@ -72,16 +79,54 @@ def _measure(servers: int, clients: int, rf: int, scale: Scale):
     return metrics, crashed
 
 
+def _fig5_cell(params: Dict[str, object], seed: int, scale: Scale):
+    """Sweep cell runner: one (servers, clients, rf, seed) point of the
+    §VI replication grid — the exact run ``repeat_experiment`` performs."""
+    from repro.cluster import run_experiment
+    spec = _spec(int(params["servers"]), int(params["clients"]),
+                 int(params["rf"]), scale)
+    spec = spec.with_(cluster=spec.cluster.with_(seed=seed))
+    return outcome_from_experiment(run_experiment(spec))
+
+
+def fig5_sweep_plan(scale: Scale = DEFAULT,
+                    seeds: Optional[Sequence[int]] = None,
+                    client_counts: Sequence[int] = (10, 30, 60),
+                    rfs: Sequence[int] = (1, 2, 3, 4),
+                    servers: int = 20) -> SweepPlan:
+    """The Fig. 5 grid as a :class:`SweepPlan`."""
+    points = tuple(
+        SweepPoint.of(f"{clients} clients / RF {rf}",
+                      servers=servers, clients=clients, rf=rf)
+        for clients in client_counts for rf in rfs)
+    return SweepPlan("fig5", points, tuple(seeds or scale.seeds), scale)
+
+
+SWEEP_CELLS = {"fig5": _fig5_cell}
+SWEEP_PLANS = {"fig5": fig5_sweep_plan}
+
+
 def run_fig5_replication(scale: Scale = DEFAULT,
                          client_counts: Sequence[int] = (10, 30, 60),
                          rfs: Sequence[int] = (1, 2, 3, 4),
-                         servers: int = 20) -> ComparisonTable:
-    """Fig. 5: throughput of 20 servers vs replication factor."""
+                         servers: int = 20,
+                         sweep: Optional[SweepReport] = None,
+                         ) -> ComparisonTable:
+    """Fig. 5: throughput of 20 servers vs replication factor.
+
+    Pass a merged ``sweep`` (from :func:`fig5_sweep_plan`) to render
+    from its aggregates instead of re-running the cells serially.
+    """
     table = ComparisonTable(
         "Fig. 5", f"workload A throughput vs RF, {servers} servers (Kop/s)")
+    merged = sweep.checked_aggregates() if sweep is not None else None
     for clients in client_counts:
         for rf in rfs:
-            metrics, crashed = _measure(servers, clients, rf, scale)
+            if merged is not None:
+                metrics = merged[f"{clients} clients / RF {rf}"]
+                crashed = any(v > 0 for v in metrics["crashed"].values)
+            else:
+                metrics, crashed = _measure(servers, clients, rf, scale)
             table.add(f"{clients} clients / RF {rf}",
                       PAPER_FIG5_KOPS.get((clients, rf)),
                       metrics["throughput"].mean / 1000.0, "K",

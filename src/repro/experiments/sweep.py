@@ -1,0 +1,745 @@
+"""repro.sweep — the parallel multi-seed sweep runner (ROADMAP item 1).
+
+The paper's results come from ≈3000 runs on a 131-node testbed; ours
+come from grids of (experiment, config-point, seed) cells that today
+run strictly serially inside each ``run_fig*`` runner.  Determinism
+makes those cells embarrassingly parallel: two runs of the same cell
+are byte-identical (``tests/analyze/test_determinism.py``), so fanning
+cells across worker *processes* must change nothing but wall-clock
+time.  This module makes that property load-bearing and keeps it
+tested:
+
+* :class:`SweepPlan` names a registered experiment and the grid of
+  :class:`SweepPoint` config points × seeds to run;
+* :func:`run_sweep` fans one worker process per cell through a
+  ``ProcessPoolExecutor`` (``spawn`` context: workers import the tree
+  fresh and share no interpreter state with the parent), streams back
+  per-cell :class:`CellOutcome` payloads — headline metrics plus the
+  cell's **determinism digest** — and merges them into the same
+  :class:`~repro.cluster.experiment.Aggregate` statistics the serial
+  path produces (bit-identical: same floats, same seed order);
+* ``serial_check=k`` re-runs a deterministic sample of ``k`` completed
+  cells in-process and asserts digest-for-digest equality, so the
+  parallel path can never silently fork behaviour from the serial one;
+* a worker killed mid-cell (OOM, SIGKILL) breaks the pool; the runner
+  quarantines the affected cells, retries each alone in a fresh pool so
+  only the true culprit pays its retry budget, and still produces a
+  complete merged report for the surviving cells.
+
+Experiments register a *cell runner* — ``runner(params, seed, scale) ->
+CellOutcome`` — in their module-level ``SWEEP_CELLS`` dict and a plan
+factory in ``SWEEP_PLANS``; see :mod:`repro.experiments.peak` for the
+pattern.  The registry is resolved lazily (inside functions) in both
+the parent and the workers, so this module never imports the experiment
+modules at import time and there is no cycle.
+
+Environment isolation: every cell — serial, parallel, or
+serial-check — executes through :func:`_execute_cell`, which pins the
+digest-relevant environment (``REPRO_SIM_DEBUG``) from the plan and
+restores the whole environment afterwards, so a cell that mutates
+global state cannot leak into a sibling scheduled onto the same worker
+(``tests/sweep/test_seed_isolation.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.experiment import Aggregate
+from repro.experiments.scale import DEFAULT, Scale
+
+__all__ = [
+    "CellOutcome", "CellResult", "SerialEquivalenceError", "SweepCell",
+    "SweepPlan", "SweepPoint", "SweepReport", "cell_registry",
+    "crash_experiment_digest", "experiment_digest", "list_experiments",
+    "outcome_from_crash", "outcome_from_experiment", "plan_for",
+    "run_sweep",
+]
+
+SCHEMA = 1
+
+# Experiment modules that contribute SWEEP_CELLS / SWEEP_PLANS entries.
+# Imported lazily so that those modules may import this one.
+_EXPERIMENT_MODULES = (
+    "repro.experiments.peak",
+    "repro.experiments.workloads",
+    "repro.experiments.replication",
+    "repro.experiments.recovery",
+    "repro.experiments.energy_proportionality",
+)
+
+
+# -- determinism digests ------------------------------------------------
+#
+# The canonical byte-exact digests of everything an experiment measures.
+# These started life in tests/analyze/test_determinism.py (which now
+# imports them from here); the sweep runner computes them per cell so
+# serial and parallel execution can be compared digest-for-digest.
+
+
+def experiment_digest(result) -> str:
+    """Byte-exact digest of everything an ``ExperimentResult`` measured."""
+    h = hashlib.sha256()
+
+    def feed(label, value):
+        h.update(f"{label}={value!r}\n".encode())
+
+    feed("total_ops", result.total_ops)
+    feed("makespan", result.makespan)
+    feed("throughput", result.throughput)
+    feed("avg_power_per_server", result.avg_power_per_server)
+    feed("total_energy_joules", result.total_energy_joules)
+    feed("energy_efficiency", result.energy_efficiency)
+    feed("client_errors", result.client_errors)
+    for node in sorted(result.cpu_util_per_node):
+        feed(f"cpu[{node}]", result.cpu_util_per_node[node])
+    for i, stats in enumerate(result.per_client_stats):
+        feed(f"client[{i}].ops", stats.total_ops)
+        latencies = stats.all_latencies().latencies
+        for latency in latencies:
+            feed(f"client[{i}].lat", latency)
+    # Race reports (nonempty only under REPRO_SIM_DEBUG=1) must also be
+    # byte-identical across same-seed runs.
+    for report in result.race_reports:
+        feed("race", report)
+    return h.hexdigest()
+
+
+def crash_experiment_digest(result) -> str:
+    """Byte-exact digest of everything a ``CrashExperimentResult`` measured."""
+    h = hashlib.sha256()
+
+    def feed(label, value):
+        h.update(f"{label}={value!r}\n".encode())
+
+    feed("crashed_server", result.crashed_server)
+    for t, description in result.fault_log:
+        feed("fault", (t, description))
+    stats = result.recovery
+    feed("recovery", (stats.crashed_id, stats.detected_at,
+                      stats.started_at, stats.finished_at,
+                      stats.partitions, stats.segments,
+                      stats.bytes_to_recover, stats.lost_segments,
+                      tuple(stats.recovery_masters)))
+    for i, repair in enumerate(result.repairs):
+        feed(f"repair[{i}]", (repair.dead_server, repair.started_at,
+                              repair.peak_under_replicated,
+                              repair.replicas_lost,
+                              repair.segments_repaired,
+                              repair.finished_at))
+    for series in (result.cluster_cpu, result.disk_read_mbps,
+                   result.disk_write_mbps, result.under_replicated):
+        feed(f"{series.name}.times", result.cluster_cpu.times)
+        feed(f"{series.name}.values", series.values)
+    for name in sorted(result.per_node_power):
+        feed(f"power[{name}]", result.per_node_power[name].values)
+    for report in result.race_reports:
+        feed("race", report)
+    return h.hexdigest()
+
+
+# -- cell payloads ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """What one cell sends back across the process boundary: headline
+    scalar metrics plus the determinism digest of the full result."""
+
+    metrics: Dict[str, float]
+    digest: str
+    events: int = 0
+    ops: int = 0
+
+
+def outcome_from_experiment(result) -> CellOutcome:
+    """Standard outcome for a YCSB-style ``ExperimentResult`` cell —
+    carries exactly the per-seed floats ``repeat_experiment`` aggregates,
+    so merged sweep statistics are bit-identical to the serial path."""
+    return CellOutcome(
+        metrics={
+            "throughput": result.throughput,
+            "avg_power_per_server": result.avg_power_per_server,
+            "total_energy_joules": result.total_energy_joules,
+            "energy_efficiency": result.energy_efficiency,
+            "makespan": result.makespan,
+            "cpu_util_avg": result.cpu_util_avg,
+            "total_ops": float(result.total_ops),
+            "client_errors": float(result.client_errors),
+            "crashed": 1.0 if result.crashed else 0.0,
+        },
+        digest=experiment_digest(result),
+        events=result.sim_events,
+        ops=result.total_ops,
+    )
+
+
+def outcome_from_crash(result) -> CellOutcome:
+    """Standard outcome for a ``CrashExperimentResult`` cell."""
+    metrics: Dict[str, float] = {
+        "finished": 1.0 if (result.recovery is not None
+                            and result.recovery.finished_at is not None)
+        else 0.0,
+    }
+    if metrics["finished"]:
+        metrics["recovery_time"] = result.recovery_time
+        metrics["energy_per_node_joules"] = (
+            result.energy_per_node_during_recovery())
+        metrics["avg_power_during_recovery"] = (
+            result.avg_power_during_recovery())
+    return CellOutcome(metrics=metrics,
+                       digest=crash_experiment_digest(result))
+
+
+# -- plans ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One config point of the grid: a label plus the runner params."""
+
+    label: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, label: str, **params: Any) -> "SweepPoint":
+        """Build a point from keyword params (canonical key order)."""
+        return cls(label=label, params=tuple(sorted(params.items())))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The params as the dict the cell runner receives."""
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (experiment, config-point, seed) unit of work."""
+
+    experiment: str
+    point: SweepPoint
+    seed: int
+
+    @property
+    def key(self) -> Tuple[str, str, int]:
+        """The cell's stable identity (experiment, point label, seed)."""
+        return (self.experiment, self.point.label, self.seed)
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """A grid of cells over one registered experiment.
+
+    ``debug=None`` (the default) pins every cell to the parent's
+    ``REPRO_SIM_DEBUG`` at :func:`run_sweep` time, so serial and
+    parallel executions of the same plan see the same sanitizer mode.
+    """
+
+    experiment: str
+    points: Tuple[SweepPoint, ...]
+    seeds: Tuple[int, ...]
+    scale: Scale = DEFAULT
+    debug: Optional[bool] = None
+
+    def cells(self) -> Tuple[SweepCell, ...]:
+        """Every cell, in canonical (point, seed) order — the order the
+        serial path runs them and the merge aggregates them in."""
+        return tuple(SweepCell(self.experiment, point, seed)
+                     for point in self.points for seed in self.seeds)
+
+
+@dataclass
+class CellResult:
+    """One cell's fate: its outcome, or the error that exhausted it."""
+
+    cell: SweepCell
+    outcome: Optional[CellOutcome]
+    attempts: int = 1
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the cell produced an outcome."""
+        return self.outcome is not None
+
+
+class SerialEquivalenceError(AssertionError):
+    """A parallel cell's digest differs from its in-process rerun."""
+
+
+# -- the registry --------------------------------------------------------
+
+_registry_cache: Optional[Dict[str, Callable]] = None
+_plans_cache: Optional[Dict[str, Callable]] = None
+
+
+def cell_registry() -> Dict[str, Callable]:
+    """experiment name → cell runner, collected from every experiment
+    module's ``SWEEP_CELLS`` (resolved identically in parent and
+    workers, so a spawn-context worker sees the same mapping)."""
+    global _registry_cache
+    if _registry_cache is None:
+        import importlib
+        registry: Dict[str, Callable] = {"_selftest": _selftest_cell}
+        for name in _EXPERIMENT_MODULES:
+            module = importlib.import_module(name)
+            registry.update(getattr(module, "SWEEP_CELLS", {}))
+        _registry_cache = registry
+    return _registry_cache
+
+
+def _selftest_plan(scale: Scale = DEFAULT,
+                   seeds: Optional[Sequence[int]] = None,
+                   **params) -> "SweepPlan":
+    """Plan for the built-in test experiment (hidden from listings)."""
+    point = SweepPoint.of("selftest", servers=2, clients=1, **params)
+    return SweepPlan("_selftest", (point,), tuple(seeds or (1, 2)), scale)
+
+
+def _plan_registry() -> Dict[str, Callable]:
+    global _plans_cache
+    if _plans_cache is None:
+        import importlib
+        plans: Dict[str, Callable] = {"_selftest": _selftest_plan}
+        for name in _EXPERIMENT_MODULES:
+            module = importlib.import_module(name)
+            plans.update(getattr(module, "SWEEP_PLANS", {}))
+        _plans_cache = plans
+    return _plans_cache
+
+
+def list_experiments() -> List[str]:
+    """The public experiments ``plan_for`` knows how to plan."""
+    return sorted(name for name in _plan_registry() if not
+                  name.startswith("_"))
+
+
+def plan_for(experiment: str, scale: Scale = DEFAULT,
+             seeds: Optional[Sequence[int]] = None, **kwargs) -> SweepPlan:
+    """The default :class:`SweepPlan` for a registered experiment."""
+    try:
+        factory = _plan_registry()[experiment]
+    except KeyError:
+        raise ValueError(
+            f"unknown sweep experiment {experiment!r}: "
+            f"choose from {list_experiments()}") from None
+    return factory(scale, seeds=tuple(seeds) if seeds else None, **kwargs)
+
+
+# -- cell execution (shared by the serial path, the workers, and the
+#    serial-equivalence check) -------------------------------------------
+
+
+def _resolve_debug(debug: Optional[bool]) -> bool:
+    if debug is not None:
+        return debug
+    return os.environ.get("REPRO_SIM_DEBUG", "0") not in ("", "0")
+
+
+def _execute_cell(experiment: str, params: Dict[str, Any], seed: int,
+                  scale: Scale, debug: bool, attempt: int) -> CellOutcome:
+    """Run one cell with a pinned environment.
+
+    The environment snapshot/restore is the seed-isolation contract: a
+    runner that mutates ``os.environ`` (deliberately or not) cannot
+    leak into the next cell scheduled onto the same worker process, and
+    the digest-relevant ``REPRO_SIM_DEBUG`` is always set from the plan
+    rather than inherited.
+    """
+    saved = dict(os.environ)
+    try:
+        os.environ["REPRO_SIM_DEBUG"] = "1" if debug else "0"
+        os.environ["REPRO_SWEEP_ATTEMPT"] = str(attempt)
+        runner = cell_registry()[experiment]
+        return runner(dict(params), seed, scale)
+    finally:
+        os.environ.clear()
+        os.environ.update(saved)
+
+
+def _worker(payload: Tuple[str, Dict[str, Any], int, Scale, bool, int]
+            ) -> CellOutcome:
+    """Pool entry point (module-level so spawn can pickle it)."""
+    experiment, params, seed, scale, debug, attempt = payload
+    return _execute_cell(experiment, params, seed, scale, debug, attempt)
+
+
+def _payload(plan: SweepPlan, cell: SweepCell, debug: bool, attempt: int):
+    return (cell.experiment, cell.point.as_dict(), cell.seed, plan.scale,
+            debug, attempt)
+
+
+# -- the report -----------------------------------------------------------
+
+
+@dataclass
+class SweepReport:
+    """The merged result of one sweep, in canonical plan order."""
+
+    plan: SweepPlan
+    results: List[CellResult]
+    parallel: bool
+    workers: int
+    serial_checked: List[Tuple[str, str, int]] = field(default_factory=list)
+
+    def digests(self) -> Dict[Tuple[str, int], str]:
+        """(point label, seed) → determinism digest, completed cells only."""
+        return {(r.cell.point.label, r.cell.seed): r.outcome.digest
+                for r in self.results if r.ok}
+
+    def failed(self) -> List[CellResult]:
+        """Cells that exhausted their retry budget."""
+        return [r for r in self.results if not r.ok]
+
+    def checked_aggregates(self) -> Dict[str, Dict[str, Aggregate]]:
+        """:meth:`aggregates`, refusing to render a partial sweep.
+
+        The figure runners use this: a table silently missing a failed
+        point (or mislabelling it "did not finish") is worse than an
+        error naming the dead cells.
+        """
+        failed = self.failed()
+        if failed:
+            cells = ", ".join(repr(r.cell.key) for r in failed)
+            raise RuntimeError(
+                f"sweep has {len(failed)} failed cell(s): {cells}")
+        return self.aggregates()
+
+    def aggregates(self) -> Dict[str, Dict[str, Aggregate]]:
+        """point label → metric → :class:`Aggregate` over its seeds.
+
+        Values are fed in plan seed order, so the result is bit-identical
+        to what the serial ``repeat_experiment`` path computes for the
+        same cells.  Only metrics present in every completed seed of a
+        point are aggregated; points with no completed seed are absent.
+        """
+        merged: Dict[str, Dict[str, Aggregate]] = {}
+        for point in self.plan.points:
+            rows = [r for r in self.results
+                    if r.ok and r.cell.point.label == point.label]
+            if not rows:
+                continue
+            keys = set(rows[0].outcome.metrics)
+            for row in rows[1:]:
+                keys &= set(row.outcome.metrics)
+            merged[point.label] = {
+                key: Aggregate.of([row.outcome.metrics[key] for row in rows])
+                for key in sorted(keys)}
+        return merged
+
+    def merged_digest(self) -> str:
+        """One digest over every cell digest (order-independent: keyed
+        and sorted by cell identity, so scheduling cannot perturb it)."""
+        h = hashlib.sha256()
+        for result in sorted(self.results, key=lambda r: r.cell.key):
+            if result.ok:
+                h.update(f"{result.cell.key}={result.outcome.digest}\n"
+                         .encode())
+            else:
+                h.update(f"{result.cell.key}=FAILED\n".encode())
+        return h.hexdigest()
+
+    def to_json(self) -> Dict[str, Any]:
+        """A JSON-serializable dump (the ``tools/sweep.py --json`` file)."""
+        return {
+            "schema": SCHEMA,
+            "experiment": self.plan.experiment,
+            "scale": self.plan.scale.name,
+            "seeds": list(self.plan.seeds),
+            "parallel": self.parallel,
+            "workers": self.workers,
+            "merged_digest": self.merged_digest(),
+            "serial_checked": [list(key) for key in self.serial_checked],
+            "cells": [{
+                "point": r.cell.point.label,
+                "params": {k: list(v) if isinstance(v, tuple) else v
+                           for k, v in r.cell.point.params},
+                "seed": r.cell.seed,
+                "attempts": r.attempts,
+                "error": r.error,
+                "digest": r.outcome.digest if r.ok else None,
+                "events": r.outcome.events if r.ok else None,
+                "ops": r.outcome.ops if r.ok else None,
+                "metrics": dict(r.outcome.metrics) if r.ok else None,
+            } for r in self.results],
+            "aggregates": {
+                label: {metric: {"mean": agg.mean, "stddev": agg.stddev,
+                                 "values": list(agg.values)}
+                        for metric, agg in metrics.items()}
+                for label, metrics in self.aggregates().items()},
+        }
+
+
+# -- the runner -----------------------------------------------------------
+
+
+def _src_root() -> str:
+    return os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                        "..", ".."))
+
+
+def _run_cell_inprocess(plan: SweepPlan, cell: SweepCell,
+                        debug: bool) -> CellResult:
+    try:
+        outcome = _execute_cell(cell.experiment, cell.point.as_dict(),
+                                cell.seed, plan.scale, debug, attempt=1)
+    except Exception as exc:
+        return CellResult(cell, None, attempts=1,
+                          error=f"{type(exc).__name__}: {exc}")
+    return CellResult(cell, outcome)
+
+
+def _run_cells_parallel(plan: SweepPlan, cells: Sequence[SweepCell],
+                        order: Sequence[int], debug: bool, workers: int,
+                        retries: int, results: Dict[int, CellResult],
+                        on_cell: Optional[Callable]) -> None:
+    ctx = get_context("spawn")
+    # Failed executions each cell may still absorb.  A broken pool
+    # charges every affected cell one (the culprit is unknowable), but
+    # quarantine then reruns each alone, so an innocent cell wins its
+    # life back on the very next attempt.
+    budget = {i: retries + 1 for i in order}
+    attempts = {i: 0 for i in order}
+
+    def finish(i: int, outcome: Optional[CellOutcome], error: Optional[str]):
+        results[i] = CellResult(cells[i], outcome, attempts[i], error)
+        if on_cell is not None:
+            on_cell(results[i])
+
+    pending = list(order)
+    while pending:
+        batch, pending = pending, []
+        quarantine: List[int] = []
+        with ProcessPoolExecutor(max_workers=min(workers, len(batch)),
+                                 mp_context=ctx) as pool:
+            futures = {}
+            for i in batch:
+                attempts[i] += 1
+                futures[pool.submit(
+                    _worker, _payload(plan, cells[i], debug,
+                                      attempts[i]))] = i
+            for future in as_completed(futures):
+                i = futures[future]
+                try:
+                    outcome = future.result()
+                except BrokenProcessPool:
+                    budget[i] -= 1
+                    quarantine.append(i)
+                except Exception as exc:
+                    budget[i] -= 1
+                    error = f"{type(exc).__name__}: {exc}"
+                    if budget[i] > 0:
+                        pending.append(i)
+                    else:
+                        finish(i, None, error)
+                else:
+                    finish(i, outcome, None)
+        # Quarantine: a worker died and took the pool with it.  Rerun
+        # each affected cell alone in a fresh single-worker pool — a
+        # solo crash is definitive blame.  Every quarantined cell gets
+        # at least one solo run even with its budget exhausted (the
+        # batch break charged innocents it cannot tell from the
+        # culprit), so a bystander always wins its result back while
+        # the true crasher fails after exactly its retry budget.
+        for i in sorted(quarantine):
+            solo_ran = False
+            while i not in results:
+                if budget[i] <= 0 and solo_ran:
+                    finish(i, None, "worker crashed mid-cell "
+                                    f"(SIGKILL/OOM) after {attempts[i]} "
+                                    "attempts")
+                    break
+                attempts[i] += 1
+                solo_ran = True
+                with ProcessPoolExecutor(max_workers=1,
+                                         mp_context=ctx) as solo:
+                    try:
+                        outcome = solo.submit(
+                            _worker, _payload(plan, cells[i], debug,
+                                              attempts[i])).result()
+                    except BrokenProcessPool:
+                        budget[i] -= 1
+                    except Exception as exc:
+                        budget[i] -= 1
+                        if budget[i] <= 0:
+                            finish(i, None, f"{type(exc).__name__}: {exc}")
+                    else:
+                        finish(i, outcome, None)
+
+
+def _serial_equivalence_check(report: SweepReport, debug: bool,
+                              count: int) -> None:
+    """Rerun ``count`` completed cells in-process; digests must match."""
+    ok = [r for r in report.results if r.ok]
+    # Deterministic, scheduling-independent sample: rank by the hash of
+    # the cell identity and take the first ``count``.
+    ranked = sorted(ok, key=lambda r: hashlib.sha256(
+        repr(r.cell.key).encode()).hexdigest())
+    mismatches = []
+    for result in ranked[:count]:
+        rerun = _run_cell_inprocess(report.plan, result.cell, debug)
+        report.serial_checked.append(result.cell.key)
+        if not rerun.ok:
+            mismatches.append(f"{result.cell.key}: in-process rerun "
+                              f"failed: {rerun.error}")
+        elif rerun.outcome.digest != result.outcome.digest:
+            mismatches.append(
+                f"{result.cell.key}: parallel digest "
+                f"{result.outcome.digest[:16]}… != serial "
+                f"{rerun.outcome.digest[:16]}…")
+    if mismatches:
+        raise SerialEquivalenceError(
+            "parallel sweep diverged from the serial path:\n  "
+            + "\n  ".join(mismatches))
+
+
+def run_sweep(plan: SweepPlan, *, parallel: bool = True,
+              workers: Optional[int] = None, retries: int = 1,
+              serial_check: int = 0,
+              schedule: Optional[Sequence[int]] = None,
+              on_cell: Optional[Callable[[CellResult], None]] = None,
+              ) -> SweepReport:
+    """Run every cell of ``plan`` and merge the results.
+
+    ``parallel=False`` is the serial reference path: the same cells,
+    in canonical plan order, in this process.  ``schedule`` (parallel
+    only) permutes the submission order — the report is always in plan
+    order, and digests must be schedule-independent (tested).
+    ``serial_check=k`` reruns ``k`` completed cells in-process and
+    raises :class:`SerialEquivalenceError` on any digest mismatch.
+    ``on_cell`` streams each :class:`CellResult` as it completes.
+    """
+    cells = list(plan.cells())
+    if not cells:
+        raise ValueError("plan has no cells")
+    order = list(range(len(cells)))
+    if schedule is not None:
+        if sorted(schedule) != order:
+            raise ValueError(
+                f"schedule must be a permutation of 0..{len(cells) - 1}")
+        order = list(schedule)
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    debug = _resolve_debug(plan.debug)
+    results: Dict[int, CellResult] = {}
+
+    if not parallel:
+        for i in order:
+            results[i] = _run_cell_inprocess(plan, cells[i], debug)
+            if on_cell is not None:
+                on_cell(results[i])
+        workers = 0
+    else:
+        workers = workers or max(1, min(len(cells), os.cpu_count() or 1))
+        # Spawned workers import the tree from scratch: make sure they
+        # can find it even when the parent runs off PYTHONPATH=src.
+        saved_path = os.environ.get("PYTHONPATH")
+        entries = (saved_path or "").split(os.pathsep) if saved_path else []
+        if _src_root() not in entries:
+            os.environ["PYTHONPATH"] = os.pathsep.join(
+                [_src_root()] + entries)
+        try:
+            _run_cells_parallel(plan, cells, order, debug, workers,
+                                retries, results, on_cell)
+        finally:
+            if saved_path is None:
+                os.environ.pop("PYTHONPATH", None)
+            else:
+                os.environ["PYTHONPATH"] = saved_path
+
+    report = SweepReport(plan=plan,
+                         results=[results[i] for i in range(len(cells))],
+                         parallel=parallel, workers=workers)
+    if serial_check and parallel:
+        _serial_equivalence_check(report, debug, serial_check)
+    return report
+
+
+def write_report(report: SweepReport, path: str) -> None:
+    """Dump a report as JSON (the merged-results artifact CI uploads)."""
+    with open(path, "w") as fh:
+        json.dump(report.to_json(), fh, indent=1)
+        fh.write("\n")
+
+
+# -- the harness's own test experiment ------------------------------------
+
+
+_SELFTEST_LEAK: Optional[int] = None  # written by leaky cells, on purpose
+
+
+def _selftest_cell(params: Dict[str, Any], seed: int,
+                   scale: Scale) -> CellOutcome:
+    """The sweep harness's built-in test experiment (tests/sweep/).
+
+    A tiny read-only run with hooks that emulate misbehaving workers:
+
+    * ``crash_attempts=N`` — SIGKILL the worker process on attempts
+      1..N (the worker-crash/retry tests);
+    * ``fail=True`` — raise a plain exception instead of crashing;
+    * ``leak=True`` — after producing its result, pollute every global
+      a sloppy worker could: flip ``REPRO_SIM_DEBUG``, plant an env
+      knob a sibling would read, reseed the global ``random`` module
+      and write a module global (the seed-isolation tests);
+    * ``require_debug="1"`` — assert the pinned sanitizer mode arrived
+      intact (fails the cell if a sibling's leak got through);
+    * ``pid_salt=True`` — salt the digest with the worker's PID,
+      emulating execution-environment-dependent results (the
+      serial-equivalence check must catch this).
+
+    The workload length reads ``REPRO_SWEEP_SELFTEST_BUMP`` from the
+    environment, so an env leak from a sibling cell would visibly
+    change this cell's digest — that is what makes the isolation tests
+    meaningful rather than vacuous.
+    """
+    import random as _random  # simlint: disable=SIM003 deliberate leak under test
+    import signal
+
+    attempt = int(os.environ.get("REPRO_SWEEP_ATTEMPT", "1"))
+    if attempt <= int(params.get("crash_attempts", 0)):
+        os.kill(os.getpid(), signal.SIGKILL)  # a worker dying mid-cell
+    if params.get("require_debug") is not None:
+        got = os.environ.get("REPRO_SIM_DEBUG")
+        if got != params["require_debug"]:
+            raise AssertionError(
+                f"REPRO_SIM_DEBUG={got!r} leaked into a sibling cell "
+                f"(expected {params['require_debug']!r})")
+    if params.get("fail"):
+        raise RuntimeError("selftest cell asked to fail")
+
+    bump = int(os.environ.get("REPRO_SWEEP_SELFTEST_BUMP", "0"))
+    from repro.cluster import ClusterSpec, ExperimentSpec, run_experiment
+    from repro.ramcloud.config import ServerConfig
+    from repro.ycsb.workload import WORKLOAD_C
+    spec = ExperimentSpec(
+        cluster=ClusterSpec(
+            num_servers=int(params.get("servers", 1)),
+            num_clients=int(params.get("clients", 1)),
+            server_config=ServerConfig(replication_factor=0),
+            seed=seed),
+        workload=WORKLOAD_C.scaled(num_records=scale.num_records,
+                                   ops_per_client=scale.ops_per_client
+                                   + bump),
+    )
+    outcome = outcome_from_experiment(run_experiment(spec))
+    if params.get("pid_salt"):
+        salted = hashlib.sha256(
+            f"{outcome.digest}:{os.getpid()}".encode()).hexdigest()
+        outcome = CellOutcome(metrics=outcome.metrics, digest=salted,
+                              events=outcome.events, ops=outcome.ops)
+
+    if params.get("leak"):
+        # Pollute on purpose; _execute_cell must contain all of it.
+        os.environ["REPRO_SIM_DEBUG"] = (
+            "0" if os.environ.get("REPRO_SIM_DEBUG") == "1" else "1")
+        os.environ["REPRO_SWEEP_SELFTEST_BUMP"] = "50"
+        _random.seed(0)  # simlint: disable=SIM003 deliberate leak under test
+        global _SELFTEST_LEAK
+        _SELFTEST_LEAK = seed
+    return outcome

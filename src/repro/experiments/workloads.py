@@ -9,15 +9,22 @@ in the paper.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.cluster import ClusterSpec, ExperimentSpec, repeat_experiment
 from repro.experiments.reporting import ComparisonTable
 from repro.experiments.scale import DEFAULT, Scale
+from repro.experiments.sweep import (
+    SweepPlan,
+    SweepPoint,
+    SweepReport,
+    outcome_from_experiment,
+)
 from repro.ramcloud.config import ServerConfig
 from repro.ycsb.workload import WORKLOAD_A, WORKLOAD_B, WORKLOAD_C, WorkloadSpec
 
-__all__ = ["run_table2_throughput", "run_fig3_scalability", "run_fig4_power"]
+__all__ = ["run_table2_throughput", "run_fig3_scalability", "run_fig4_power",
+           "fig4_sweep_plan"]
 
 WORKLOADS = {"A": WORKLOAD_A, "B": WORKLOAD_B, "C": WORKLOAD_C}
 
@@ -101,21 +108,59 @@ def run_fig3_scalability(scale: Scale = DEFAULT,
     return table
 
 
+def _fig4_cell(params: Dict[str, object], seed: int, scale: Scale):
+    """Sweep cell runner: one (workload, servers, clients, seed) point
+    of the §V grid — the exact run ``repeat_experiment`` performs."""
+    from repro.cluster import run_experiment
+    spec = _spec(WORKLOADS[str(params["workload"])],
+                 int(params["servers"]), int(params["clients"]), scale)
+    spec = spec.with_(cluster=spec.cluster.with_(seed=seed))
+    return outcome_from_experiment(run_experiment(spec))
+
+
+def fig4_sweep_plan(scale: Scale = DEFAULT,
+                    seeds: Optional[Sequence[int]] = None,
+                    client_counts: Sequence[int] = (10, 30, 60, 90),
+                    servers: int = 20,
+                    workload_names: Sequence[str] = ("C", "B", "A"),
+                    ) -> SweepPlan:
+    """The Fig. 4a/4b grid as a :class:`SweepPlan`."""
+    points = tuple(
+        SweepPoint.of(f"workload {name} / {clients} clients",
+                      workload=name, servers=servers, clients=clients)
+        for name in workload_names for clients in client_counts)
+    return SweepPlan("fig4", points, tuple(seeds or scale.seeds), scale)
+
+
+SWEEP_CELLS = {"fig4": _fig4_cell}
+SWEEP_PLANS = {"fig4": fig4_sweep_plan}
+
+
 def run_fig4_power(scale: Scale = DEFAULT,
                    client_counts: Sequence[int] = (10, 30, 60, 90),
                    servers: int = 20,
+                   sweep: Optional[SweepReport] = None,
                    ) -> Tuple[ComparisonTable, ComparisonTable]:
     """Fig. 4a (power per node vs clients) and Fig. 4b (total energy at
-    90 clients, same total work per configuration)."""
+    90 clients, same total work per configuration).
+
+    Pass a merged ``sweep`` (from :func:`fig4_sweep_plan`) to render
+    from its aggregates instead of re-running the cells serially.
+    """
     power = ComparisonTable(
         "Fig. 4a", f"average power per node, {servers} servers (W)")
     energy = ComparisonTable(
         "Fig. 4b", "total energy at 90 clients (kJ, scaled run)")
     energy_measured: Dict[str, float] = {}
+    merged = sweep.checked_aggregates() if sweep is not None else None
     for name in ("C", "B", "A"):
         for clients in client_counts:
-            metrics, _r = repeat_experiment(
-                _spec(WORKLOADS[name], servers, clients, scale), scale.seeds)
+            if merged is not None:
+                metrics = merged[f"workload {name} / {clients} clients"]
+            else:
+                metrics, _r = repeat_experiment(
+                    _spec(WORKLOADS[name], servers, clients, scale),
+                    scale.seeds)
             power.add(f"workload {name} / {clients} clients",
                       PAPER_FIG4A_WATTS.get((name, clients)),
                       metrics["avg_power_per_server"].mean, "W")

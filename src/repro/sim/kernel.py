@@ -398,7 +398,7 @@ class Process(Event):
         return f"<Process {self.name} {state}>"
 
 
-class Simulator:  # simlint: disable=PERF001 one per run; __dict__ cost is amortized
+class Simulator:
     """The event loop: owns simulated time and the scheduling heap.
 
     ``debug=True`` attaches the runtime sanitizers
@@ -408,6 +408,9 @@ class Simulator:  # simlint: disable=PERF001 one per run; __dict__ cost is amort
     ``REPRO_SIM_DEBUG`` environment variable — the test suite turns it
     on globally; production runs pay only a ``None`` check.
     """
+
+    __slots__ = ("debug", "_sanitizer", "now", "_heap", "_seq", "_fatal",
+                 "tracer", "__weakref__")
 
     def __init__(self, debug: Optional[bool] = None):
         if debug is None:

@@ -6,9 +6,13 @@ seed agree to the last bit.  A stray ``random.random()``, an unordered
 this — simlint catches them statically, this test catches them (and
 anything simlint cannot see) at runtime by digesting every metric a
 small fig1-style experiment produces.
-"""
 
-import hashlib
+The digest functions themselves live in :mod:`repro.experiments.sweep`
+(imported here as ``digest``/``crash_digest``): the parallel sweep
+runner computes the same digests per cell, so what this file pins
+serially is byte-for-byte what ``pytest -m sweep`` compares across
+process boundaries.
+"""
 
 from repro.cluster import (
     ClusterSpec,
@@ -26,6 +30,8 @@ from repro.faults import (
     PartitionGroups,
     RpcMatch,
 )
+from repro.experiments.sweep import crash_experiment_digest as crash_digest
+from repro.experiments.sweep import experiment_digest as digest
 from repro.hardware.specs import MB
 from repro.ramcloud.config import ServerConfig
 from repro.ycsb.workload import WORKLOAD_A, WORKLOAD_C
@@ -39,34 +45,6 @@ def run_small(workload, rf=0, seed=7):
         workload=workload.scaled(num_records=500, ops_per_client=120),
     )
     return run_experiment(spec)
-
-
-def digest(result) -> str:
-    """A byte-exact digest of everything the experiment measured."""
-    h = hashlib.sha256()
-
-    def feed(label, value):
-        h.update(f"{label}={value!r}\n".encode())
-
-    feed("total_ops", result.total_ops)
-    feed("makespan", result.makespan)
-    feed("throughput", result.throughput)
-    feed("avg_power_per_server", result.avg_power_per_server)
-    feed("total_energy_joules", result.total_energy_joules)
-    feed("energy_efficiency", result.energy_efficiency)
-    feed("client_errors", result.client_errors)
-    for node in sorted(result.cpu_util_per_node):
-        feed(f"cpu[{node}]", result.cpu_util_per_node[node])
-    for i, stats in enumerate(result.per_client_stats):
-        feed(f"client[{i}].ops", stats.total_ops)
-        latencies = stats.all_latencies().latencies
-        for latency in latencies:
-            feed(f"client[{i}].lat", latency)
-    # Race reports (nonempty only under REPRO_SIM_DEBUG=1) must also be
-    # byte-identical across same-seed runs.
-    for report in result.race_reports:
-        feed("race", report)
-    return h.hexdigest()
 
 
 def test_same_seed_same_digest_read_only():
@@ -120,39 +98,6 @@ def run_small_crash(seed=7):
         )),
     )
     return run_crash_experiment(spec)
-
-
-def crash_digest(result) -> str:
-    """A byte-exact digest of everything the crash run measured."""
-    h = hashlib.sha256()
-
-    def feed(label, value):
-        h.update(f"{label}={value!r}\n".encode())
-
-    feed("crashed_server", result.crashed_server)
-    for t, description in result.fault_log:
-        feed("fault", (t, description))
-    stats = result.recovery
-    feed("recovery", (stats.crashed_id, stats.detected_at,
-                      stats.started_at, stats.finished_at,
-                      stats.partitions, stats.segments,
-                      stats.bytes_to_recover, stats.lost_segments,
-                      tuple(stats.recovery_masters)))
-    for i, repair in enumerate(result.repairs):
-        feed(f"repair[{i}]", (repair.dead_server, repair.started_at,
-                              repair.peak_under_replicated,
-                              repair.replicas_lost,
-                              repair.segments_repaired,
-                              repair.finished_at))
-    for series in (result.cluster_cpu, result.disk_read_mbps,
-                   result.disk_write_mbps, result.under_replicated):
-        feed(f"{series.name}.times", result.cluster_cpu.times)
-        feed(f"{series.name}.values", series.values)
-    for name in sorted(result.per_node_power):
-        feed(f"power[{name}]", result.per_node_power[name].values)
-    for report in result.race_reports:
-        feed("race", report)
-    return h.hexdigest()
 
 
 def test_same_seed_same_digest_crash_experiment():

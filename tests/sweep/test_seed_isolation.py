@@ -1,0 +1,89 @@
+"""Satellite 2: cross-process seed isolation.
+
+A worker that mutates global state — flipping ``REPRO_SIM_DEBUG``,
+planting env knobs a sibling reads, reseeding the global ``random``
+module, writing module globals — must not leak into sibling cells
+scheduled onto the same worker process, and digests must be
+order-independent under shuffled cell scheduling.
+
+The ``_selftest`` experiment makes leaks *digest-visible*: its workload
+length reads ``REPRO_SWEEP_SELFTEST_BUMP`` from the environment, so an
+undefended env leak changes a sibling's op count and therefore its
+digest; ``require_debug`` cells additionally fail outright if the
+pinned sanitizer mode arrives clobbered.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.scale import SMOKE
+from repro.experiments.sweep import (
+    SweepPlan,
+    SweepPoint,
+    _execute_cell,
+    run_sweep,
+)
+
+pytestmark = pytest.mark.sweep
+
+TINY = SMOKE.with_(num_records=500, ops_per_client=60)
+
+# A leaky cell followed (in plan order) by clean cells that would see
+# the pollution if it survived the cell boundary.
+POINTS = (
+    SweepPoint.of("leaky", servers=2, clients=1, leak=True),
+    SweepPoint.of("clean", servers=2, clients=1, require_debug="1"),
+    SweepPoint.of("clean2", servers=2, clients=1),
+)
+PLAN = SweepPlan("_selftest", POINTS, (1, 2), TINY)
+
+
+def test_env_leak_would_be_digest_visible():
+    # Guard the guard: if REPRO_SWEEP_SELFTEST_BUMP actually reached a
+    # sibling, its digest would change.  Otherwise the isolation
+    # assertions below would pass vacuously.
+    clean = _execute_cell("_selftest", {"servers": 2, "clients": 1}, 1,
+                          TINY, True, 1)
+    os.environ["REPRO_SWEEP_SELFTEST_BUMP"] = "50"
+    try:
+        polluted = _execute_cell("_selftest", {"servers": 2, "clients": 1},
+                                 1, TINY, True, 1)
+    finally:
+        del os.environ["REPRO_SWEEP_SELFTEST_BUMP"]
+    assert clean.digest != polluted.digest
+
+
+def test_leaky_cell_cannot_pollute_siblings_on_the_same_worker():
+    # workers=1 forces every cell through the SAME worker process, the
+    # leaky one first — the strictest succession for a leak to survive.
+    before = dict(os.environ)
+    report = run_sweep(PLAN, workers=1)
+    assert not report.failed()          # require_debug cells passed
+    assert dict(os.environ) == before   # nothing leaked into the parent
+    # The clean cells carry identical params, so their digests must be
+    # equal per seed and unaffected by running after the leaky one.
+    digests = report.digests()
+    for seed in PLAN.seeds:
+        assert digests[("clean", seed)] == digests[("clean2", seed)]
+
+
+def test_digests_are_schedule_independent():
+    cells = len(PLAN.cells())
+    forward = run_sweep(PLAN, workers=1)
+    shuffled = run_sweep(PLAN, workers=1,
+                         schedule=list(reversed(range(cells))))
+    assert not forward.failed() and not shuffled.failed()
+    assert forward.digests() == shuffled.digests()
+    assert forward.merged_digest() == shuffled.merged_digest()
+
+
+def test_serial_path_contains_the_leak_too():
+    # The serial reference path runs leaky cells in THIS process; the
+    # _execute_cell snapshot/restore must still contain the pollution
+    # and produce the same digests the workers did.
+    before = dict(os.environ)
+    serial = run_sweep(PLAN, parallel=False)
+    assert dict(os.environ) == before
+    parallel = run_sweep(PLAN, workers=1)
+    assert serial.digests() == parallel.digests()

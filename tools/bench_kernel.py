@@ -44,8 +44,11 @@ SCHEMA = 1
 # Canonical cells.  ``fig4`` is the paper's Fig. 4a workload-A column
 # (the most contended cell: 50 % updates through the log-append lock);
 # ``fig4_debug`` is the same cell with the runtime sanitizers attached,
-# tracking the cost of ``Simulator(debug=True)``.
-BENCHES = ("fig4", "fig4_debug")
+# tracking the cost of ``Simulator(debug=True)``.  ``fig4_sweep`` runs
+# the same cell across seeds through the parallel sweep runner
+# (repro.experiments.sweep) — aggregate events/sec over all workers, so
+# it tracks the multi-process speedup on top of the kernel's.
+BENCHES = ("fig4", "fig4_debug", "fig4_sweep")
 
 
 def _build_spec(servers: int, clients: int, ops: Optional[int],
@@ -102,6 +105,59 @@ def run_bench(name: str, scale: str, servers: int, clients: int,
         "events": result.sim_events,
         "wall_s": round(wall, 4),
         "events_per_s": round(result.sim_events / wall, 1),
+    }
+
+
+def run_sweep_bench(scale: str, servers: int, clients: int,
+                    ops: Optional[int], seeds: int = 4,
+                    workers: Optional[int] = None) -> Dict[str, float]:
+    """Run the fig4 cell across ``seeds`` seeds through the parallel
+    sweep runner; events/sec is the aggregate over every worker."""
+    from repro.experiments.scale import _SCALES
+    from repro.experiments.sweep import run_sweep
+    from repro.experiments.workloads import fig4_sweep_plan
+
+    sc = _SCALES[scale]
+    if ops is not None:
+        sc = sc.with_(ops_per_client=ops)
+    plan = fig4_sweep_plan(sc, seeds=tuple(range(1, seeds + 1)),
+                           client_counts=(clients,), servers=servers,
+                           workload_names=("A",))
+    previous = os.environ.get("REPRO_SIM_DEBUG")
+    os.environ["REPRO_SIM_DEBUG"] = "0"
+    try:
+        # The wall clock is the measurand here, not simulation state.
+        start = time.perf_counter()  # simlint: disable=SIM003 benchmarking wall time
+        report = run_sweep(plan, workers=workers, retries=0)
+        wall = time.perf_counter() - start  # simlint: disable=SIM003 benchmarking wall time
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SIM_DEBUG", None)
+        else:
+            os.environ["REPRO_SIM_DEBUG"] = previous
+    failed = report.failed()
+    if failed:
+        raise RuntimeError(f"fig4_sweep: {len(failed)} cells failed")
+    events = sum(r.outcome.events for r in report.results)
+    total_ops = sum(r.outcome.ops for r in report.results)
+    errors = sum(int(r.outcome.metrics["client_errors"])
+                 for r in report.results)
+    expected = sc.ops_per_client * clients * seeds
+    if total_ops + errors < expected:
+        raise RuntimeError(
+            f"fig4_sweep: completed {total_ops} + {errors} errors < "
+            f"expected {expected} ops — bench workload shrank")
+    return {
+        "bench": "fig4_sweep",
+        "scale": scale,
+        "servers": servers,
+        "clients": clients,
+        "seeds": seeds,
+        "workers": report.workers,
+        "ops": total_ops,
+        "events": events,
+        "wall_s": round(wall, 4),
+        "events_per_s": round(events / wall, 1),
     }
 
 
@@ -182,6 +238,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--clients", type=int, default=30)
     parser.add_argument("--ops", type=int, default=None,
                         help="override ops per client (tests only)")
+    parser.add_argument("--sweep-seeds", type=int, default=4,
+                        help="seeds for the fig4_sweep bench (default 4)")
+    parser.add_argument("--sweep-workers", type=int, default=None,
+                        help="workers for the fig4_sweep bench "
+                             "(default: min(cells, cpus))")
     parser.add_argument("--profile-json", metavar="PATH",
                         help="also profile the first bench, dump hot rows")
     parser.add_argument("--update", metavar="LABEL",
@@ -195,18 +256,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="trajectory file (default: repo BENCH_kernel.json)")
     args = parser.parse_args(argv)
 
-    benches = args.bench or list(BENCHES)
+    # fig4_sweep is opt-in (it multiplies the workload by the seed
+    # count); the default set stays the single-process cells.
+    benches = args.bench or [b for b in BENCHES if b != "fig4_sweep"]
     rows = []
     for name in benches:
-        row = run_bench(name, args.scale, args.servers, args.clients,
-                        args.ops)
+        if name == "fig4_sweep":
+            row = run_sweep_bench(args.scale, args.servers, args.clients,
+                                  args.ops, seeds=args.sweep_seeds,
+                                  workers=args.sweep_workers)
+        else:
+            row = run_bench(name, args.scale, args.servers, args.clients,
+                            args.ops)
         rows.append(row)
         print(f"{name:12s} scale={args.scale:8s} events={row['events']:>9d} "
               f"wall={row['wall_s']:8.3f}s  "
               f"events/s={row['events_per_s']:>10.0f}")
 
     if args.profile_json:
-        profile_bench(benches[0], args.scale, args.servers, args.clients,
+        # cProfile can't see into sweep workers; profile the equivalent
+        # single-process cell instead.
+        profiled = next((b for b in benches if b != "fig4_sweep"), "fig4")
+        profile_bench(profiled, args.scale, args.servers, args.clients,
                       args.ops, args.profile_json)
 
     status = 0
