@@ -104,11 +104,8 @@ def main(argv=None) -> int:
             print(line)
         return 0
 
-    import os
-    if args.scale:
-        os.environ["REPRO_SCALE"] = args.scale
-    from repro.experiments.scale import active_scale
-    scale = active_scale()
+    from repro.experiments.scale import active_scale, set_active_scale
+    scale = set_active_scale(args.scale) if args.scale else active_scale()
     registry = _registry()
     if args.experiment == "all":
         names = list(registry)

@@ -13,6 +13,10 @@ is fatal for a measurement-study reproduction.
 * :mod:`repro.analyze.perfrules` — the PERF001–PERF005 hot-path rules,
   scoped by :mod:`repro.analyze.profilehot` to the benchmark's
   cProfile hot set (``python -m repro.analyze --perf``);
+* :mod:`repro.analyze.detrules` — the DET001–DET006 state-isolation
+  rules for the sweep runner's determinism contract, powered by the
+  global-write-effect analysis in :mod:`repro.analyze.stateflow`
+  (``python -m repro.analyze --select DET``);
 * :mod:`repro.analyze.linter` — file walking, suppression comments,
   the cross-file generator index;
 * ``python -m repro.analyze [paths]`` — the CLI, non-zero exit on
@@ -23,6 +27,7 @@ and are enabled with ``Simulator(debug=True)`` (or the
 ``REPRO_SIM_DEBUG`` environment variable).  See ``docs/ANALYSIS.md``.
 """
 
+from repro.analyze.detrules import DET_RULE_CODES, DET_RULES
 from repro.analyze.linter import (
     Finding,
     analyze_paths,
@@ -32,10 +37,12 @@ from repro.analyze.linter import (
 from repro.analyze.perfrules import PERF_RULE_CODES, PERF_RULES
 from repro.analyze.profilehot import HotSet
 from repro.analyze.rules import ALL_RULES, RULE_CODES
+from repro.analyze.stateflow import StateIndex
 
 __all__ = [
     "Finding",
     "HotSet",
+    "StateIndex",
     "analyze_paths",
     "analyze_source",
     "iter_python_files",
@@ -43,4 +50,6 @@ __all__ = [
     "RULE_CODES",
     "PERF_RULES",
     "PERF_RULE_CODES",
+    "DET_RULES",
+    "DET_RULE_CODES",
 ]

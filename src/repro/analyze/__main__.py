@@ -20,14 +20,41 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.analyze.detrules import DET_RULE_CODES
 from repro.analyze.linter import analyze_paths
-from repro.analyze.perfrules import PERF_RULE_CODES, PERF_RULES
+from repro.analyze.perfrules import PERF_RULE_CODES
 from repro.analyze.profilehot import HotSet
-from repro.analyze.rules import ALL_RULES, RULE_CODES
+from repro.analyze.rules import RULE_CODES
 
-# Every selectable rule: the SIM correctness rules plus the PERF
-# hot-path rules (run by default only with --perf or --select).
-_ALL_CODES = {**RULE_CODES, **PERF_RULE_CODES}
+# Every selectable rule: the SIM correctness rules, the PERF hot-path
+# rules (run by default only with --perf or --select), and the DET
+# state-isolation rules (opt-in via --select DET; CI runs them as their
+# own zero-findings gate).
+_ALL_CODES = {**RULE_CODES, **PERF_RULE_CODES, **DET_RULE_CODES}
+
+# Rule families, in catalogue order.  --select/--ignore accept a bare
+# family name as shorthand for every code in it.
+_FAMILIES = {
+    "SIM": (RULE_CODES, "correctness — silent DES bugs"),
+    "PERF": (PERF_RULE_CODES, "hot-path waste, scoped by --profile-json"),
+    "DET": (DET_RULE_CODES, "state isolation for deterministic sweeps"),
+}
+
+
+def _expand_tokens(spec: str) -> tuple:
+    """``"DET,SIM002"`` → (codes in spec order, unknown tokens)."""
+    codes: List[str] = []
+    unknown: List[str] = []
+    for token in (t.strip().upper() for t in spec.split(",")):
+        if not token:
+            continue
+        if token in _ALL_CODES:
+            codes.append(token)
+        elif token in _FAMILIES:
+            codes.extend(sorted(_FAMILIES[token][0]))
+        else:
+            unknown.append(token)
+    return codes, unknown
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -39,8 +66,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
     parser.add_argument("--select", metavar="CODES",
-                        help="comma-separated rule codes to run "
-                             "(e.g. SIM002,PERF003); default: all SIM rules")
+                        help="comma-separated rule codes or families to run "
+                             "(e.g. SIM002,PERF003 or DET); default: all "
+                             "SIM rules")
+    parser.add_argument("--ignore", metavar="CODES",
+                        help="comma-separated rule codes or families to "
+                             "drop from the selection (e.g. PERF or SIM003)")
     parser.add_argument("--perf", action="store_true",
                         help="also run the PERF001-PERF005 hot-path rules")
     parser.add_argument("--profile-json", metavar="PATH",
@@ -53,22 +84,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for code in sorted(_ALL_CODES):
-            doc = (_ALL_CODES[code].__doc__ or "").strip().splitlines()[0]
-            print(f"{code}  {doc}")
+        for family, (codes, blurb) in _FAMILIES.items():
+            print(f"{family} — {blurb}")
+            for code in sorted(codes):
+                doc = (codes[code].__doc__ or "").strip().splitlines()[0]
+                print(f"  {code}  {doc}")
         return 0
 
-    rules = None
     if args.select:
-        codes = [c.strip().upper() for c in args.select.split(",") if c.strip()]
-        unknown = [c for c in codes if c not in _ALL_CODES]
+        selected, unknown = _expand_tokens(args.select)
         if unknown:
             print(f"unknown rule code(s): {', '.join(unknown)}",
                   file=sys.stderr)
             return 2
-        rules = [_ALL_CODES[c] for c in codes]
     elif args.perf:
-        rules = list(ALL_RULES) + list(PERF_RULES)
+        selected = sorted(RULE_CODES) + sorted(PERF_RULE_CODES)
+    else:
+        selected = sorted(RULE_CODES)
+    if args.ignore:
+        dropped, unknown = _expand_tokens(args.ignore)
+        if unknown:
+            print(f"unknown rule code(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        selected = [c for c in selected if c not in set(dropped)]
+    seen = set()
+    rules = [_ALL_CODES[c] for c in selected
+             if not (c in seen or seen.add(c))]
 
     hotset = None
     if args.profile_json:

@@ -110,13 +110,14 @@ class FunctionSummary:
 
     __slots__ = ("name", "path", "node", "module", "is_generator",
                  "is_sim_coroutine", "may_yield", "is_spawner",
-                 "yield_lines", "lock_spans", "end_line")
+                 "yield_lines", "lock_spans", "end_line", "_own_cache")
 
     def __init__(self, module: Module, node: ast.FunctionDef):
         self.module = module
         self.node = node
         self.name = node.name
         self.path = module.path
+        self._own_cache: Optional[List[ast.AST]] = None
         own = self._own_nodes()
         yields = [n for n in own if isinstance(n, (ast.Yield, ast.YieldFrom))]
         self.is_generator = bool(yields)
@@ -134,7 +135,14 @@ class FunctionSummary:
     # -- scope walking ---------------------------------------------------
 
     def _own_nodes(self) -> List[ast.AST]:
-        """Nodes in this def's own scope (nested defs/lambdas excluded)."""
+        """Nodes in this def's own scope (nested defs/lambdas excluded).
+
+        Cached: the fixed points below re-consult summaries every
+        iteration, and with three rule families sharing the index the
+        same scopes used to be re-walked dozens of times per file.
+        """
+        if self._own_cache is not None:
+            return self._own_cache
         found: List[ast.AST] = []
         stack: List[ast.AST] = list(ast.iter_child_nodes(self.node))
         while stack:
@@ -144,6 +152,7 @@ class FunctionSummary:
                 continue
             found.append(node)
             stack.extend(ast.iter_child_nodes(node))
+        self._own_cache = found
         return found
 
     # -- sim-coroutine classification ------------------------------------
@@ -283,9 +292,7 @@ class CallGraphIndex:
         self._collect_lock_pairs()
 
     def _index_class_slots(self, module: Module) -> None:
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.ClassDef):
-                continue
+        for node in module.nodes_of_type(ast.ClassDef):
             has = any(
                 isinstance(target, ast.Name) and target.id == "__slots__"
                 for stmt in node.body

@@ -109,6 +109,12 @@ class Module:
     tree: ast.Module
     suppressions: Suppressions
     parents: Dict[ast.AST, ast.AST] = field(default_factory=dict)
+    # Every node of the tree, in ast.walk order, collected ONCE at parse
+    # time.  Rules iterate this (or the per-type views below) instead of
+    # re-walking the tree — with three rule families the tree used to be
+    # walked tens of times per file.
+    nodes: List[ast.AST] = field(default_factory=list)
+    _type_views: Dict[tuple, List[ast.AST]] = field(default_factory=dict)
     # Function defs that are generators (yield in their own scope).
     generator_defs: Set[ast.FunctionDef] = field(default_factory=set)
     # Names the file imports as modules: local alias → module name.
@@ -123,13 +129,17 @@ class Module:
     # the driver when a profile was supplied; None = PERF rules run
     # unscoped.
     hotset: Optional[object] = None
+    # Project-wide global-write-effect summaries (repro.analyze.
+    # stateflow.StateIndex), attached by the driver for DET001–DET006.
+    stateindex: Optional[object] = None
 
     @classmethod
     def parse(cls, source: str, path: str) -> "Module":
         tree = ast.parse(source, filename=path)
         mod = cls(path=path, source=source, tree=tree,
                   suppressions=Suppressions(source))
-        for parent in ast.walk(tree):
+        mod.nodes = list(ast.walk(tree))
+        for parent in mod.nodes:
             for child in ast.iter_child_nodes(parent):
                 mod.parents[child] = parent
         mod._build_scopes()
@@ -138,21 +148,32 @@ class Module:
 
     # -- derived maps ---------------------------------------------------
 
+    def nodes_of_type(self, *types: type) -> List[ast.AST]:
+        """All nodes of the given AST types, from the parse-time walk.
+
+        Views are cached per type tuple, so every rule family shares one
+        traversal of each file instead of re-walking the whole tree.
+        """
+        view = self._type_views.get(types)
+        if view is None:
+            view = [n for n in self.nodes if isinstance(n, types)]
+            self._type_views[types] = view
+        return view
+
     def _build_scopes(self) -> None:
         """Find the FunctionDefs whose own scope contains a yield."""
-        for node in ast.walk(self.tree):
-            if isinstance(node, (ast.Yield, ast.YieldFrom)):
-                func = self.enclosing_function(node)
-                if func is not None:
-                    self.generator_defs.add(func)
+        for node in self.nodes_of_type(ast.Yield, ast.YieldFrom):
+            func = self.enclosing_function(node)
+            if func is not None:
+                self.generator_defs.add(func)
 
     def _build_imports(self) -> None:
-        for node in ast.walk(self.tree):
+        for node in self.nodes_of_type(ast.Import, ast.ImportFrom):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     self.module_imports[alias.asname or
                                         alias.name.split(".")[0]] = alias.name
-            elif isinstance(node, ast.ImportFrom) and node.module:
+            elif node.module:
                 for alias in node.names:
                     self.from_imports[alias.asname or alias.name] = (
                         f"{node.module}.{alias.name}")
@@ -181,9 +202,8 @@ class Module:
 
     def functions(self) -> Iterator[ast.FunctionDef]:
         """Every function def in the module, outermost first."""
-        for node in ast.walk(self.tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield node
+        for node in self.nodes_of_type(ast.FunctionDef, ast.AsyncFunctionDef):
+            yield node
 
     def finding(self, node: ast.AST, code: str, message: str) -> Finding:
         """A :class:`Finding` anchored at ``node``."""
@@ -254,9 +274,11 @@ def analyze_source(source: str, path: str = "<string>",
     """Lint one source string (the unit-test entry point)."""
     from repro.analyze.callgraph import CallGraphIndex
     from repro.analyze.rules import ALL_RULES
+    from repro.analyze.stateflow import StateIndex
     module = Module.parse(source, path)
     module.index = index or _index_of([module])
     module.callgraph = CallGraphIndex([module])
+    module.stateindex = StateIndex([module], module.callgraph)
     module.hotset = hotset
     if hotset is not None:
         hotset.expand(module.callgraph)
@@ -284,6 +306,7 @@ def analyze_paths(paths: Sequence[str],
     """
     from repro.analyze.callgraph import CallGraphIndex
     from repro.analyze.rules import ALL_RULES
+    from repro.analyze.stateflow import StateIndex
     modules: List[Module] = []
     errors: List[str] = []
     for path in iter_python_files(paths):
@@ -295,12 +318,14 @@ def analyze_paths(paths: Sequence[str],
             errors.append(f"{path}: {exc}")
     index = _index_of(modules)
     callgraph = CallGraphIndex(modules)
+    stateindex = StateIndex(modules, callgraph)
     if hotset is not None:
         hotset.expand(callgraph)
     findings: List[Finding] = []
     for module in modules:
         module.index = index
         module.callgraph = callgraph
+        module.stateindex = stateindex
         module.hotset = hotset
         findings.extend(_run_rules(module,
                                    rules if rules is not None else ALL_RULES))

@@ -114,9 +114,7 @@ def rule_perf001(module: Module) -> Iterator[Finding]:
     are exempt.
     """
     callgraph = module.callgraph
-    for node in ast.walk(module.tree):
-        if not isinstance(node, ast.ClassDef):
-            continue
+    for node in module.nodes_of_type(ast.ClassDef):
         if _has_slots(node):
             continue
         if not _class_in_scope(module, node):

@@ -76,7 +76,7 @@ def rule_sim001(module: Module) -> Iterator[Finding]:
             return func.attr
         return None
 
-    for node in ast.walk(module.tree):
+    for node in module.nodes:
         if isinstance(node, ast.Expr):
             value = node.value
             if isinstance(value, ast.Yield) and value.value is not None:
@@ -285,7 +285,7 @@ def rule_sim003(module: Module) -> Iterator[Finding]:
         if root in ("random", "time", "os", "uuid", "datetime"):
             aliases[local] = root
 
-    for node in ast.walk(module.tree):
+    for node in module.nodes:
         if isinstance(node, ast.Import):
             for alias in node.names:
                 if alias.name.split(".")[0] == "random":
@@ -436,7 +436,7 @@ def rule_sim004(module: Module) -> Iterator[Finding]:
     very end of a generator is fine: the process falls off the end and
     dies cleanly (the kernel's documented fire-and-forget idiom).
     """
-    for node in ast.walk(module.tree):
+    for node in module.nodes:
         if not isinstance(node, ast.ExceptHandler):
             continue
         if not _catches_interrupt(node):
@@ -481,7 +481,7 @@ def rule_sim005(module: Module) -> Iterator[Finding]:
     """
     aliases = {local: mod for local, mod in module.module_imports.items()
                if mod.split(".")[0] == "time"}
-    for node in ast.walk(module.tree):
+    for node in module.nodes:
         if isinstance(node, ast.AugAssign) and isinstance(
                 node.op, (ast.Add, ast.Sub)):
             if _mentions_sim_now(node.value) and any(

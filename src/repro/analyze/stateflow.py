@@ -1,0 +1,402 @@
+"""Interprocedural global-write-effect analysis (DET001–DET006).
+
+The sweep runner's isolation contract — serial and parallel execution
+of the same (experiment, config-point, seed) grid merge to identical
+digests — is only as strong as the absence of *hidden state*: a
+module-level cache mutated mid-run, a registry grown by one cell and
+read by the next, a memo that outlives its seed.  The runtime guards
+(env snapshot/restore in ``_execute_cell``, the debug-mode cell-state
+fingerprint) catch leaks after the fact; this module proves most of
+them impossible statically, the way the may-yield call graph
+(:mod:`repro.analyze.callgraph`) powers SIM006–SIM008.
+
+Per module, every **top-level binding** is classified:
+
+* ``immutable-constant`` — bound to an immutable literal (constants,
+  tuples/frozensets of constants);
+* ``init-time registry`` — a mutable container built at import time
+  and never touched from function bodies (``SWEEP_CELLS``, rule
+  tables, paper-figure dicts);
+* ``runtime-mutable`` — written from *inside a function*: a ``global``
+  rebind, an item/attribute store, or a mutating method call.  This is
+  the DET001 hazard: state that survives one experiment cell into the
+  next.
+
+On top of the per-function direct-write sites, a monotone fixed point
+propagates **"transitively mutates module/class state"** through the
+name-based project call graph, and a second reachability pass marks
+every function reachable from a registered **sweep cell** (the values
+of ``SWEEP_CELLS`` registries, plus ``*_cell`` defs).  DET004 uses the
+intersection: a memo cache is only a cross-seed channel if a cell can
+actually fill it.
+
+Resolution follows the callgraph module's precision-first policy:
+name-based, builtin container methods never resolve to project
+functions, dynamic indirection is invisible.  The runtime counterpart
+(:func:`repro.sim.sanitize.check_cell_state`) covers what static names
+cannot — the two check the same invariant from both sides.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.analyze.callgraph import CallGraphIndex, _project_callee
+from repro.analyze.linter import Module
+
+__all__ = ["GlobalWrite", "ModuleState", "StateIndex",
+           "CONSTANT", "REGISTRY", "MUTABLE"]
+
+CONSTANT = "immutable-constant"
+REGISTRY = "init-time registry"
+MUTABLE = "runtime-mutable"
+
+# Calls that build a mutable container.
+_MUTABLE_FACTORIES = frozenset({
+    "dict", "list", "set", "bytearray", "defaultdict", "OrderedDict",
+    "Counter", "deque", "ChainMap", "WeakSet", "WeakKeyDictionary",
+    "WeakValueDictionary",
+})
+
+# Method calls that mutate their receiver in place.
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "clear", "remove", "discard", "sort", "reverse",
+})
+
+# Module-level names whose registries are how experiments hand cell
+# runners to the sweep harness (repro.experiments.sweep).
+_CELL_REGISTRY_NAMES = frozenset({"SWEEP_CELLS"})
+
+# Names bound at module level by convention, not state (``__all__`` is
+# a list but mutating it at runtime would be flagged all the same).
+_DUNDER_OK = frozenset({"__all__", "__slots__", "__version__"})
+
+
+def _is_immutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.Tuple):
+        return all(_is_immutable_literal(e) for e in node.elts)
+    if isinstance(node, ast.UnaryOp):
+        return _is_immutable_literal(node.operand)
+    if isinstance(node, ast.BinOp):
+        return (_is_immutable_literal(node.left)
+                and _is_immutable_literal(node.right))
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("frozenset", "tuple")):
+        return True
+    return False
+
+
+def _is_mutable_container(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                         ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The leftmost ``Name`` of an attribute/subscript chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class GlobalWrite:
+    """One runtime write to module/class state: the DET001 anchor."""
+
+    __slots__ = ("path", "node", "name", "kind", "func_name",
+                 "classification")
+
+    def __init__(self, path: str, node: ast.AST, name: str, kind: str,
+                 func_name: str, classification: str):
+        self.path = path
+        self.node = node
+        self.name = name            # the binding (or "Class.attr")
+        self.kind = kind            # 'rebind' | 'mutate' | 'class-attr'
+        self.func_name = func_name  # the def performing the write
+        self.classification = classification
+
+
+class ModuleState:
+    """One module's top-level bindings and the function-scope writes
+    against them."""
+
+    __slots__ = ("module", "bindings", "classes", "writes")
+
+    def __init__(self, module: Module):
+        self.module = module
+        # top-level name → CONSTANT / REGISTRY / MUTABLE
+        self.bindings: Dict[str, str] = {}
+        self.classes: Set[str] = set()
+        self.writes: List[GlobalWrite] = []
+        self._classify_top_level()
+        self._collect_runtime_writes()
+
+    # -- classification --------------------------------------------------
+
+    def _top_level_statements(self):
+        """Module-body statements, descending into top-level if/try
+        (version-gated constants) but never into defs or classes."""
+        stack = list(self.module.tree.body)
+        while stack:
+            stmt = stack.pop()
+            if isinstance(stmt, (ast.If, ast.Try)):
+                for block in (stmt.body, stmt.orelse,
+                              getattr(stmt, "finalbody", []) or []):
+                    stack.extend(block)
+                for handler in getattr(stmt, "handlers", []) or []:
+                    stack.extend(handler.body)
+                continue
+            yield stmt
+
+    def _classify_top_level(self) -> None:
+        for stmt in self._top_level_statements():
+            if isinstance(stmt, ast.ClassDef):
+                self.classes.add(stmt.name)
+                continue
+            targets: List[ast.AST] = []
+            value: Optional[ast.AST] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name in _DUNDER_OK:
+                    self.bindings[name] = CONSTANT
+                elif (isinstance(value, ast.Constant)
+                        and value.value is None):
+                    # A None placeholder is a lazy-init slot, not a
+                    # constant — the honest label when a write flags it.
+                    self.bindings[name] = REGISTRY
+                elif _is_immutable_literal(value):
+                    self.bindings.setdefault(name, CONSTANT)
+                elif _is_mutable_container(value):
+                    self.bindings[name] = REGISTRY
+                else:
+                    # None placeholders, arbitrary calls: a registry
+                    # until a runtime write proves otherwise.
+                    self.bindings.setdefault(name, REGISTRY)
+
+    # -- runtime write collection ----------------------------------------
+
+    def _locals_of(self, func: ast.FunctionDef,
+                   own: Sequence[ast.AST]) -> Set[str]:
+        args = func.args
+        names = {a.arg for a in args.args + args.kwonlyargs
+                 + getattr(args, "posonlyargs", [])}
+        if args.vararg:
+            names.add(args.vararg.arg)
+        if args.kwarg:
+            names.add(args.kwarg.arg)
+        declared_global: Set[str] = set()
+        for node in own:
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(
+                    node.ctx, (ast.Store, ast.Del)):
+                names.add(node.id)
+        return names - declared_global
+
+    def _collect_runtime_writes(self) -> None:
+        for func in self.module.functions():
+            own = self._own_nodes(func)
+            declared_global: Set[str] = set()
+            for node in own:
+                if isinstance(node, ast.Global):
+                    declared_global.update(node.names)
+            local_names = self._locals_of(func, own)
+            for node in own:
+                self._check_write(func, node, declared_global, local_names)
+
+    def _own_nodes(self, func: ast.FunctionDef) -> List[ast.AST]:
+        """Nodes in this def's own scope (nested defs excluded — their
+        writes are attributed to themselves when iterated)."""
+        found: List[ast.AST] = []
+        stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            found.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        return found
+
+    def _record(self, node: ast.AST, name: str, kind: str,
+                func: ast.FunctionDef) -> None:
+        classification = self.bindings.get(name, MUTABLE)
+        if kind != "class-attr":
+            self.bindings[name] = MUTABLE
+        self.writes.append(GlobalWrite(
+            self.module.path, node, name, kind, func.name, classification))
+
+    def _check_write(self, func: ast.FunctionDef, node: ast.AST,
+                     declared_global: Set[str],
+                     local_names: Set[str]) -> None:
+        # 1. `global X` + rebind.
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if (isinstance(target, ast.Name)
+                        and target.id in declared_global):
+                    self._record(node, target.id, "rebind", func)
+                elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                    self._flag_store(node, target, func, local_names)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, (ast.Subscript, ast.Attribute)):
+                    self._flag_store(node, target, func, local_names)
+        # 2. mutating method calls on module-level bindings.
+        elif (isinstance(node, ast.Call)
+              and isinstance(node.func, ast.Attribute)
+              and node.func.attr in _MUTATING_METHODS):
+            root = _root_name(node.func.value)
+            if (root is not None and root not in local_names
+                    and self.bindings.get(root) in (REGISTRY, MUTABLE)):
+                self._record(node, root, "mutate", func)
+
+    def _flag_store(self, stmt: ast.AST, target: ast.AST,
+                    func: ast.FunctionDef, local_names: Set[str]) -> None:
+        root = _root_name(target)
+        if root is None or root in local_names:
+            return
+        if root in self.classes and isinstance(target, ast.Attribute):
+            self._record(stmt, f"{root}.{target.attr}", "class-attr", func)
+        elif self.bindings.get(root) in (REGISTRY, MUTABLE):
+            self._record(stmt, root, "mutate", func)
+
+
+class StateIndex:
+    """Project-wide state classifications plus the write-effect and
+    cell-reachability fixed points."""
+
+    def __init__(self, modules: Sequence[Module],
+                 callgraph: Optional[CallGraphIndex] = None):
+        modules = sorted(modules, key=lambda m: m.path)
+        if callgraph is None:
+            callgraph = CallGraphIndex(modules)
+        self.states: Dict[str, ModuleState] = {
+            m.path: ModuleState(m) for m in modules}
+        # name → callee names resolvable to project functions.
+        edges: Dict[str, Set[str]] = {}
+        for summary in callgraph.summaries:
+            callees = edges.setdefault(summary.name, set())
+            for node in summary._own_nodes():
+                if isinstance(node, ast.Call):
+                    callee = _project_callee(node)
+                    if callee is not None and callee in callgraph.by_name:
+                        callees.add(callee)
+        direct = {w.func_name
+                  for state in self.states.values() for w in state.writes}
+        self._mutators = self._propagate(direct, edges)
+        # Function names registered as sweep cell runners (DET001's
+        # transitive check and DET004's reachability scope hang off
+        # these).
+        self.cell_seed_names: Set[str] = self._cell_seeds(modules)
+        self._scoped = bool(self.cell_seed_names)
+        self._cell_reachable = self._propagate(self.cell_seed_names, edges,
+                                               forward=True)
+
+    # -- fixed points ----------------------------------------------------
+
+    @staticmethod
+    def _propagate(seeds: Set[str], edges: Dict[str, Set[str]],
+                   forward: bool = False) -> Set[str]:
+        """``forward=True``: grow the set along call edges (reachable
+        *from* the seeds).  ``forward=False``: grow it against them (a
+        caller of a member becomes a member — the write effect)."""
+        result = set(seeds)
+        changed = True
+        while changed:
+            changed = False
+            if forward:
+                for name in sorted(result & set(edges)):
+                    new = edges[name] - result
+                    if new:
+                        result.update(new)
+                        changed = True
+            else:
+                for name, callees in edges.items():
+                    if name not in result and callees & result:
+                        result.add(name)
+                        changed = True
+        return result
+
+    @staticmethod
+    def _cell_seeds(modules: Sequence[Module]) -> Set[str]:
+        """Function names registered as sweep cell runners: values of
+        ``SWEEP_CELLS`` registries plus ``*_cell`` defs (the harness
+        convention — see repro.experiments.sweep)."""
+        seeds: Set[str] = set()
+        for module in modules:
+            for node in module.nodes_of_type(ast.Assign):
+                target_names = {t.id for t in node.targets
+                                if isinstance(t, ast.Name)}
+                sub_roots = {_root_name(t) for t in node.targets
+                             if isinstance(t, ast.Subscript)}
+                if not ((target_names | sub_roots)
+                        & _CELL_REGISTRY_NAMES):
+                    continue
+                values: List[ast.AST] = []
+                if isinstance(node.value, ast.Dict):
+                    values = list(node.value.values)
+                else:
+                    values = [node.value]
+                for value in values:
+                    if isinstance(value, ast.Name):
+                        seeds.add(value.id)
+                    elif isinstance(value, ast.Attribute):
+                        seeds.add(value.attr)
+            for func in module.functions():
+                if func.name.endswith("_cell"):
+                    seeds.add(func.name)
+        return seeds
+
+    # -- queries ---------------------------------------------------------
+
+    def state_of(self, module: Module) -> Optional[ModuleState]:
+        return self.states.get(module.path)
+
+    def classification(self, module: Module, name: str) -> Optional[str]:
+        state = self.states.get(module.path)
+        return state.bindings.get(name) if state else None
+
+    def writes_in(self, module: Module) -> List[GlobalWrite]:
+        state = self.states.get(module.path)
+        return state.writes if state else []
+
+    def transitively_mutates(self, name: str) -> bool:
+        """True when some project def of ``name`` writes module/class
+        state, directly or through any call it makes."""
+        return name in self._mutators
+
+    @property
+    def scoped(self) -> bool:
+        """Whether any sweep cell registry exists in the analyzed set —
+        without one, cell reachability degrades to "everything" (the
+        fixture/unit-test mode, mirroring PERF without a profile)."""
+        return self._scoped
+
+    def reachable_from_cells(self, name: str) -> bool:
+        """True when a registered sweep cell can (transitively, by
+        name) reach ``name`` — everything counts when unscoped."""
+        if not self._scoped:
+            return True
+        return name in self._cell_reachable

@@ -12,7 +12,8 @@ import os
 from dataclasses import dataclass, replace
 from typing import Tuple
 
-__all__ = ["Scale", "SMOKE", "DEFAULT", "FULL", "active_scale"]
+__all__ = ["Scale", "SMOKE", "DEFAULT", "FULL", "active_scale",
+           "set_active_scale"]
 
 
 @dataclass(frozen=True)
@@ -60,3 +61,20 @@ def active_scale() -> Scale:
     except KeyError:
         raise ValueError(
             f"REPRO_SCALE={name!r}: choose from {sorted(_SCALES)}") from None
+
+
+def set_active_scale(name: str) -> Scale:
+    """Validate ``name`` and make it the process-wide active scale.
+
+    This module is the one sanctioned writer of ``REPRO_SCALE`` (the
+    DET002 contract): entry points set the scale here instead of
+    poking ``os.environ`` themselves, so spawned sweep workers and
+    lazy ``active_scale()`` readers all agree on where the knob lives.
+    """
+    try:
+        scale = _SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"scale {name!r}: choose from {sorted(_SCALES)}") from None
+    os.environ["REPRO_SCALE"] = scale.name
+    return scale

@@ -38,7 +38,11 @@ serial-check — executes through :func:`_execute_cell`, which pins the
 digest-relevant environment (``REPRO_SIM_DEBUG``) from the plan and
 restores the whole environment afterwards, so a cell that mutates
 global state cannot leak into a sibling scheduled onto the same worker
-(``tests/sweep/test_seed_isolation.py``).
+(``tests/sweep/test_seed_isolation.py``).  Under debug mode the runner
+additionally fingerprints every registered module-state watch
+(:func:`repro.sim.sanitize.watch_cell_state`) around the cell and
+raises :class:`~repro.sim.sanitize.CellStateError` on divergence — the
+runtime half of the static DET001–DET006 state-isolation lint.
 """
 
 from __future__ import annotations
@@ -54,6 +58,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.experiment import Aggregate
 from repro.experiments.scale import DEFAULT, Scale
+from repro.sim.sanitize import (cell_state_fingerprint, check_cell_state,
+                                watch_cell_state)
 
 __all__ = [
     "CellOutcome", "CellResult", "SerialEquivalenceError", "SweepCell",
@@ -290,7 +296,7 @@ def cell_registry() -> Dict[str, Callable]:
         for name in _EXPERIMENT_MODULES:
             module = importlib.import_module(name)
             registry.update(getattr(module, "SWEEP_CELLS", {}))
-        _registry_cache = registry
+        _registry_cache = registry  # simlint: disable=DET001 resolve-once registry: import-derived, identical in every process
     return _registry_cache
 
 
@@ -310,7 +316,7 @@ def _plan_registry() -> Dict[str, Callable]:
         for name in _EXPERIMENT_MODULES:
             module = importlib.import_module(name)
             plans.update(getattr(module, "SWEEP_PLANS", {}))
-        _plans_cache = plans
+        _plans_cache = plans  # simlint: disable=DET001 resolve-once registry: import-derived, identical in every process
     return _plans_cache
 
 
@@ -342,7 +348,7 @@ def _resolve_debug(debug: Optional[bool]) -> bool:
     return os.environ.get("REPRO_SIM_DEBUG", "0") not in ("", "0")
 
 
-def _execute_cell(experiment: str, params: Dict[str, Any], seed: int,
+def _execute_cell(experiment: str, params: Dict[str, Any], seed: int,  # simlint: disable=DET001 the isolation harness itself: resolves the sanctioned lazy registry
                   scale: Scale, debug: bool, attempt: int) -> CellOutcome:
     """Run one cell with a pinned environment.
 
@@ -351,16 +357,30 @@ def _execute_cell(experiment: str, params: Dict[str, Any], seed: int,
     leak into the next cell scheduled onto the same worker process, and
     the digest-relevant ``REPRO_SIM_DEBUG`` is always set from the plan
     rather than inherited.
+
+    Under debug mode the registered cell-state watches are
+    fingerprinted before the cell and re-checked after it succeeds
+    (outside the env-restoring ``finally``, so a runner's own exception
+    is never masked): a cell that leaves *any* watched module state
+    behind fails with :class:`~repro.sim.sanitize.CellStateError`
+    instead of silently poisoning the sibling cells this worker runs
+    next.
     """
     saved = dict(os.environ)
+    state_before = cell_state_fingerprint() if debug else None
     try:
         os.environ["REPRO_SIM_DEBUG"] = "1" if debug else "0"
         os.environ["REPRO_SWEEP_ATTEMPT"] = str(attempt)
         runner = cell_registry()[experiment]
-        return runner(dict(params), seed, scale)
+        outcome = runner(dict(params), seed, scale)
     finally:
         os.environ.clear()
         os.environ.update(saved)
+    if state_before is not None:
+        check_cell_state(state_before,
+                         context=f"({experiment!r}, seed={seed}, "
+                                 f"attempt={attempt})")
+    return outcome
 
 
 def _worker(payload: Tuple[str, Dict[str, Any], int, Scale, bool, int]
@@ -673,6 +693,12 @@ def write_report(report: SweepReport, path: str) -> None:
 
 _SELFTEST_LEAK: Optional[int] = None  # written by leaky cells, on purpose
 
+# The selftest leak is watched so the debug-mode cell-state check can
+# prove it catches a real module-global leak (tests/sweep/
+# test_cell_state.py) — the runtime half of DET001.
+watch_cell_state("repro.experiments.sweep._SELFTEST_LEAK",
+                 lambda: _SELFTEST_LEAK)
+
 
 def _selftest_cell(params: Dict[str, Any], seed: int,
                    scale: Scale) -> CellOutcome:
@@ -730,7 +756,7 @@ def _selftest_cell(params: Dict[str, Any], seed: int,
     outcome = outcome_from_experiment(run_experiment(spec))
     if params.get("pid_salt"):
         salted = hashlib.sha256(
-            f"{outcome.digest}:{os.getpid()}".encode()).hexdigest()
+            f"{outcome.digest}:{os.getpid()}".encode()).hexdigest()  # simlint: disable=DET005 deliberately env-dependent digest under test
         outcome = CellOutcome(metrics=outcome.metrics, digest=salted,
                               events=outcome.events, ops=outcome.ops)
 
@@ -741,5 +767,5 @@ def _selftest_cell(params: Dict[str, Any], seed: int,
         os.environ["REPRO_SWEEP_SELFTEST_BUMP"] = "50"
         _random.seed(0)  # simlint: disable=SIM003 deliberate leak under test
         global _SELFTEST_LEAK
-        _SELFTEST_LEAK = seed
+        _SELFTEST_LEAK = seed  # simlint: disable=DET001 deliberate leak under test
     return outcome

@@ -1541,7 +1541,7 @@ class RamCloudServer(RpcService):
 
     # ------------------------------------------------------------------
 
-    _HANDLERS = {
+    _HANDLERS = {  # simlint: disable=DET003 opcode dispatch table: built at class creation, read-only afterwards
         "read": _handle_read,
         "multiread": _handle_multiread,
         "write": _handle_write,

@@ -414,7 +414,7 @@ class Simulator:
 
     def __init__(self, debug: Optional[bool] = None):
         if debug is None:
-            debug = os.environ.get("REPRO_SIM_DEBUG", "0") not in ("", "0")
+            debug = os.environ.get("REPRO_SIM_DEBUG", "0") not in ("", "0")  # simlint: disable=DET002 construction-time default; the sweep pins this knob per cell
         self.debug = bool(debug)
         if self.debug:
             from repro.sim.sanitize import Sanitizer

@@ -19,24 +19,118 @@ finish so the warning can point at the cause).  With ``debug=False``
 (the default) no sanitizer object exists and the kernel pays nothing
 beyond a ``None`` check.
 
+A fourth check pairs with the *static* DET001–DET006 state-isolation
+rules (:mod:`repro.analyze.detrules`) the way the others pair with the
+SIM rules:
+
+* **cell-state divergence** — the sweep runner fingerprints every
+  *registered* piece of module state (:func:`watch_cell_state`) before
+  an experiment cell runs and re-checks it afterwards; any divergence
+  raises :class:`CellStateError`, because state that survives a cell is
+  exactly the cross-seed channel the determinism digests cannot see.
+
 Enable globally with the ``REPRO_SIM_DEBUG=1`` environment variable —
 the test suite does exactly that (``tests/conftest.py``).
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 import warnings
 import weakref
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.sim.kernel import Event, Process, Simulator
 
-__all__ = ["Sanitizer", "SanitizerWarning"]
+__all__ = ["CellStateError", "Sanitizer", "SanitizerWarning",
+           "cell_state_fingerprint", "check_cell_state",
+           "watch_cell_state"]
 
 
 class SanitizerWarning(UserWarning):
     """A kernel-hygiene violation detected at run time."""
+
+
+class CellStateError(AssertionError):
+    """Watched module state diverged across one sweep cell.
+
+    An ``AssertionError`` on purpose: like
+    :class:`~repro.experiments.sweep.SerialEquivalenceError` this is a
+    broken invariant of the harness contract, not an environmental
+    failure, so retry budgets must not paper over it.
+    """
+
+
+# -- cell-state fingerprinting (the runtime side of DET001) --------------
+#
+# The DET lint proves statically that no code path *writes* module
+# state at runtime; this registry proves the same invariant
+# dynamically, for the state static names cannot see (C extensions,
+# sanctioned-by-pragma registries, the global RNG).  Suppliers are
+# registered once at import time; under debug mode the sweep runner
+# fingerprints every watch before a cell and re-checks after it.
+
+_CELL_WATCHES: Dict[str, Callable[[], object]] = {}
+
+
+def watch_cell_state(label: str, supplier: Callable[[], object]) -> None:
+    """Register module state the sweep must prove cells don't leak.
+
+    ``supplier`` returns the current value (any ``repr``-stable
+    object); ``label`` names it in :class:`CellStateError` reports.
+    Re-registering a label replaces the supplier.
+    """
+    _CELL_WATCHES[label] = supplier  # simlint: disable=DET001 the leak detector's own registry: import-time registration, label-keyed
+
+
+def cell_state_fingerprint() -> Dict[str, str]:
+    """label → digest of each watched value's current ``repr``."""
+    prints: Dict[str, str] = {}
+    for label in sorted(_CELL_WATCHES):
+        try:
+            value = repr(_CELL_WATCHES[label]())
+        except Exception as exc:  # a broken supplier is itself a divergence
+            value = f"<supplier raised {type(exc).__name__}: {exc}>"
+        prints[label] = hashlib.sha256(value.encode()).hexdigest()
+    return prints
+
+
+def check_cell_state(before: Dict[str, str], context: str = "") -> None:
+    """Raise :class:`CellStateError` if any watch diverged from ``before``.
+
+    ``before`` is an earlier :func:`cell_state_fingerprint`; watches
+    added or removed since then count as divergence too (a cell that
+    registers new global state is still a leak).
+    """
+    after = cell_state_fingerprint()
+    diverged = sorted(
+        set(before).symmetric_difference(after)
+        | {label for label in set(before) & set(after)
+           if before[label] != after[label]})
+    if diverged:
+        where = f" in {context}" if context else ""
+        raise CellStateError(
+            f"module state leaked across a sweep cell{where}: "
+            f"{', '.join(diverged)} changed — cells must be pure "
+            f"functions of (experiment, params, seed, scale); see "
+            f"docs/ANALYSIS.md (DET001)")
+
+
+def _global_random_state() -> object:
+    # Fingerprinting the global RNG to *detect* leaked reseeds/draws,
+    # not drawing from it.
+    import random  # simlint: disable=SIM003 leak detector reads getstate(), never draws
+    return random.getstate()  # simlint: disable=SIM003 leak detector reads getstate(), never draws
+
+
+def _process_environ() -> object:
+    return sorted(os.environ.items())  # simlint: disable=DET002 leak detector fingerprints the environment
+
+
+watch_cell_state("random.getstate", _global_random_state)
+watch_cell_state("os.environ", _process_environ)
 
 
 def describe_event(event: "Event") -> str:

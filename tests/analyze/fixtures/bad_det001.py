@@ -1,0 +1,35 @@
+"""DET001 true positives: module state written from runtime code."""
+
+RESULTS = {}
+_LAST_SEED = None
+
+
+def remember(seed):
+    global _LAST_SEED
+    _LAST_SEED = seed  # DET001: 'global' rebind
+
+
+def tally(label, value):
+    RESULTS[label] = value  # DET001: item store on a module registry
+
+
+def reset():
+    RESULTS.clear()  # DET001: mutating method call
+
+
+class Config:
+    mode = "fast"
+
+
+def set_mode(mode):
+    Config.mode = mode  # DET001: class-attribute store
+
+
+def leaky_cell(params, seed, scale):
+    # DET001 (transitive): no write of its own, but remember() rebinds
+    # a module global on its behalf.
+    remember(seed)
+    return seed
+
+
+SWEEP_CELLS = {"leaky": leaky_cell}

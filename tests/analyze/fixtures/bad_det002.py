@@ -1,0 +1,24 @@
+"""DET002 true positives: environment touched outside sweep/scale."""
+
+import os
+from os import environ, getenv
+
+
+def plant_knob(value):
+    os.environ["REPRO_FAKE_KNOB"] = str(value)  # DET002: write
+
+
+def read_knob():
+    return os.environ.get("REPRO_FAKE_KNOB", "0")  # DET002: read
+
+
+def read_alias():
+    return environ["REPRO_FAKE_KNOB"]  # DET002: bare from-import
+
+
+def read_getenv():
+    return os.getenv("REPRO_FAKE_KNOB")  # DET002: getenv attr call
+
+
+def read_getenv_alias():
+    return getenv("REPRO_FAKE_KNOB")  # DET002: getenv from-import

@@ -1,0 +1,17 @@
+"""DET003 true positives: shared mutable class attrs and defaults."""
+
+
+class Stats:
+    samples = []  # DET003: one list shared by every instance
+    labels: dict = {}  # DET003: annotated spelling, same hazard
+    limit = 10  # fine: immutable
+
+
+def record(value, acc=[]):  # DET003: mutable default argument
+    acc.append(value)
+    return acc
+
+
+def tag(value, *, seen=set()):  # DET003: keyword-only default
+    seen.add(value)
+    return value in seen

@@ -1,0 +1,20 @@
+"""DET004 true positive: a memo cache a sweep cell can reach."""
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=None)  # DET004: memo_cell reaches this
+def lookup_latency(key):
+    return key * 2
+
+
+@lru_cache(maxsize=None)  # fine: no sweep cell reaches docs_table
+def docs_table():
+    return tuple(range(10))
+
+
+def memo_cell(params, seed, scale):
+    return lookup_latency(seed)
+
+
+SWEEP_CELLS = {"memo": memo_cell}

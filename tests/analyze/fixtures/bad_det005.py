@@ -1,0 +1,26 @@
+"""DET005 true positives: process-local values in deterministic outputs."""
+
+import hashlib
+import os
+import time
+
+
+def order_by_identity(items):
+    return sorted(items, key=lambda item: id(item))  # DET005: sort key
+
+
+def order_by_hash(items):
+    return max(items, key=lambda item: hash(item))  # DET005: sort key
+
+
+def stamp_label(run):
+    return f"run-{os.getpid()}-{run}"  # DET005: formatted label
+
+
+def stamp_digest(payload):
+    # DET005: wall clock flowing into a digest
+    return hashlib.sha256(repr(time.time()).encode()).hexdigest()
+
+
+def process_id_for_logs():
+    return os.getpid()  # fine: no sort/digest/label context

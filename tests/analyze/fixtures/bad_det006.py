@@ -1,0 +1,24 @@
+"""DET006 true positives: sweep cell payloads workers cannot ship."""
+
+from functools import partial
+
+
+def run_with(sim, params, seed, scale):
+    return seed
+
+
+SIM = Simulator()
+
+
+def make_closure():
+    def closure_cell(params, seed, scale):
+        return seed
+    SWEEP_CELLS["closure"] = closure_cell  # DET006: closure payload
+    return closure_cell
+
+
+SWEEP_CELLS = {
+    "lam": lambda params, seed, scale: seed,  # DET006: lambda payload
+    "direct": partial(run_with, Simulator()),  # DET006: process-local arg
+    "bound": partial(run_with, SIM),  # DET006: binds a Simulator()
+}

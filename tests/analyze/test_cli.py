@@ -138,3 +138,61 @@ def test_list_rules_includes_perf_catalogue():
     assert proc.returncode == 0
     for code in ("PERF001", "PERF002", "PERF003", "PERF004", "PERF005"):
         assert code in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# --select/--ignore families and the DET rules' CLI surface
+# ---------------------------------------------------------------------------
+
+def test_select_det_family_runs_all_det_rules():
+    proc = run_cli("--select", "DET", FIXTURES)
+    assert proc.returncode == 1
+    for code in ("DET001", "DET002", "DET003", "DET004", "DET005",
+                 "DET006"):
+        assert code in proc.stdout, f"{code} missing from:\n{proc.stdout}"
+    assert "SIM001" not in proc.stdout
+    assert "PERF002" not in proc.stdout
+
+
+def test_select_mixes_family_and_single_code():
+    proc = run_cli("--select", "DET002,SIM004", FIXTURES)
+    assert proc.returncode == 1
+    assert "DET002" in proc.stdout
+    assert "SIM004" in proc.stdout
+    assert "DET001" not in proc.stdout
+
+
+def test_ignore_drops_a_family_from_the_selection():
+    proc = run_cli("--select", "SIM,PERF", "--ignore", "PERF", FIXTURES)
+    assert proc.returncode == 1
+    assert "SIM001" in proc.stdout
+    assert "PERF" not in proc.stdout
+
+
+def test_ignore_drops_a_single_code():
+    proc = run_cli("--select", "DET", "--ignore", "DET003",
+                   os.path.join(FIXTURES, "bad_det003.py"))
+    assert proc.returncode == 0
+    assert proc.stdout.strip() == ""
+
+
+def test_ignore_unknown_token_is_usage_error():
+    proc = run_cli("--ignore", "NOPE", FIXTURES)
+    assert proc.returncode == 2
+    assert "unknown rule code" in proc.stderr
+
+
+def test_list_rules_groups_by_family():
+    proc = run_cli("--list-rules")
+    assert proc.returncode == 0
+    for header in ("SIM —", "PERF —", "DET —"):
+        assert header in proc.stdout, f"{header!r} missing:\n{proc.stdout}"
+    for code in ("DET001", "DET002", "DET003", "DET004", "DET005",
+                 "DET006"):
+        assert code in proc.stdout
+
+
+def test_det_pass_on_the_real_tree_is_clean():
+    # The CI invocation: the state-isolation gate over the whole tree.
+    proc = run_cli("--select", "DET", "src", "examples", "tools")
+    assert proc.returncode == 0, proc.stdout + proc.stderr

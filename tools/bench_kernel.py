@@ -79,8 +79,8 @@ def run_bench(name: str, scale: str, servers: int, clients: int,
 
     debug = name.endswith("_debug")
     spec = _build_spec(servers, clients, ops, scale)
-    previous = os.environ.get("REPRO_SIM_DEBUG")
-    os.environ["REPRO_SIM_DEBUG"] = "1" if debug else "0"
+    previous = os.environ.get("REPRO_SIM_DEBUG")  # simlint: disable=DET002 bench harness pins+restores the knob like the sweep does
+    os.environ["REPRO_SIM_DEBUG"] = "1" if debug else "0"  # simlint: disable=DET002 bench harness pins+restores the knob like the sweep does
     try:
         # The wall clock is the measurand here, not simulation state.
         start = time.perf_counter()  # simlint: disable=SIM003 benchmarking wall time
@@ -88,9 +88,9 @@ def run_bench(name: str, scale: str, servers: int, clients: int,
         wall = time.perf_counter() - start  # simlint: disable=SIM003 benchmarking wall time
     finally:
         if previous is None:
-            os.environ.pop("REPRO_SIM_DEBUG", None)
+            os.environ.pop("REPRO_SIM_DEBUG", None)  # simlint: disable=DET002 restoring the snapshot taken above
         else:
-            os.environ["REPRO_SIM_DEBUG"] = previous
+            os.environ["REPRO_SIM_DEBUG"] = previous  # simlint: disable=DET002 restoring the snapshot taken above
     expected = spec.workload.ops_per_client * clients
     if result.total_ops + result.client_errors < expected:
         raise RuntimeError(
@@ -123,8 +123,8 @@ def run_sweep_bench(scale: str, servers: int, clients: int,
     plan = fig4_sweep_plan(sc, seeds=tuple(range(1, seeds + 1)),
                            client_counts=(clients,), servers=servers,
                            workload_names=("A",))
-    previous = os.environ.get("REPRO_SIM_DEBUG")
-    os.environ["REPRO_SIM_DEBUG"] = "0"
+    previous = os.environ.get("REPRO_SIM_DEBUG")  # simlint: disable=DET002 bench harness pins+restores the knob like the sweep does
+    os.environ["REPRO_SIM_DEBUG"] = "0"  # simlint: disable=DET002 bench harness pins+restores the knob like the sweep does
     try:
         # The wall clock is the measurand here, not simulation state.
         start = time.perf_counter()  # simlint: disable=SIM003 benchmarking wall time
@@ -132,9 +132,9 @@ def run_sweep_bench(scale: str, servers: int, clients: int,
         wall = time.perf_counter() - start  # simlint: disable=SIM003 benchmarking wall time
     finally:
         if previous is None:
-            os.environ.pop("REPRO_SIM_DEBUG", None)
+            os.environ.pop("REPRO_SIM_DEBUG", None)  # simlint: disable=DET002 restoring the snapshot taken above
         else:
-            os.environ["REPRO_SIM_DEBUG"] = previous
+            os.environ["REPRO_SIM_DEBUG"] = previous  # simlint: disable=DET002 restoring the snapshot taken above
     failed = report.failed()
     if failed:
         raise RuntimeError(f"fig4_sweep: {len(failed)} cells failed")
