@@ -19,6 +19,12 @@ from repro.cluster.crash import (
     CrashExperimentSpec,
     run_crash_experiment,
 )
+from repro.cluster.durability import (
+    DurabilityGapResult,
+    DurabilityGapSpec,
+    durability_gap_digest,
+    run_durability_gap,
+)
 from repro.cluster.powercap import AdmissionThrottle, PowerCapController
 
 __all__ = [
@@ -29,9 +35,13 @@ __all__ = [
     "PowerCapController",
     "CrashExperimentResult",
     "CrashExperimentSpec",
+    "DurabilityGapResult",
+    "DurabilityGapSpec",
     "ExperimentResult",
     "ExperimentSpec",
+    "durability_gap_digest",
     "repeat_experiment",
     "run_crash_experiment",
+    "run_durability_gap",
     "run_experiment",
 ]

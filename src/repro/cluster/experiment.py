@@ -93,6 +93,14 @@ class ExperimentResult:
             raise ValueError("no latency samples")
         return sum(merged) / len(merged)
 
+    def mean_latency_or_zero(self) -> float:
+        """:meth:`mean_latency`, 0.0 when the run recorded no samples
+        (a crashed run) — the aggregate-friendly variant."""
+        try:
+            return self.mean_latency()
+        except ValueError:
+            return 0.0
+
 
 def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     """Build the cluster, preload, run all clients, collect metrics."""
@@ -200,5 +208,7 @@ def repeat_experiment(spec: ExperimentSpec, seeds: Sequence[int]
         "energy_efficiency": Aggregate.of(
             [r.energy_efficiency for r in results]),
         "makespan": Aggregate.of([r.makespan for r in results]),
+        "mean_latency": Aggregate.of(
+            [r.mean_latency_or_zero() for r in results]),
     }
     return metrics, results

@@ -79,6 +79,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.replication",
     "repro.experiments.recovery",
     "repro.experiments.energy_proportionality",
+    "repro.experiments.durability",
 )
 
 
@@ -177,6 +178,7 @@ def outcome_from_experiment(result) -> CellOutcome:
             "energy_efficiency": result.energy_efficiency,
             "makespan": result.makespan,
             "cpu_util_avg": result.cpu_util_avg,
+            "mean_latency": result.mean_latency_or_zero(),
             "total_ops": float(result.total_ops),
             "client_errors": float(result.client_errors),
             "crashed": 1.0 if result.crashed else 0.0,

@@ -11,19 +11,22 @@ for the whole duration of crash recovery.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Dict, Generator, Optional
 
 from repro.hardware.node import Node
 from repro.net.fabric import NodeUnreachable
 from repro.net.rpc import RpcTimeout
+from repro.ramcloud.consistency import EVENTUAL
 from repro.ramcloud.coordinator import Coordinator
 from repro.ramcloud.errors import (
+    BackupBehind,
     ObjectDoesntExist,
     RetryLater,
     StaleEpoch,
     TableDoesntExist,
     WrongServer,
 )
+from repro.ramcloud.tablets import key_hash
 from repro.sim.distributions import RandomStream
 from repro.sim.kernel import Simulator
 
@@ -58,10 +61,18 @@ class RamCloudClient:  # simlint: disable=PERF001 O(clients) service object; __d
         self.max_retries = max_retries
         self._map = None
         self.rpc_timeout = coordinator.config.rpc_timeout
+        # Read-your-writes session state: per-master high-water mark of
+        # the versions this client has been acknowledged (plain dict —
+        # the client is single-threaded per op, but EVENTUAL reads ship
+        # the watermark to backups, which check it against their own
+        # applied prefix).
+        self.session_watermarks: Dict[str, int] = {}
         # statistics
         self.ops_done = 0
         self.retries = 0
         self.timeouts = 0
+        self.redirects = 0
+        self.backup_reads = 0
 
     def _backoff_delay(self, tries: int) -> float:
         """Sleep before retry number ``tries`` (1-based)."""
@@ -120,10 +131,15 @@ class RamCloudClient:  # simlint: disable=PERF001 O(clients) service object; __d
     # -- data path ---------------------------------------------------------
 
     def _with_retries(self, op: str, table_id: int, key: str,
-                      attempt, args=()) -> Generator:
+                      attempt, args=(),
+                      record_write: bool = False) -> Generator:
         """Run ``attempt(master, span, *args)`` with the standard retry
         loop.  ``attempt`` is a bound method (not a per-operation
-        closure: the data path allocates one of these per op)."""
+        closure: the data path allocates one of these per op).
+
+        ``record_write`` folds a successful result (a version number)
+        into the session watermark for read-your-writes.
+        """
         if self._map is None:
             yield from self.refresh_map()
         tries = 0
@@ -132,9 +148,25 @@ class RamCloudClient:  # simlint: disable=PERF001 O(clients) service object; __d
                 master, span = self._route(table_id, key)
                 result = yield from attempt(master, span, *args)
                 self.ops_done += 1
+                if record_write:
+                    self._note_write(master.server_id, result)
                 return result
             except (ObjectDoesntExist, TableDoesntExist):
                 raise
+            except BackupBehind:
+                # The backup cannot satisfy this session yet: re-route
+                # to the master *immediately*.  This is the expected
+                # redirect path of EVENTUAL reads, not a failure — it
+                # must not burn a backoff-counted retry (Fig. 6a's
+                # give-up accounting would otherwise see phantom
+                # failures under healthy operation).
+                self.redirects += 1
+                # Only the EVENTUAL read attempt raises this, and its
+                # consistency level is always the last attempt arg:
+                # dropping it to None routes every remaining attempt of
+                # this op to the master (the wire-identical sync read).
+                args = args[:-1] + (None,)
+                continue
             except (NodeUnreachable, WrongServer, RetryLater,
                     StaleEpoch) as exc:
                 # StaleEpoch: the cached map predates a membership
@@ -152,7 +184,38 @@ class RamCloudClient:  # simlint: disable=PERF001 O(clients) service object; __d
             yield self.sim.timeout(self._backoff_delay(tries))
             yield from self.refresh_map()
 
-    def _read_attempt(self, master, span, table_id, key):
+    def _note_write(self, server_id: str, version) -> None:
+        """Advance this session's per-master write watermark."""
+        if not isinstance(version, int):
+            return
+        if version > self.session_watermarks.get(server_id, 0):
+            self.session_watermarks[server_id] = version
+
+    def _backup_for(self, master, key: str):
+        """Deterministically pick a backup candidate for an EVENTUAL
+        read of ``key`` — keyed off the snapshot's live-server list, so
+        no RNG draw and no divergence between reruns."""
+        candidates = [sid for sid in getattr(self._map, "live_servers", ())
+                      if sid != master.server_id]
+        if not candidates:
+            return None
+        backup_id = candidates[key_hash(key) % len(candidates)]
+        return self.coordinator.lookup_server(backup_id)
+
+    def _read_attempt(self, master, span, table_id, key, level=None):
+        if level == EVENTUAL:
+            backup = self._backup_for(master, key)
+            if backup is not None:
+                self.backup_reads += 1
+                return backup.call(
+                    self.node, "backup_read",
+                    args=(master.server_id, table_id, key, span,
+                          self.session_watermarks.get(master.server_id, 0)),
+                    size_bytes=READ_REQUEST_BYTES,
+                    response_bytes=RESPONSE_OVERHEAD_BYTES
+                    + self._expected_size(table_id, key),
+                    timeout=self.rpc_timeout,
+                )
         return master.call(
             self.node, "read", args=(table_id, key, span, self._epoch),
             size_bytes=READ_REQUEST_BYTES,
@@ -161,10 +224,19 @@ class RamCloudClient:  # simlint: disable=PERF001 O(clients) service object; __d
             timeout=self.rpc_timeout,
         )
 
-    def read(self, table_id: int, key: str) -> Generator:
-        """Read one object; returns ``(value, version, value_size)``."""
+    def read(self, table_id: int, key: str,
+             level: Optional[str] = None) -> Generator:
+        """Read one object; returns ``(value, version, value_size)``.
+
+        ``level`` only matters for :data:`EVENTUAL`, which first tries
+        a backup replica (scaling reads past the owning master) and
+        falls back to the master when the backup is behind the
+        session's watermark.  SYNC_RF and ASYNC_BOUNDED reads are
+        master-only and identical on the wire.
+        """
         return self._with_retries("read", table_id, key,
-                                  self._read_attempt, (table_id, key))
+                                  self._read_attempt,
+                                  (table_id, key, level))
 
     def _expected_size(self, table_id: int, key: str) -> int:
         # The response size is only known server-side; use a nominal
@@ -173,25 +245,31 @@ class RamCloudClient:  # simlint: disable=PERF001 O(clients) service object; __d
 
     def write(self, table_id: int, key: str, value_size: int,
               value: Optional[bytes] = None,
-              expected_version: Optional[int] = None) -> Generator:
+              expected_version: Optional[int] = None,
+              level: Optional[str] = None) -> Generator:
         """Write (insert or update) one object; returns the new version.
 
         ``expected_version`` makes the write conditional (RAMCloud's
         reject-rules): it only applies if the object is currently at
         exactly that version (0 = must not exist), otherwise
         :class:`~repro.ramcloud.errors.StaleVersion` is raised.
+
+        ``level`` picks the durability/ack point for this write (see
+        :mod:`repro.ramcloud.consistency`); None uses the cluster's
+        configured default.
         """
 
         return self._with_retries(
             "write", table_id, key, self._write_attempt,
-            (table_id, key, value_size, value, expected_version))
+            (table_id, key, value_size, value, expected_version, level),
+            record_write=True)
 
     def _write_attempt(self, master, span, table_id, key, value_size,
-                       value, expected_version):
+                       value, expected_version, level=None):
         return master.call(
             self.node, "write",
             args=(table_id, key, value_size, value, span,
-                  expected_version, self._epoch),
+                  expected_version, self._epoch, level),
             size_bytes=WRITE_OVERHEAD_BYTES + value_size,
             response_bytes=RESPONSE_OVERHEAD_BYTES,
             timeout=self.rpc_timeout,
@@ -258,16 +336,19 @@ class RamCloudClient:  # simlint: disable=PERF001 O(clients) service object; __d
             yield self.sim.timeout(self._backoff_delay(tries))
             yield from self.refresh_map()
 
-    def _delete_attempt(self, master, span, table_id, key):
+    def _delete_attempt(self, master, span, table_id, key, level=None):
         return master.call(
             self.node, "delete",
-            args=(table_id, key, span, self._epoch),
+            args=(table_id, key, span, self._epoch, level),
             size_bytes=READ_REQUEST_BYTES,
             response_bytes=RESPONSE_OVERHEAD_BYTES,
             timeout=self.rpc_timeout,
         )
 
-    def delete(self, table_id: int, key: str) -> Generator:
+    def delete(self, table_id: int, key: str,
+               level: Optional[str] = None) -> Generator:
         """Delete one object; returns the tombstone's version."""
         return self._with_retries("delete", table_id, key,
-                                  self._delete_attempt, (table_id, key))
+                                  self._delete_attempt,
+                                  (table_id, key, level),
+                                  record_write=True)

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.hardware.specs import GB, KB, MB
+from repro.ramcloud.consistency import ASYNC_BOUNDED, SYNC_RF, validate_level
 
 __all__ = ["ServerConfig", "CostModel"]
 
@@ -177,12 +178,28 @@ class ServerConfig:
     # queues blow past the cap, and YCSB's 1 s give-up cliff trips.
     # None (the default) disables dropping entirely.
     overload_queue_limit: Optional[int] = None
-    # §IX "Tuning the consistency-level?": answer the client as soon as
-    # the update is applied locally and the replication requests are
-    # sent, WITHOUT waiting for backup acknowledgements.  Trades
-    # consistency under failures for throughput/energy; used by the
-    # ablation benchmarks.
+    # §IX "Tuning the consistency-level?": deprecated alias for
+    # ``default_consistency=ASYNC_BOUNDED`` — answer the client as soon
+    # as the update is applied locally, replicate in the background.
+    # Kept so existing configurations and the ablation benchmarks keep
+    # working; mapped onto ``default_consistency`` in ``__post_init__``.
     async_replication: bool = False
+    # ---- per-request consistency (repro.ramcloud.consistency) ----
+    # Cluster-wide default level for requests that do not pick one:
+    # "sync_rf" (ack after all RF backups — the paper's behaviour, and
+    # what every pre-existing determinism digest pins), "async_bounded"
+    # (ack after local append, batched replication within the staleness
+    # bounds below), or "eventual" (async writes + backup-served reads).
+    # See docs/CONSISTENCY.md.
+    default_consistency: str = SYNC_RF
+    # ASYNC_BOUNDED staleness bound, sim-time axis: the batched
+    # replicator flushes often enough that an acknowledged write is
+    # never unreplicated longer than this while the master is alive.
+    staleness_bound_seconds: float = 0.05
+    # ASYNC_BOUNDED staleness bound, byte axis: once this many
+    # acknowledged-but-unreplicated bytes accumulate, further async
+    # writes backpressure (wait for a flush) before acking.
+    staleness_bound_bytes: int = 256 * KB
     # ---- adaptive power management (repro.powermgmt, docs/POWER.md) ----
     # "poll" (default) keeps the paper's behaviour: the dispatch thread
     # busy-polls forever on its pinned core (25 % CPU on an idle 4-core
@@ -228,6 +245,15 @@ class ServerConfig:
             raise ValueError("poll_interval must be positive")
         if self.dispatch_wake_latency < 0 or self.core_wake_latency < 0:
             raise ValueError("wake latencies cannot be negative")
+        validate_level(self.default_consistency)
+        if self.staleness_bound_seconds <= 0:
+            raise ValueError("staleness_bound_seconds must be positive")
+        if self.staleness_bound_bytes <= 0:
+            raise ValueError("staleness_bound_bytes must be positive")
+        if self.async_replication and self.default_consistency == SYNC_RF:
+            # Deprecated alias: the old global switch means "the whole
+            # cluster defaults to async" in the new vocabulary.
+            object.__setattr__(self, "default_consistency", ASYNC_BOUNDED)
 
     @property
     def total_segments(self) -> int:

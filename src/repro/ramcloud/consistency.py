@@ -1,0 +1,54 @@
+"""Per-request consistency levels (ROADMAP item 4).
+
+The paper's §IX ablation flips replication from synchronous to
+asynchronous for the *whole cluster*; García-Recuero's HBase study
+(PAPERS.md) shows the interesting frontier is client-centric — each
+request picks its own consistency level and pays its own latency /
+energy / durability cost.  This module defines the level vocabulary;
+the semantics live in ``ramcloud/server.py`` (ack points, batched
+replication, backup reads) and ``ramcloud/client.py`` (session tokens,
+redirect handling).  See docs/CONSISTENCY.md for the full contract.
+
+Levels are plain strings (not an Enum) so sweep cells — which cross
+spawn-context process boundaries — pickle and digest them trivially.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+__all__ = ["SYNC_RF", "ASYNC_BOUNDED", "EVENTUAL", "LEVELS",
+           "resolve_level", "validate_level"]
+
+# Acked only after all RF backups confirmed the append (today's
+# default; what every pre-existing digest pins).
+SYNC_RF = "sync_rf"
+# Acked after the local log append; replication happens in batches
+# bounded by ServerConfig.staleness_bound_seconds/_bytes, with
+# backpressure (the ack waits for a flush) when the byte bound is at
+# risk.  A master crash loses the acknowledged-but-unreplicated tail —
+# the durability-gap harness counts exactly that.
+ASYNC_BOUNDED = "async_bounded"
+# ASYNC_BOUNDED writes, plus reads may be served by a backup from its
+# replicated prefix when the backup satisfies the client's session
+# watermark (read-your-writes); otherwise the backup redirects to the
+# master (BackupBehind).
+EVENTUAL = "eventual"
+
+LEVELS: Tuple[str, ...] = (SYNC_RF, ASYNC_BOUNDED, EVENTUAL)
+
+
+def validate_level(level: str) -> str:
+    """Check that ``level`` is a known consistency level and return it."""
+    if level not in LEVELS:
+        raise ValueError(
+            f"unknown consistency level {level!r}: choose from {LEVELS}")
+    return level
+
+
+def resolve_level(level: Optional[str], default: str) -> str:
+    """The effective level for a request: the per-request choice if
+    given, else the cluster default (``ServerConfig.default_consistency``)."""
+    if level is None:
+        return default
+    return validate_level(level)

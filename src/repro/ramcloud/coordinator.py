@@ -244,6 +244,9 @@ class Coordinator(RpcService):
             # carry it on data RPCs so masters can reject routes that
             # predate an ownership change (stale-epoch rejection).
             snapshot.membership_version = self.membership_version
+            # Live servers (enlistment order) let EVENTUAL reads pick a
+            # deterministic backup candidate without extra RNG draws.
+            snapshot.live_servers = tuple(self.live_server_ids())
             request.respond(snapshot)
         elif request.op == "create_table":
             name, span = request.args
@@ -604,18 +607,31 @@ class Coordinator(RpcService):
                                                master,
                                                TabletStatus.RECOVERING)
 
-        # Locate every segment replica of the crashed master.  Spread
-        # reads across the backups that hold each segment.
+        # Locate every segment replica of the crashed master.  RAMCloud's
+        # setup phase finds the most up-to-date replica of each segment
+        # (essential for the open head, whose copies can trail each
+        # other); among equally-complete holders, spread the reads.
+        # The tie-break coin flip is drawn exactly as often as the old
+        # spread-only logic whenever all replicas are complete — the
+        # SYNC_RF steady state — keeping those digests bit-identical.
         segment_sources: Dict[int, Tuple[str, int]] = {}
+        best_applied: Dict[int, float] = {}
         for sid in survivors:
             backup = self._servers[sid]
             for (master_id, segment_id), replica in backup.replicas.items():
                 if master_id != server_id:
                     continue
                 nbytes = max(replica.nbytes, replica.segment.bytes_used)
+                applied = (float("inf") if replica.entries_applied is None
+                           else replica.entries_applied)
                 if segment_id not in segment_sources:
                     segment_sources[segment_id] = (sid, nbytes)
-                elif self.stream.uniform() < 0.5:
+                    best_applied[segment_id] = applied
+                elif applied > best_applied[segment_id]:
+                    segment_sources[segment_id] = (sid, nbytes)
+                    best_applied[segment_id] = applied
+                elif (applied == best_applied[segment_id]
+                      and self.stream.uniform() < 0.5):
                     segment_sources[segment_id] = (sid, nbytes)
 
         spans = {}

@@ -11,6 +11,7 @@ __all__ = [
     "LogOutOfMemory",
     "StaleVersion",
     "StaleEpoch",
+    "BackupBehind",
 ]
 
 
@@ -49,3 +50,11 @@ class StaleEpoch(RamCloudError):
     rejecting a client whose cached map predates an ownership change.
     The correct reaction is to refresh state and retry (clients) or to
     self-quiesce (a fenced master)."""
+
+
+class BackupBehind(RamCloudError):
+    """An EVENTUAL read asked a backup that cannot satisfy the client's
+    session watermark (its replicated prefix is too stale).  This is a
+    *routing* outcome, not a failure: the client retries immediately
+    against the master, without burning a backoff-counted retry (the
+    Fig. 6a give-up accounting must not see it)."""

@@ -37,6 +37,7 @@ from repro.net.fabric import Fabric, NodeUnreachable
 from repro.net.rpc import RpcRequest, RpcService, RpcTimeout
 from repro.ramcloud.config import CostModel, ServerConfig
 from repro.ramcloud.errors import (
+    BackupBehind,
     LogOutOfMemory,
     ObjectDoesntExist,
     RamCloudError,
@@ -45,6 +46,7 @@ from repro.ramcloud.errors import (
     StaleVersion,
     WrongServer,
 )
+from repro.ramcloud.consistency import SYNC_RF
 from repro.ramcloud.hashtable import HashTable
 from repro.ramcloud.log import Log
 from repro.ramcloud.segment import LogEntry, Segment
@@ -67,7 +69,7 @@ class SegmentReplica:
     """
 
     __slots__ = ("master_id", "segment", "nbytes", "closed", "on_disk",
-                 "cached")
+                 "cached", "entries_applied")
 
     def __init__(self, master_id: str, segment: Segment):
         self.master_id = master_id
@@ -78,6 +80,14 @@ class SegmentReplica:
         # True once a recovery read pulled the replica back into DRAM;
         # later recovery masters fetching their share skip the disk.
         self.cached = False
+        # How many of the master segment's entries this backup has
+        # durably applied (the ``upto`` watermark carried on every
+        # replicate_append).  Recovery serves only this prefix, which
+        # is what makes an ASYNC_BOUNDED master's unreplicated tail
+        # honestly *acknowledged-but-lost*.  None = legacy replica with
+        # no watermark ever reported (serve everything, the pre-
+        # watermark behaviour).
+        self.entries_applied: Optional[int] = None
 
     @property
     def key(self) -> Tuple[str, int]:
@@ -152,6 +162,35 @@ class RamCloudServer(RpcService):
 
         # ---- backup state ----
         self.replicas: Dict[Tuple[str, int], SegmentReplica] = {}
+        # master_id → highest object version this backup has applied
+        # from that master (fed by the replicate_append ``upto``
+        # watermarks).  EVENTUAL backup reads gate visibility — and the
+        # client's read-your-writes session check — on this.
+        self.backup_watermarks: Dict[str, int] = {}
+
+        # ---- per-request consistency (docs/CONSISTENCY.md) ----
+        # The batched-replication queue for ASYNC_BOUNDED/EVENTUAL
+        # writes: (segment, entry, upto, acked_at) tuples awaiting a
+        # flush.  All machinery is built lazily by the first async
+        # write, so SYNC_RF-only runs schedule no extra events and stay
+        # bit-identical to pre-consistency builds.
+        self._repl_pending: List[Tuple[Segment, LogEntry, int, float]] = []
+        # Acknowledged-but-unreplicated bytes; writers backpressure once
+        # this reaches ServerConfig.staleness_bound_bytes.
+        self.unreplicated_bytes = 0
+        self._flush_queue: Optional[Store] = None
+        self._flusher: Optional[Process] = None
+        # Largest (backup-apply time − client-ack time) any flushed
+        # batch observed — the measured staleness the durability-gap
+        # harness reports against the configured bound.
+        self.max_observed_staleness = 0.0
+        self.async_writes_acked = 0
+        self.backup_reads_served = 0
+        # Race handle for the batch queue / byte gauge / watermarks:
+        # every mutation is a single-step guarded add/drain that never
+        # spans a yield (the under_replicated work-queue idiom), so
+        # accesses are declared relaxed.
+        self.repl_race = shared(sim, f"{self.server_id}:repl")
 
         # ---- threading ----
         self.worker_queue = Store(sim, name=f"{self.server_id}:work",
@@ -507,7 +546,7 @@ class RamCloudServer(RpcService):
     # long recovery reads means "busy", not "dead".
     _BACKUP_OPS = frozenset({
         "replicate_append", "replicate_close", "replicate_segment",
-        "recovery_read", "free_replica", "server_list",
+        "recovery_read", "free_replica", "server_list", "backup_read",
     })
 
     def _dispatch_loop(self) -> Generator:
@@ -776,19 +815,16 @@ class RamCloudServer(RpcService):
             yield self.sim.timeout(0.02)
         raise RetryLater(f"{self.server_id}: log full, cleaner starved")
 
-    def _replicate_entry(self, segment: Segment,
-                         entry: LogEntry) -> Generator:
-        """Push one appended entry to every backup of its segment.
-
-        Default (``async_replication=False``): wait for every backup's
-        acknowledgement before returning — the strong-consistency rule
-        the paper identifies as a major cost ("it has to wait for the
-        acknowledgements from the backups ... crucial for providing
-        strong consistency guarantees", §VI).
-
-        With ``async_replication=True`` (the §IX relaxed-consistency
-        ablation): spend the send CPU, fire the replication RPCs in the
-        background and return immediately.
+    def _replicate_entry(self, segment: Segment, entry: LogEntry,
+                         upto: int) -> Generator:
+        """SYNC_RF: push one appended entry to every backup of its
+        segment and wait for every acknowledgement before returning —
+        the strong-consistency rule the paper identifies as a major
+        cost ("it has to wait for the acknowledgements from the
+        backups ... crucial for providing strong consistency
+        guarantees", §VI).  ``upto`` is the segment's entry count at
+        append time: the applied-prefix watermark the backup records
+        (see :class:`SegmentReplica`).
 
         Raises :class:`StaleEpoch` (after fencing this server) if a
         backup's server-list epoch marks us dead — the client's request
@@ -808,14 +844,11 @@ class RamCloudServer(RpcService):
             yield from self.node.cpu.execute(self.cost.replication_send)
             call = backup.call(
                 self.node, "replicate_append",
-                args=(self.server_id, segment.segment_id, entry.log_bytes),
+                args=(self.server_id, segment.segment_id, entry.log_bytes,
+                      upto),
                 size_bytes=entry.log_bytes + 64, response_bytes=64,
                 timeout=self.config.rpc_timeout,
             )
-            if self.config.async_replication:
-                self._spawn(self._background_replicate(call),
-                            name=f"{self.name}:async-repl")
-                continue
             try:
                 # The worker busy-polls for the backup's acknowledgement
                 # (RPC waits spin in RAMCloud): replication raises power
@@ -868,11 +901,128 @@ class RamCloudServer(RpcService):
         segment.replica_backups = tuple(current)
         return backup
 
-    def _background_replicate(self, call) -> Generator:
+    # ------------------------------------------------------------------
+    # batched replication (ASYNC_BOUNDED / EVENTUAL writes)
+    # ------------------------------------------------------------------
+
+    def _async_enqueue(self, segment: Segment, entry: LogEntry,
+                       upto: int) -> Generator:
+        """Queue one acknowledged write for batched replication.
+
+        The ack does not wait for backups; the staleness bound is held
+        two ways — the flusher ships the batch within a quarter of
+        ``staleness_bound_seconds`` of its oldest ack, and once
+        ``staleness_bound_bytes`` of acknowledged-but-unreplicated
+        bytes accumulate the writer backpressures *here*, before
+        acking, so the byte bound holds even under overload.
+
+        All machinery is lazily built on the first async write:
+        SYNC_RF-only runs never create the flusher process or its
+        queue, keeping the default path bit-identical.
+        """
+        if self._flush_queue is None:
+            self._flush_queue = Store(self.sim,
+                                      name=f"{self.server_id}:flush")
+            self._flusher = self._spawn(self._async_flush_loop(),
+                                        name=f"{self.name}:flusher")
+        bound = self.config.staleness_bound_bytes
+        while (self.unreplicated_bytes + entry.log_bytes > bound
+               and not (self.killed or self.fenced)):
+            # Backpressure: the bound is at risk — hold the ack until
+            # the flusher drains.
+            yield self.sim.timeout(self.config.staleness_bound_seconds / 8.0)
+        if self.killed or self.fenced:
+            return
+        self.repl_race.write("pending", relaxed=True)
+        was_empty = not self._repl_pending
+        self._repl_pending.append((segment, entry, upto, self.sim.now))
+        self.unreplicated_bytes += entry.log_bytes
+        self.async_writes_acked += 1
+        if was_empty:
+            # Wake an idle flusher; while a batch is already pending
+            # the flusher is awake and will pick this entry up too.
+            self._flush_queue.put("wake")
+
+    def _async_flush_loop(self) -> Generator:
+        """One background flusher per master (lazily spawned, see
+        :meth:`_async_enqueue`): ships the pending batch no later than
+        ``staleness_bound_seconds/4`` after its oldest ack — or as soon
+        as half the byte bound accumulates — leaving three quarters of
+        the bound as delivery margin, so backup-apply-time staleness
+        stays inside the bound while this master is alive."""
+        sim = self.sim
+        interval = self.config.staleness_bound_seconds / 4.0
+        half_bound = max(1, self.config.staleness_bound_bytes // 2)
         try:
-            yield from call
-        except (NodeUnreachable, RpcTimeout, Interrupt):
-            pass  # fire-and-forget: the §IX trade-off accepts this risk
+            while not (self.killed or self.fenced):
+                yield self._flush_queue.get()
+                while self._repl_pending and not (self.killed
+                                                  or self.fenced):
+                    deadline = self._repl_pending[0][3] + interval
+                    while (self._repl_pending and sim.now < deadline
+                           and self.unreplicated_bytes < half_bound):
+                        yield sim.timeout(min(interval / 4.0,
+                                              deadline - sim.now))
+                    yield from self._flush_pending()
+        except Interrupt:
+            pass  # killed with a batch in flight: the tail is lost
+        except StaleEpoch:
+            pass  # fenced mid-flush; the pending tail must never land
+
+    def _flush_pending(self) -> Generator:
+        """Ship everything queued: one ``replicate_append`` per
+        (segment, backup) pair covering the whole batch — the batching
+        that makes ASYNC_BOUNDED cheaper than per-entry sync
+        replication.  Runs on the background flusher, so the wait for
+        backup acks is a plain block (no ack-spin CPU): that, plus the
+        amortized send cost, is the §IX throughput/energy win."""
+        self.repl_race.write("pending", relaxed=True)
+        batch = self._repl_pending
+        self._repl_pending = []
+        oldest = batch[0][3]
+        # segment_id → [segment, batched bytes, max upto]
+        per_segment: Dict[int, list] = {}
+        for segment, entry, upto, _acked_at in batch:
+            rec = per_segment.get(segment.segment_id)
+            if rec is None:
+                per_segment[segment.segment_id] = [segment,
+                                                   entry.log_bytes, upto]
+            else:
+                rec[1] += entry.log_bytes
+                rec[2] = max(rec[2], upto)
+        for segment_id in sorted(per_segment):
+            segment, nbytes, upto = per_segment[segment_id]
+            for slot, backup_id in enumerate(segment.replica_backups):
+                if (backup_id in self.dead_view
+                        or (segment.segment_id, slot)
+                        in self.under_replicated):
+                    self._record_lost_replica(segment, slot)
+                    continue
+                backup = self.coordinator.lookup_server(backup_id)
+                if backup is None:
+                    continue
+                yield from self.node.cpu.execute(self.cost.replication_send)
+                try:
+                    yield from backup.call(
+                        self.node, "replicate_append",
+                        args=(self.server_id, segment.segment_id, nbytes,
+                              upto),
+                        size_bytes=nbytes + 64, response_bytes=64,
+                        timeout=self.config.rpc_timeout,
+                    )
+                except StaleEpoch:
+                    # A backup's epoch marks us dead: fence and stop —
+                    # a zombie's batch must never reach the durable log
+                    # (the same rule the sync path enforces).
+                    self._fence()
+                    raise
+                except (NodeUnreachable, RpcTimeout):
+                    self._record_lost_replica(segment, slot)
+            self.repl_race.write("unreplicated_bytes", relaxed=True)
+            self.unreplicated_bytes -= nbytes
+        staleness = self.sim.now - oldest
+        if staleness > self.max_observed_staleness:
+            self.max_observed_staleness = staleness
 
     def _handle_write(self, request: RpcRequest) -> Generator:
         """Write one object.  ``expected_version`` (if not None) makes
@@ -881,6 +1031,9 @@ class RamCloudServer(RpcService):
         table_id, key, value_size, value, span, expected_version = \
             request.args[:6]
         epoch = request.args[6] if len(request.args) > 6 else None
+        level = request.args[7] if len(request.args) > 7 else None
+        if level is None:
+            level = self.config.default_consistency
         try:
             self._check_ownership(table_id, key, span, epoch)
         except (WrongServer, RetryLater, StaleEpoch) as exc:
@@ -895,9 +1048,17 @@ class RamCloudServer(RpcService):
             request.fail(exc)
             return
         del closed  # backups were notified by the on_close callback
+        # The segment's entry count right after the append (no yields
+        # intervene): the applied-prefix watermark the backups record.
+        upto = len(segment.entries)
         yield from self.node.cpu.execute(self.cost.write_service)
         if self.config.replication_factor > 0:
-            yield from self._replicate_entry(segment, entry)
+            if level == SYNC_RF:
+                yield from self._replicate_entry(segment, entry, upto)
+            else:
+                # ASYNC_BOUNDED / EVENTUAL: ack after the local append;
+                # the flusher replicates in batches within the bound.
+                yield from self._async_enqueue(segment, entry, upto)
         self.ops_completed += 1
         self.writes_completed += 1
         request.respond(entry.version)
@@ -905,6 +1066,9 @@ class RamCloudServer(RpcService):
     def _handle_delete(self, request: RpcRequest) -> Generator:
         table_id, key, span = request.args[:3]
         epoch = request.args[3] if len(request.args) > 3 else None
+        level = request.args[4] if len(request.args) > 4 else None
+        if level is None:
+            level = self.config.default_consistency
         try:
             self._check_ownership(table_id, key, span, epoch)
         except (WrongServer, RetryLater, StaleEpoch) as exc:
@@ -917,9 +1081,13 @@ class RamCloudServer(RpcService):
         except ObjectDoesntExist as exc:
             request.fail(exc)
             return
+        upto = len(segment.entries)
         yield from self.node.cpu.execute(self.cost.write_service)
         if self.config.replication_factor > 0:
-            yield from self._replicate_entry(segment, entry)
+            if level == SYNC_RF:
+                yield from self._replicate_entry(segment, entry, upto)
+            else:
+                yield from self._async_enqueue(segment, entry, upto)
         self.ops_completed += 1
         self.writes_completed += 1
         request.respond(entry.version)
@@ -982,7 +1150,8 @@ class RamCloudServer(RpcService):
         return replica
 
     def _handle_replicate_append(self, request: RpcRequest) -> Generator:
-        master_id, segment_id, nbytes = request.args
+        master_id, segment_id, nbytes = request.args[:3]
+        upto = request.args[3] if len(request.args) > 3 else None
         if self._reject_if_fenced(request, master_id):
             return
         load = (len(self.backup_queue) + len(self.worker_queue)
@@ -994,8 +1163,29 @@ class RamCloudServer(RpcService):
             if segment is not None:
                 replica = self._replica_for(master_id, segment)
                 replica.nbytes += nbytes
+                if upto is not None:
+                    self._advance_watermark(replica, upto)
         self.replications_handled += 1
         request.respond("ack")
+
+    def _advance_watermark(self, replica: SegmentReplica,
+                           upto: int) -> None:
+        """Record that ``replica`` now durably holds its segment's
+        first ``upto`` entries, and advance this backup's per-master
+        version watermark to the highest version in the newly-applied
+        slice.  Sync acks can arrive out of segment order (RF > 1,
+        concurrent writers), so both advances are monotonic maxes."""
+        self.repl_race.write("watermark", relaxed=True)
+        old = replica.entries_applied or 0
+        if upto <= old:
+            return
+        replica.entries_applied = upto
+        applied = replica.segment.entries[old:upto]
+        if not applied:
+            return
+        top = max(e.version for e in applied)
+        if top > self.backup_watermarks.get(replica.master_id, 0):
+            self.backup_watermarks[replica.master_id] = top
 
     def _handle_replicate_close(self, request: RpcRequest) -> Generator:
         master_id, segment_id = request.args
@@ -1041,6 +1231,9 @@ class RamCloudServer(RpcService):
                 replica.nbytes = nbytes
                 replica.closed = True
                 replica.on_disk = True
+                # Whole-segment replication ships the full current
+                # contents: the applied prefix is everything.
+                self._advance_watermark(replica, len(segment.entries))
         yield from self.node.disk.write(nbytes, stream_id=(master_id, "recov"))
         if self.node.disk.space.free >= nbytes:
             self.node.disk.space.put(nbytes)
@@ -1067,8 +1260,101 @@ class RamCloudServer(RpcService):
         served = max(1, int(nbytes * share))
         yield from self.node.cpu.execute(
             self.cost.recovery_read_per_byte * served)
-        entries = list(replica.segment.entries)
+        # Serve only the prefix this backup durably applied (see
+        # SegmentReplica.entries_applied): an ASYNC_BOUNDED master's
+        # acknowledged-but-unreplicated tail is honestly lost here —
+        # the durability-gap harness counts exactly these entries.
+        # Replicas with no watermark on record (None) serve everything.
+        if replica.entries_applied is None:
+            entries = list(replica.segment.entries)
+        else:
+            applied = replica.entries_applied
+            entries = list(replica.segment.entries[:applied])
+            dropped = replica.segment.entries[applied:]
+            if dropped:
+                # An overwrite dead-marks its predecessor at append
+                # time — before the new entry is durably replicated —
+                # and replicas share the master's entry objects by
+                # reference.  When truncation drops that in-flight
+                # successor, the predecessor inside the served prefix
+                # is still the acknowledged durable version: a real
+                # backup holds only bytes and would replay it.  Serve
+                # a live copy so recovery does not lose the key.
+                truncated = {(e.table_id, e.key) for e in dropped}
+                for i in range(len(entries) - 1, -1, -1):
+                    entry = entries[i]
+                    ident = (entry.table_id, entry.key)
+                    if ident not in truncated:
+                        continue
+                    truncated.discard(ident)
+                    if not entry.live and not entry.is_tombstone:
+                        entries[i] = LogEntry(
+                            entry.table_id, entry.key, entry.value_size,
+                            entry.version, value=entry.value)
+                    if not truncated:
+                        break
         request.respond((entries, served))
+
+    def _handle_backup_read(self, request: RpcRequest) -> Generator:
+        """EVENTUAL read served from this backup's replicated state.
+
+        The client sends its per-master session watermark (the highest
+        version it has written there); we serve only when our applied
+        watermark covers both that token and the object's own version,
+        and we actually hold a replica of the object's segment —
+        otherwise :class:`BackupBehind` redirects the client to the
+        master (a routed retry, never a backoff-counted failure).
+
+        Availability semantics: a backup keeps serving through the
+        undetected-crash window of its master (the EVENTUAL read's
+        availability win — and the race the ``pytest -m faults``
+        scenario exercises), but once its server-list view marks the
+        master dead it refuses with StaleEpoch, exactly as it fences
+        the master's replication.
+
+        Modeling shortcut: the object lookup consults the master's
+        hash table (the replica byte copy is modeled by reference, as
+        in :class:`SegmentReplica`), but *visibility* is gated on this
+        backup's own applied watermark — which is the part that
+        matters for staleness and read-your-writes.
+        """
+        master_id, table_id, key, _span, client_watermark = request.args
+        if self._reject_if_fenced(request, master_id):
+            return
+        yield from self.node.cpu.execute(self.cost.read_service)
+        watermark = self.backup_watermarks.get(master_id, 0)
+        if client_watermark > watermark:
+            # Session check: the client has writes we have not applied.
+            request.fail(BackupBehind(
+                f"{self.server_id} applied {master_id} up to v{watermark}, "
+                f"client session requires v{client_watermark}"))
+            return
+        master = self.coordinator.lookup_server(master_id)
+        if master is None:
+            request.fail(BackupBehind(f"no replica source for {master_id}"))
+            return
+        found = master.hashtable.lookup(table_id, key)
+        if found is None:
+            # Unknown key: cannot distinguish "never existed" from
+            # "not yet replicated" — let the master decide.
+            request.fail(BackupBehind(
+                f"t{table_id}/{key} not in replicated state"))
+            return
+        segment, entry = found
+        if (master_id, segment.segment_id) not in self.replicas:
+            request.fail(BackupBehind(
+                f"{self.server_id} holds no replica of "
+                f"{master_id}/seg{segment.segment_id}"))
+            return
+        if entry.version > watermark:
+            request.fail(BackupBehind(
+                f"t{table_id}/{key} v{entry.version} newer "
+                f"than applied watermark v{watermark}"))
+            return
+        self.ops_completed += 1
+        self.reads_completed += 1
+        self.backup_reads_served += 1
+        request.respond((entry.value, entry.version, entry.value_size))
 
     def _handle_migrate_in(self, request: RpcRequest) -> Generator:
         """Receive a migrating tablet shard: bulk-append the entries and
@@ -1531,6 +1817,7 @@ class RamCloudServer(RpcService):
                     continue
                 replica = backup._replica_for(self.server_id, segment)
                 replica.nbytes = segment.bytes_used
+                backup._advance_watermark(replica, len(segment.entries))
                 if segment.closed:
                     replica.closed = True
                     if not replica.on_disk:
@@ -1551,6 +1838,7 @@ class RamCloudServer(RpcService):
         "replicate_close": _handle_replicate_close,
         "replicate_segment": _handle_replicate_segment,
         "recovery_read": _handle_recovery_read,
+        "backup_read": _handle_backup_read,
         "free_replica": _handle_free_replica,
         "recover_partition": _handle_recover_partition,
         "migrate_in": _handle_migrate_in,

@@ -248,13 +248,18 @@ class TabletMapSnapshot:
     ``membership_version`` is the coordinator's server-list epoch at
     snapshot time; clients stamp it onto data RPCs so a master can
     reject routes that predate the membership change that moved its
-    tablets (see :class:`~repro.ramcloud.errors.StaleEpoch`)."""
+    tablets (see :class:`~repro.ramcloud.errors.StaleEpoch`).
+
+    ``live_servers`` is the live server-id tuple (enlistment order) at
+    snapshot time — EVENTUAL reads use it to pick a deterministic
+    backup candidate for a key without any extra RNG draw."""
 
     epoch: int
     tables_by_name: Dict[str, Table]
     tables_by_id: Dict[int, Table]
     tablets: Dict[Tuple[int, int], Tablet]
     membership_version: int = 0
+    live_servers: Tuple[str, ...] = ()
 
     def tablet_for_key(self, table_id: int, key: str) -> Tablet:
         """Route a key to its tablet in this snapshot."""

@@ -36,6 +36,8 @@ def fnv1a_64(value: int) -> int:
 class RandomStream:
     """A named, seeded RNG with the distributions this project needs."""
 
+    __slots__ = ("name", "_rng")
+
     def __init__(self, seed: int, name: str = ""):
         self.name = name
         # Derive a stream-specific seed so streams with the same base

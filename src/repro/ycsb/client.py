@@ -69,6 +69,20 @@ class YcsbClient:  # simlint: disable=PERF001 O(clients) service object; __dict_
                                      workload.num_records, stream)
         self._insert_counter = workload.num_records
         self.gave_up = False
+        # Per-request consistency mix (empty = every op at the cluster
+        # default, no extra RNG draws — existing runs bit-identical).
+        self._consistency_mix = workload.consistency_mix
+
+    def _choose_level(self) -> Optional[str]:
+        """Draw this op's ConsistencyLevel from the workload mix.
+        Only called when a mix is configured, so default workloads
+        consume no stream draws here."""
+        roll = self.stream.uniform()
+        for level, proportion in self._consistency_mix:
+            if roll < proportion:
+                return level
+            roll -= proportion
+        return None  # remainder: the cluster's configured default
 
     # -- operation mix ---------------------------------------------------
 
@@ -164,14 +178,16 @@ class YcsbClient:  # simlint: disable=PERF001 O(clients) service object; __dict_
 
     def _execute(self, op: str) -> Generator:
         w = self.workload
+        level = self._choose_level() if self._consistency_mix else None
         if op == "read":
-            yield from self.rc.read(self.table_id, self.keys.next_key())
+            yield from self.rc.read(self.table_id, self.keys.next_key(),
+                                    level=level)
         elif op == "update":
             yield from self.rc.write(self.table_id, self.keys.next_key(),
-                                     w.record_size)
+                                     w.record_size, level=level)
         elif op == "insert":
             yield from self.rc.write(self.table_id, self._next_insert_key(),
-                                     w.record_size)
+                                     w.record_size, level=level)
         elif op == "scan":
             # YCSB scan: from a random start key, fetch a uniformly
             # random number of consecutive records (mapped onto
@@ -183,7 +199,8 @@ class YcsbClient:  # simlint: disable=PERF001 O(clients) service object; __dict_
             yield from self.rc.multiread(self.table_id, keys)
         elif op == "rmw":
             key = self.keys.next_key()
-            yield from self.rc.read(self.table_id, key)
-            yield from self.rc.write(self.table_id, key, w.record_size)
+            yield from self.rc.read(self.table_id, key, level=level)
+            yield from self.rc.write(self.table_id, key, w.record_size,
+                                     level=level)
         else:  # pragma: no cover - _choose_op is exhaustive
             raise ValueError(f"unknown op {op!r}")

@@ -14,6 +14,9 @@ because the storage system models point operations.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.ramcloud.consistency import validate_level
 
 __all__ = [
     "WorkloadSpec",
@@ -43,6 +46,12 @@ class WorkloadSpec:
     # Optional client-side throttle (operations per second per client);
     # None = issue as fast as the closed loop allows.  Used by Fig. 13.
     target_ops_per_second: float = 0.0
+    # Per-request consistency mix: ((level, proportion), ...).  Each op
+    # draws its ConsistencyLevel from this distribution; any remainder
+    # up to 1.0 uses the cluster's configured default (level=None on
+    # the wire).  Empty (the default) sends every op at the default
+    # level and draws nothing — existing runs stay bit-identical.
+    consistency_mix: Tuple[Tuple[str, float], ...] = ()
 
     def __post_init__(self):
         total = (self.read_proportion + self.update_proportion
@@ -62,6 +71,21 @@ class WorkloadSpec:
             raise ValueError("need at least one operation per client")
         if self.target_ops_per_second < 0:
             raise ValueError("throttle rate cannot be negative")
+        mix_total = 0.0
+        for level, proportion in self.consistency_mix:
+            validate_level(level)
+            if proportion < 0:
+                raise ValueError(
+                    f"consistency proportion cannot be negative: {level}")
+            mix_total += proportion
+        if mix_total > 1.0 + 1e-9:
+            raise ValueError(
+                f"consistency mix proportions sum to {mix_total} > 1")
+
+    def with_consistency(self, *mix: Tuple[str, float]) -> "WorkloadSpec":
+        """A copy with a per-request consistency mix, e.g.
+        ``w.with_consistency((EVENTUAL, 0.9), (SYNC_RF, 0.1))``."""
+        return replace(self, consistency_mix=tuple(mix))
 
     def scaled(self, num_records: int = None, ops_per_client: int = None,
                **overrides) -> "WorkloadSpec":

@@ -26,3 +26,16 @@ class TornRepair:
         self.under_replicated -= 1
         yield from replace(item)
         self.under_replicated -= self.failed_slots  # SIM006 fires here
+
+
+class TornBatchFlusher:
+    def flush(self, sim, ship, batch):
+        # The batched-replication anti-idiom: the pending-bytes gauge is
+        # debited before the replication RPC and again after it — while
+        # the RPC is in flight, new async acks credit the same gauge, so
+        # the post-RPC debit resumes from a stale baseline.  (The clean
+        # shape — snapshot-and-clear in one step, post-RPC write to a
+        # different field — is in good_all.py.)
+        self.pending_bytes -= len(batch)
+        yield from ship(batch)
+        self.pending_bytes -= self.spilled_bytes  # SIM006 fires here

@@ -115,6 +115,20 @@ class RepairQueue:
             yield sim.timeout(0.1)
 
 
+class BatchedReplicator:
+    def flush_once(self, sim, ship):
+        # SIM006-clean (the batched-replication idiom): the pending
+        # batch is snapshot-and-cleared in one single step before the
+        # replication RPC, and the post-RPC write lands on a *different*
+        # field (the shipped watermark) — no field is written on both
+        # sides of the yield.
+        batch, self.pending = self.pending, []
+        if not batch:
+            return
+        yield from ship(batch)
+        self.shipped_upto = self.shipped_upto + len(batch)
+
+
 def launch(sim, coro):
     # A spawner: forwards its argument into the kernel.
     sim.process(coro, name="launched")

@@ -307,14 +307,17 @@ class TestSim005:
 # ---------------------------------------------------------------------------
 
 class TestSim006:
-    def test_bad_fixture_fires_twice(self):
+    def test_bad_fixture_fires_per_torn_counter(self):
         findings = lint_fixture("bad_sim006.py")
-        assert codes(findings) == ["SIM006", "SIM006"]
+        assert codes(findings) == ["SIM006", "SIM006", "SIM006"]
         assert "self.total_bytes" in findings[0].message
         assert "no lock held" in findings[0].message
         # The repair-loop anti-idiom: a counter torn around the
         # re-replication `yield from`.
         assert "self.under_replicated" in findings[1].message
+        # The batched-replication anti-idiom: the pending-bytes gauge
+        # debited on both sides of the flush RPC.
+        assert "self.pending_bytes" in findings[2].message
 
     def test_lock_held_across_yield_is_clean(self):
         assert lint_snippet("""

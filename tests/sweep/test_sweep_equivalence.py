@@ -34,6 +34,8 @@ PLANS = {
     "energy": lambda: plan_for("energy", TINY, seeds=(1, 2),
                                governors=("static", "poll-adaptive"),
                                servers=2, clients=2, fractions=(0.5,)),
+    "frontier": lambda: plan_for("frontier", TINY, rfs=(1,), servers=3,
+                                 clients=2),
 }
 
 
