@@ -64,7 +64,14 @@ def _registry():
         "elastic": lambda s: extensions.run_elastic_sizing_extension(s),
         "correlated":
             lambda s: extensions.run_correlated_failures_extension(s),
+        "index": lambda s: _indexing().run_fig_index(s),
+        "tenants": lambda s: _indexing().run_tenant_mix(s),
     }
+
+
+def _indexing():
+    from repro.experiments import indexing
+    return indexing
 
 
 def _print_result(result):

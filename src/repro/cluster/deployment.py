@@ -167,12 +167,24 @@ class Cluster:  # simlint: disable=PERF001 one per run; __dict__ cost is amortiz
 
     # -- table management ---------------------------------------------------
 
-    def create_table(self, name: str, span: Optional[int] = None) -> int:
+    def create_table(self, name: str, span: Optional[int] = None,
+                     tenant: Optional[str] = None) -> int:
         """Create a table directly at the coordinator (experiment setup,
         zero simulated time).  ``span`` defaults to the number of
-        servers, the paper's ServerSpan setting."""
-        table = self.coordinator.create_table(name, span)
+        servers, the paper's ServerSpan setting.  With ``tenant`` the
+        table lives in that tenant's namespace."""
+        table = self.coordinator.create_table(name, span, tenant=tenant)
         return table.table_id
+
+    def register_tenant(self, spec) -> None:
+        """Register a :class:`~repro.ramcloud.tenancy.TenantSpec` at the
+        coordinator (experiment setup, zero simulated time)."""
+        self.coordinator.register_tenant(spec)
+
+    def create_index(self, table_id: int, name: str, boundaries):
+        """Create a secondary index at the coordinator (experiment
+        setup, zero simulated time); returns its descriptor."""
+        return self.coordinator.create_index(table_id, name, boundaries)
 
     def preload(self, table_id: int, num_records: int, record_size: int,
                 key_fn=None) -> Dict[str, int]:
@@ -191,6 +203,40 @@ class Cluster:  # simlint: disable=PERF001 one per run; __dict__ cost is amortiz
             tablet = tablet_map.tablet_for_key(table_id, key)
             per_server.setdefault(tablet.server_id, []).append(
                 (table_id, key, record_size))
+        counts = {}
+        for server_id, items in per_server.items():
+            server = self.coordinator.lookup_server(server_id)
+            counts[server_id] = server.bulk_load(items)
+        return counts
+
+    def preload_indexed(self, table_id: int, desc, num_records: int,
+                        record_size: int, key_fn=None,
+                        secondary_fn=None) -> Dict[str, int]:
+        """Bulk-load an indexed table: every record carries its
+        secondary key, and the matching index entries are loaded into
+        the indexlet owners' logs (the post-load state of an indexed
+        YCSB run, at zero simulated time)."""
+        from repro.ramcloud.indexing import encode_entry_key, secondary_key
+
+        if key_fn is None:
+            key_fn = default_key
+        if secondary_fn is None:
+            secondary_fn = secondary_key
+        index_id = desc.index_id
+        per_server: Dict[str, List] = {}
+        tablet_map = self.coordinator.tablet_map
+        for i in range(num_records):
+            key = key_fn(i)
+            secondary = secondary_fn(i)
+            tablet = tablet_map.tablet_for_key(table_id, key)
+            per_server.setdefault(tablet.server_id, []).append(
+                (table_id, key, record_size,
+                 ((index_id, secondary),)))
+            entry_key = encode_entry_key(secondary, key)
+            indexlet = desc.indexlet_for(entry_key)
+            owner = tablet_map._tablets[(index_id, indexlet)].server_id
+            per_server.setdefault(owner, []).append(
+                (index_id, entry_key, 0))
         counts = {}
         for server_id, items in per_server.items():
             server = self.coordinator.lookup_server(server_id)

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.deployment import Cluster, ClusterSpec
+from repro.ramcloud.tenancy import TenantStats
 from repro.sim.distributions import RandomStream
 from repro.ycsb.client import YcsbClient
 from repro.ycsb.stats import OperationStats
@@ -39,6 +40,10 @@ class ExperimentSpec:
     # scaled-down runs are shorter; energy totals use exact integrals.
     give_up_after: Optional[float] = None
     warmup_fraction: float = 0.0
+    # Multi-tenant runs: one TenantSpec per tenant; each gets its own
+    # namespaced "usertable" and the clients are assigned round-robin.
+    # Empty (the default) builds the single shared table as always.
+    tenants: Tuple = ()
 
     def with_(self, **overrides) -> "ExperimentSpec":
         """A copy with the given fields replaced."""
@@ -67,6 +72,11 @@ class ExperimentResult:
     # Runtime lockset race reports (debug mode only; execution order,
     # which is deterministic under a fixed seed).  Empty otherwise.
     race_reports: List[str] = field(default_factory=list)
+    # Per-tenant SLA breakout (multi-tenant runs only): tenant name →
+    # the dict form of :class:`~repro.ramcloud.tenancy.TenantStats`.
+    # Empty on single-tenant runs, keeping their digests unchanged.
+    per_tenant_stats: Dict[str, Dict[str, float]] = field(
+        default_factory=dict)
 
     @property
     def cpu_util_min(self) -> float:
@@ -105,15 +115,42 @@ class ExperimentResult:
 def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     """Build the cluster, preload, run all clients, collect metrics."""
     cluster = Cluster(spec.cluster)
-    table_id = cluster.create_table("usertable", span=spec.table_span)
-    cluster.preload(table_id, spec.workload.num_records,
-                    spec.workload.record_size)
+    workload = spec.workload
+    indexed = (workload.index_scan_proportion > 0
+               or workload.index_lookup_proportion > 0
+               or workload.num_indexlets > 0)
+    if spec.tenants:
+        for tenant in spec.tenants:
+            cluster.register_tenant(tenant)
+        table_ids = [cluster.create_table("usertable", span=spec.table_span,
+                                          tenant=tenant.name)
+                     for tenant in spec.tenants]
+    else:
+        table_ids = [cluster.create_table("usertable", span=spec.table_span)]
+    index_ids: List[Optional[int]] = []
+    for table_id in table_ids:
+        if indexed:
+            from repro.ramcloud.indexing import uniform_boundaries
+            desc = cluster.create_index(
+                table_id, "sec",
+                uniform_boundaries(workload.num_records,
+                                   max(1, workload.num_indexlets)))
+            cluster.preload_indexed(table_id, desc, workload.num_records,
+                                    workload.record_size)
+            index_ids.append(desc.index_id)
+        else:
+            cluster.preload(table_id, workload.num_records,
+                            workload.record_size)
+            index_ids.append(None)
 
     clients = []
     for i, rc in enumerate(cluster.clients):
         stream = RandomStream(spec.cluster.seed, f"ycsb{i}")
-        clients.append(YcsbClient(cluster.sim, rc, table_id, spec.workload,
-                                  stream, give_up_after=spec.give_up_after))
+        slot = i % len(table_ids)
+        clients.append(YcsbClient(cluster.sim, rc, table_ids[slot],
+                                  spec.workload, stream,
+                                  give_up_after=spec.give_up_after,
+                                  index_id=index_ids[slot]))
 
     for node in cluster.server_nodes:
         node.start_metering(interval=spec.pdu_interval)
@@ -164,6 +201,32 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     result.total_energy_joules = total_energy
     result.energy_efficiency = (result.total_ops / total_energy
                                 if total_energy > 0 else 0.0)
+
+    if spec.tenants:
+        tenant_of_table = cluster.coordinator.tenant_of_table
+        for slot, tenant in enumerate(spec.tenants):
+            tstats = TenantStats()
+            merged = []
+            for i, client in enumerate(clients):
+                if i % len(table_ids) != slot:
+                    continue
+                tstats.ops += client.stats.total_ops
+                tstats.client_errors += client.stats.errors
+                merged.extend(client.stats.all_latencies().latencies)
+            if merged:
+                merged.sort()
+                rank = max(1, math.ceil(0.99 * len(merged)))
+                tstats.p99_latency = merged[rank - 1]
+                tstats.mean_latency = sum(merged) / len(merged)
+            tstats.bytes_moved = tstats.ops * workload.record_size
+            # Dispatch-path drops at the masters, summed over the
+            # tenant's tables (base tables and their indexes).
+            tstats.throttle_drops = sum(
+                throttle.drops
+                for server in cluster.servers
+                for tid, throttle in server._tenant_throttles.items()
+                if tenant_of_table.get(tid) == tenant.name)
+            result.per_tenant_stats[tenant.name] = tstats.as_dict()
     return result
 
 

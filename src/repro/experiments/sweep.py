@@ -80,6 +80,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.recovery",
     "repro.experiments.energy_proportionality",
     "repro.experiments.durability",
+    "repro.experiments.indexing",
 )
 
 
@@ -112,6 +113,12 @@ def experiment_digest(result) -> str:
         latencies = stats.all_latencies().latencies
         for latency in latencies:
             feed(f"client[{i}].lat", latency)
+    # Per-tenant SLA breakout (multi-tenant runs only; empty otherwise,
+    # so single-tenant digests are byte-identical to before it existed).
+    for tenant in sorted(result.per_tenant_stats):
+        stats = result.per_tenant_stats[tenant]
+        for key in sorted(stats):
+            feed(f"tenant[{tenant}].{key}", stats[key])
     # Race reports (nonempty only under REPRO_SIM_DEBUG=1) must also be
     # byte-identical across same-seed runs.
     for report in result.race_reports:

@@ -18,6 +18,7 @@ from repro.net.fabric import NodeUnreachable
 from repro.net.rpc import RpcTimeout
 from repro.ramcloud.consistency import EVENTUAL
 from repro.ramcloud.coordinator import Coordinator
+from repro.ramcloud.indexing import KEY_SEP, decode_entry_key
 from repro.ramcloud.errors import (
     BackupBehind,
     ObjectDoesntExist,
@@ -113,14 +114,46 @@ class RamCloudClient:  # simlint: disable=PERF001 O(clients) service object; __d
 
     # -- administrative ops -------------------------------------------------
 
-    def create_table(self, name: str, span: int) -> Generator:
-        """Create a table via the coordinator; returns the table id."""
+    def create_table(self, name: str, span: int,
+                     tenant: Optional[str] = None) -> Generator:
+        """Create a table via the coordinator; returns the table id.
+        With ``tenant``, the table lives in that tenant's namespace
+        (the wire args stay a 2-tuple for untenanted tables)."""
+        args = (name, span) if tenant is None else (name, span, tenant)
         table_id = yield from self.coordinator.call(
-            self.node, "create_table", args=(name, span),
+            self.node, "create_table", args=args,
             size_bytes=128, response_bytes=64,
         )
         yield from self.refresh_map()
         return table_id
+
+    def create_tenant(self, spec) -> Generator:
+        """Register a :class:`~repro.ramcloud.tenancy.TenantSpec`."""
+        yield from self.coordinator.call(
+            self.node, "create_tenant", args=spec,
+            size_bytes=128, response_bytes=64,
+        )
+
+    def create_index(self, table_id: int, name: str,
+                     boundaries) -> Generator:
+        """Create a secondary index over ``table_id`` with the given
+        indexlet ``boundaries``; returns its
+        :class:`~repro.ramcloud.indexing.IndexDescriptor`."""
+        desc = yield from self.coordinator.call(
+            self.node, "create_index",
+            args=(table_id, name, tuple(boundaries)),
+            size_bytes=256, response_bytes=256,
+        )
+        yield from self.refresh_map()
+        return desc
+
+    def index_id(self, table_id: int, name: str) -> int:
+        """Resolve an index by base table and name from the cached map."""
+        if self._map is not None:
+            for iid, desc in self._map.indexes.items():
+                if desc.table_id == table_id and desc.name == name:
+                    return iid
+        raise TableDoesntExist(f"index {name!r} on table {table_id}")
 
     def table_id(self, name: str) -> int:
         """Resolve a table name from the cached map."""
@@ -246,7 +279,8 @@ class RamCloudClient:  # simlint: disable=PERF001 O(clients) service object; __d
     def write(self, table_id: int, key: str, value_size: int,
               value: Optional[bytes] = None,
               expected_version: Optional[int] = None,
-              level: Optional[str] = None) -> Generator:
+              level: Optional[str] = None,
+              index_entries=None) -> Generator:
         """Write (insert or update) one object; returns the new version.
 
         ``expected_version`` makes the write conditional (RAMCloud's
@@ -257,20 +291,31 @@ class RamCloudClient:  # simlint: disable=PERF001 O(clients) service object; __d
         ``level`` picks the durability/ack point for this write (see
         :mod:`repro.ramcloud.consistency`); None uses the cluster's
         configured default.
+
+        ``index_entries`` is a tuple of ``(index_id, secondary_key)``
+        pairs the object carries; the master maintains the secondary
+        indexes synchronously before acknowledging.  Unindexed writes
+        keep the 8-tuple wire format unchanged.
         """
 
         return self._with_retries(
             "write", table_id, key, self._write_attempt,
-            (table_id, key, value_size, value, expected_version, level),
+            (table_id, key, value_size, value, expected_version, level,
+             index_entries),
             record_write=True)
 
     def _write_attempt(self, master, span, table_id, key, value_size,
-                       value, expected_version, level=None):
+                       value, expected_version, level=None,
+                       index_entries=None):
+        args = (table_id, key, value_size, value, span,
+                expected_version, self._epoch, level)
+        size = WRITE_OVERHEAD_BYTES + value_size
+        if index_entries is not None:
+            args = args + (tuple(index_entries),)
+            size += sum(len(s) for _i, s in index_entries)
         return master.call(
-            self.node, "write",
-            args=(table_id, key, value_size, value, span,
-                  expected_version, self._epoch, level),
-            size_bytes=WRITE_OVERHEAD_BYTES + value_size,
+            self.node, "write", args=args,
+            size_bytes=size,
             response_bytes=RESPONSE_OVERHEAD_BYTES,
             timeout=self.rpc_timeout,
         )
@@ -352,3 +397,181 @@ class RamCloudClient:  # simlint: disable=PERF001 O(clients) service object; __d
                                   self._delete_attempt,
                                   (table_id, key, level),
                                   record_write=True)
+
+    # -- secondary-index range search ---------------------------------------
+
+    def search(self, index_id: int, lo: str, hi: Optional[str] = None,
+               limit: int = 1000) -> Generator:
+        """Range lookup over a secondary index (RAMCloud's indexed
+        read): secondary keys in ``[lo, hi)`` (``hi=None`` means to the
+        end of the index), at most ``limit`` index entries.
+
+        Walks the indexlets in boundary order, fanning out over each
+        indexlet's shards concurrently and continuing from the last
+        returned key when a shard truncates its reply.  Every matching
+        entry is then validated against the base table — an entry whose
+        object no longer carries that secondary key (a crash window or
+        a concurrent delete) is silently dropped, so readers never see
+        dangling entries.  Returns ``[(secondary, primary, value,
+        version)]`` ordered by ``(secondary, primary)``.
+        """
+        if self._map is None:
+            yield from self.refresh_map()
+        desc = self._map.indexes.get(index_id)
+        if desc is None:
+            yield from self.refresh_map()
+            desc = self._map.indexes.get(index_id)
+            if desc is None:
+                raise TableDoesntExist(f"index {index_id}")
+        hi_eff = hi if hi is not None else "￿"
+        entry_keys = yield from self._search_entries(desc, lo, hi_eff, limit)
+        if not entry_keys:
+            return []
+        result = yield from self._validate_entries(desc, entry_keys)
+        return result
+
+    def lookup_range(self, index_id: int, lo: str,
+                     hi: Optional[str] = None,
+                     limit: int = 1000) -> Generator:
+        """Alias for :meth:`search`."""
+        return self.search(index_id, lo, hi, limit)
+
+    def _search_entries(self, desc, lo: str, hi: str,
+                        limit: int) -> Generator:
+        """The indexlet walk: collect up to ``limit`` matching entry
+        keys in ``[lo, hi)`` (entry-key space — encoded secondary+primary
+        sorts exactly like (secondary, primary))."""
+        sim = self.sim
+        index_id = desc.index_id
+        span = desc.num_indexlets
+        cursor = lo
+        found = []
+        tries = 0
+        while cursor < hi and len(found) < limit:
+            indexlet = desc.indexlet_for(cursor)
+            tablet = self._map.tablets.get((index_id, indexlet))
+            remaining = limit - len(found)
+            calls = []  # simlint: disable=PERF002 fresh fan-out per indexlet/retry
+            if tablet is None:
+                calls = None
+            else:
+                # One concurrent RPC per shard of this indexlet (the
+                # multiread fan-out idiom).
+                for shard in range(tablet.shard_count):
+                    master = self.coordinator.lookup_server(
+                        tablet.shards[shard])
+                    if master is None:
+                        calls = None
+                        break
+                    calls.append(sim.process(master.call(
+                        self.node, "search",
+                        args=(index_id, cursor, hi, remaining, span,
+                              shard, self._epoch),
+                        size_bytes=READ_REQUEST_BYTES + len(cursor)
+                        + len(hi),
+                        response_bytes=RESPONSE_OVERHEAD_BYTES
+                        + 32 * remaining,
+                        timeout=self.rpc_timeout)))
+            replied = False
+            if calls is not None:
+                try:
+                    yield sim.all_of(calls)
+                    replied = True
+                except (NodeUnreachable, WrongServer, RetryLater,
+                        RpcTimeout, StaleEpoch):
+                    pass
+            if not replied:
+                tries += 1
+                self.retries += 1
+                if self.max_retries is not None and tries > self.max_retries:
+                    raise RpcTimeout(
+                        f"search index {index_id}: exhausted {tries} retries")
+                yield self.sim.timeout(self._backoff_delay(tries))
+                yield from self.refresh_map()
+                continue
+            tries = 0
+            merged = []  # simlint: disable=PERF002 fresh merge per indexlet
+            bound = None  # lowest truncation point across the shards
+            for call in calls:
+                matches, truncated = call.value
+                merged.extend(matches)
+                if truncated:
+                    # The shard stopped early: it covered only
+                    # [cursor, matches[-1]].
+                    if bound is None or matches[-1] < bound:
+                        bound = matches[-1]
+            merged.sort()
+            if bound is not None:
+                # Beyond the lowest truncation point the merge is
+                # incomplete; keep the covered prefix and continue from
+                # just past it (next-key continuation).
+                merged = [k for k in merged if k <= bound]
+            for entry_key in merged:
+                if len(found) >= limit:
+                    break
+                found.append(entry_key)
+            if len(found) >= limit:
+                break
+            if bound is not None:
+                cursor = bound + KEY_SEP
+            else:
+                nxt = indexlet + 1
+                cursor = desc.boundaries[nxt] if nxt < span else hi
+        self.ops_done += 1
+        return found
+
+    def _validate_entries(self, desc, entry_keys) -> Generator:
+        """Fetch-and-filter the matched entries against the base table
+        (concurrent per-master ``index_lookup`` RPCs, grouped like
+        multiread)."""
+        sim = self.sim
+        table = self._map.tables_by_id[desc.table_id]
+        pairs = [decode_entry_key(k) for k in entry_keys]
+        tries = 0
+        while True:
+            # Rebuilt per retry: a refresh can regroup every key.
+            by_master = {}  # simlint: disable=PERF002 regrouped per retry after remap
+            for secondary, primary in pairs:
+                tablet = self._map.tablet_for_key(desc.table_id, primary)
+                server_id = tablet.owner_for_key(primary, table.span)
+                by_master.setdefault(server_id, []).append(
+                    (primary, desc.index_id, secondary))
+            calls = []
+            for server_id, items in by_master.items():
+                master = self.coordinator.lookup_server(server_id)
+                if master is None:
+                    calls = None
+                    break
+                calls.append(sim.process(master.call(
+                    self.node, "index_lookup",
+                    args=(desc.table_id, items, table.span, self._epoch),
+                    size_bytes=READ_REQUEST_BYTES + 48 * len(items),
+                    response_bytes=RESPONSE_OVERHEAD_BYTES
+                    + 1024 * len(items),
+                    timeout=self.rpc_timeout)))
+            if calls is not None:
+                try:
+                    yield sim.all_of(calls)
+                    merged = {}  # simlint: disable=PERF002 fresh result per retry
+                    for call in calls:
+                        merged.update(call.value)
+                    self.ops_done += len(pairs)
+                    results = []
+                    for secondary, primary in pairs:
+                        got = merged.get(primary)
+                        if got is None:
+                            continue  # dangling entry: filtered out
+                        value, version, _value_size = got
+                        results.append((secondary, primary, value, version))
+                    return results
+                except (NodeUnreachable, WrongServer, RetryLater,
+                        RpcTimeout, StaleEpoch):
+                    pass
+            tries += 1
+            self.retries += 1
+            if self.max_retries is not None and tries > self.max_retries:
+                raise RpcTimeout(
+                    f"index_lookup t{desc.table_id}: exhausted "
+                    f"{tries} retries")
+            yield self.sim.timeout(self._backoff_delay(tries))
+            yield from self.refresh_map()

@@ -117,6 +117,17 @@ class CostModel:
     dispatch_rx_per_byte: float = 3.0e-9
     # Cleaner: CPU per live byte copied forward.
     cleaner_per_byte: float = 2.0e-9
+    # Secondary-index range search (repro.ramcloud.indexing): per-RPC
+    # setup on a worker core, plus a per-scanned-entry cost for walking
+    # the indexlet's sorted entry list.  Calibrated against multiread:
+    # a search touching k entries costs about what a k-key multiread
+    # does minus the per-key hash lookups.
+    search_base: float = 7.0e-6
+    search_per_entry: float = 0.6e-6
+    # Master-side CPU to build and send one index-entry maintenance RPC
+    # (the data master appends entries to remote indexlets through the
+    # write path — same shape as replication_send).
+    index_maintain_send: float = 12.0e-6
     # Coordinator bookkeeping per request.
     coordinator_service: float = 5.0e-6
     # Worker spin-then-sleep: after finishing a request a worker

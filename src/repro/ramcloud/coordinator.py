@@ -26,7 +26,9 @@ from repro.hardware.node import Node
 from repro.net.fabric import Fabric, NodeUnreachable
 from repro.net.rpc import RpcRequest, RpcService, RpcTimeout
 from repro.ramcloud.config import CostModel, ServerConfig
-from repro.ramcloud.tablets import TabletMap, TabletStatus
+from repro.ramcloud.indexing import IndexDescriptor
+from repro.ramcloud.tablets import TabletMap, TabletStatus, key_hash
+from repro.ramcloud.tenancy import TenantSpec, tenant_table_name
 from repro.sim.distributions import RandomStream
 from repro.sim.kernel import Simulator
 from repro.sim.racecheck import shared, task_boundary
@@ -144,6 +146,13 @@ class Coordinator(RpcService):
         self.tablet_map = TabletMap()
         self.tablet_map.race = shared(sim, "tabletmap",
                                       obj=self.tablet_map)
+        # Secondary indexes: hidden index table id → IndexDescriptor.
+        # Indexlets are ordinary tablets of the hidden table, so the
+        # recovery/migration machinery moves them without special cases.
+        self.indexes: Dict[int, IndexDescriptor] = {}
+        # Multi-tenancy: registered tenants and the tables they own.
+        self.tenants: Dict[str, TenantSpec] = {}
+        self.tenant_of_table: Dict[int, str] = {}
         # Race-detection handle for the membership dicts (debug mode).
         self.race = shared(sim, "coordinator", obj=self)
         self._servers: Dict[str, object] = {}  # server_id → RamCloudServer
@@ -190,6 +199,16 @@ class Coordinator(RpcService):
         self.race.write(f"live/{server.server_id}")
         self._live[server.server_id] = True
         self._missed_pings[server.server_id] = 0
+        # The enlistment response carries existing index/tenant configs
+        # (same zero-time handshake modeling as the server list below).
+        for index_id in sorted(self.indexes):
+            server.install_index_config(index_id,
+                                        self.indexes[index_id].boundaries)
+        for table_id in sorted(self.tenant_of_table):
+            spec = self.tenants[self.tenant_of_table[table_id]]
+            server.install_tenant(table_id, spec.name,
+                                  spec.default_consistency,
+                                  spec.admission_rate)
         self.membership_version += 1
         live, dead = self._view_tuples()
         for sid in live:
@@ -247,11 +266,20 @@ class Coordinator(RpcService):
             # Live servers (enlistment order) let EVENTUAL reads pick a
             # deterministic backup candidate without extra RNG draws.
             snapshot.live_servers = tuple(self.live_server_ids())
+            snapshot.indexes = dict(self.indexes)
             request.respond(snapshot)
         elif request.op == "create_table":
-            name, span = request.args
-            table = self.create_table(name, span)
+            name, span = request.args[:2]
+            tenant = request.args[2] if len(request.args) > 2 else None
+            table = self.create_table(name, span, tenant=tenant)
             request.respond(table.table_id)
+        elif request.op == "create_index":
+            table_id, name, boundaries = request.args
+            desc = self.create_index(table_id, name, boundaries)
+            request.respond(desc)
+        elif request.op == "create_tenant":
+            self.register_tenant(request.args)
+            request.respond("ok")
         elif request.op == "drop_table":
             self.tablet_map.drop_table(request.args)
             request.respond("ok")
@@ -262,21 +290,102 @@ class Coordinator(RpcService):
     # tables
     # ------------------------------------------------------------------
 
-    def create_table(self, name: str, span: Optional[int] = None):
+    def create_table(self, name: str, span: Optional[int] = None,
+                     tenant: Optional[str] = None):
         """Create a table spanning ``span`` servers (the paper sets
-        ServerSpan equal to the number of servers)."""
+        ServerSpan equal to the number of servers).
+
+        With ``tenant``, the table lives in that tenant's namespace
+        (``tenant/name``) and every live server learns the tenant's
+        default consistency level and admission rate for it."""
         live = self.live_server_ids()
         if span is None:
             span = len(live)
         if not live:
             raise RuntimeError("cannot create a table with no live servers")
-        table = self.tablet_map.create_table(name, span, live)
+        if tenant is not None and tenant not in self.tenants:
+            raise KeyError(f"tenant {tenant!r} not registered")
+        full_name = tenant_table_name(tenant, name)
+        table = self.tablet_map.create_table(full_name, span, live)
         for tablet in self.tablet_map.all_tablets():
             if tablet.table_id == table.table_id:
                 self._servers[tablet.server_id].take_tablet(
                     (tablet.table_id, tablet.index, 0), shard_count=1,
                     ready=True)
+        if tenant is not None:
+            self._bind_tenant_table(table.table_id, tenant)
         return table
+
+    def register_tenant(self, spec: TenantSpec) -> None:
+        """Register a tenant; its tables are created with
+        ``create_table(..., tenant=spec.name)``."""
+        if spec.name in self.tenants:
+            raise ValueError(f"tenant {spec.name!r} already registered")
+        self.tenants[spec.name] = spec
+
+    def _bind_tenant_table(self, table_id: int, tenant: str) -> None:
+        """Record the table's tenant and install its defaults (zero-time
+        push, like enlistment) on every live server."""
+        spec = self.tenants[tenant]
+        self.tenant_of_table[table_id] = tenant
+        for sid in self.live_server_ids():
+            server = self._servers[sid]
+            if not server.killed:
+                server.install_tenant(table_id, spec.name,
+                                      spec.default_consistency,
+                                      spec.admission_rate)
+
+    # ------------------------------------------------------------------
+    # secondary indexes
+    # ------------------------------------------------------------------
+
+    def create_index(self, table_id: int, name: str,
+                     boundaries) -> IndexDescriptor:
+        """Create a secondary index over ``table_id``: a hidden table of
+        ``len(boundaries)`` range-partitioned tablets (indexlets).
+
+        Because indexlets are ordinary tablets of an ordinary (hidden)
+        table, the existing recovery and migration machinery moves them
+        without special cases; only key→tablet routing differs (by
+        range, not hash).  The boundary list is immutable after
+        creation."""
+        base = self.tablet_map.table_by_id(table_id)
+        if base is None:
+            raise KeyError(f"no table id {table_id}")
+        boundaries = tuple(boundaries)
+        hidden = f"__index:{table_id}:{name}"
+        table = self.create_table(hidden, span=len(boundaries))
+        desc = IndexDescriptor(index_id=table.table_id, table_id=table_id,
+                               name=name, boundaries=boundaries)
+        self.race.write("indexes")
+        self.indexes[table.table_id] = desc
+        # The index inherits the base table's tenant (search and
+        # index_lookup admission throttles by the addressed table id).
+        tenant = self.tenant_of_table.get(table_id)
+        if tenant is not None:
+            self._bind_tenant_table(table.table_id, tenant)
+        for sid in self.live_server_ids():
+            server = self._servers[sid]
+            if not server.killed:
+                server.install_index_config(table.table_id, boundaries)
+        return desc
+
+    def index_entry_route(self, index_id: int, entry_key: str):
+        """Where an index-entry mutation must go: ``(owner_id, span)``
+        for the indexlet shard owning ``entry_key``, or None if the
+        index no longer exists.  A metadata peek (like
+        :meth:`lookup_server`); a stale answer fails at the target and
+        the caller retries."""
+        desc = self.indexes.get(index_id)
+        if desc is None:
+            return None
+        indexlet = desc.indexlet_for(entry_key)
+        tablet = self.tablet_map._tablets.get((index_id, indexlet))
+        if tablet is None:
+            return None
+        span = len(desc.boundaries)
+        shard = (key_hash(entry_key) // span) % tablet.shard_count
+        return tablet.shards[shard], span
 
     # ------------------------------------------------------------------
     # elastic sizing (§IX "How to choose the right cluster size?")
@@ -577,7 +686,7 @@ class Coordinator(RpcService):
                  if tablet.statuses[shard] != TabletStatus.RECOVERING]
         if not owned:
             stats.finished_at = self.sim.now
-            return {}, [], {}
+            return {}, [], {}, {}
 
         # How many ways to split each owned unit.
         split = max(1, -(-len(survivors) // len(owned)))  # ceil division
@@ -635,9 +744,17 @@ class Coordinator(RpcService):
                     segment_sources[segment_id] = (sid, nbytes)
 
         spans = {}
+        index_ranges = {}
         for tablet, _shard in owned:
             table = self.tablet_map.table_by_id(tablet.table_id)
             spans[tablet.table_id] = table.span
+            # Indexlet boundaries ride in the plan: recovery masters
+            # range-route replayed index entries and serve Search from
+            # the replayed state — an index is recovered like data,
+            # never rebuilt by scanning its base table.
+            desc = self.indexes.get(tablet.table_id)
+            if desc is not None:
+                index_ranges[tablet.table_id] = desc.boundaries
 
         segments = [(seg_id, src, nbytes)
                     for seg_id, (src, nbytes) in sorted(segment_sources.items())]
@@ -653,11 +770,12 @@ class Coordinator(RpcService):
         stats.plan_lost_segments = max(0, data_segments - len(segments))
         stats.bytes_to_recover = sum(n for _s, _b, n in segments)
         stats.recovery_masters = sorted(partitions)
-        return partitions, segments, spans
+        return partitions, segments, spans, index_ranges
 
     def _run_recovery(self, server_id: str,
                       stats: RecoveryStats) -> Generator:
-        partitions, segments, spans = self._recovery_plan(server_id, stats)
+        (partitions, segments, spans,
+         index_ranges) = self._recovery_plan(server_id, stats)
         if not partitions:
             return
         total_units = sum(len(u) for u in partitions.values())
@@ -682,6 +800,8 @@ class Coordinator(RpcService):
                     "share": len(units) / total_units,
                     "pipeline_width": self.recovery_pipeline_width,
                 }
+                if index_ranges:
+                    plan["index_ranges"] = index_ranges
                 waits.append((master_id, units, self.sim.process(
                     self._recover_on(master, plan, stats),
                     name=f"coordinator:recover-on:{master_id}",

@@ -105,8 +105,9 @@ class Log:
     def append(self, table_id: int, key: str, value_size: int, version: int,
                value: Optional[bytes] = None,
                is_tombstone: bool = False,
-               privileged: bool = False) -> Tuple[Segment, LogEntry,
-                                                  Optional[Segment]]:
+               privileged: bool = False,
+               index_keys: Optional[Tuple[Tuple[int, str], ...]] = None,
+               ) -> Tuple[Segment, LogEntry, Optional[Segment]]:
         """Append an entry; returns ``(segment, entry, closed_segment)``.
 
         ``closed_segment`` is non-None when this append rolled the head,
@@ -115,7 +116,7 @@ class Log:
         reserved segments.
         """
         entry = LogEntry(table_id, key, value_size, version, value=value,
-                         is_tombstone=is_tombstone)
+                         is_tombstone=is_tombstone, index_keys=index_keys)
         if entry.log_bytes > self.segment_size:
             raise ValueError(
                 f"object of {entry.log_bytes}B exceeds segment size "

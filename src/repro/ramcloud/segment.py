@@ -22,11 +22,12 @@ class LogEntry:
     """One object record (or tombstone) in the log."""
 
     __slots__ = ("table_id", "key", "value_size", "version", "value",
-                 "is_tombstone", "live")
+                 "is_tombstone", "live", "index_keys")
 
     def __init__(self, table_id: int, key: str, value_size: int,
                  version: int, value: Optional[bytes] = None,
-                 is_tombstone: bool = False):
+                 is_tombstone: bool = False,
+                 index_keys: Optional[Tuple[Tuple[int, str], ...]] = None):
         if value_size < 0:
             raise ValueError(f"negative value size: {value_size}")
         self.table_id = table_id
@@ -35,6 +36,11 @@ class LogEntry:
         self.version = version
         self.value = value
         self.is_tombstone = is_tombstone
+        # Secondary keys this object carries, as (index_id, secondary)
+        # pairs (None for unindexed objects).  Stored in the record — as
+        # in RAMCloud/SLIK — so recovery replay and the cleaner can
+        # re-derive a record's index entries without consulting anyone.
+        self.index_keys = index_keys
         # A live entry is reachable from the hash table; overwrites and
         # deletes mark the old entry dead for the cleaner.
         self.live = not is_tombstone
@@ -42,7 +48,11 @@ class LogEntry:
     @property
     def log_bytes(self) -> int:
         """Bytes this entry occupies in the log."""
-        return ENTRY_HEADER_BYTES + len(self.key) + self.value_size
+        size = ENTRY_HEADER_BYTES + len(self.key) + self.value_size
+        if self.index_keys:
+            for _index_id, secondary in self.index_keys:
+                size += len(secondary)
+        return size
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "tombstone" if self.is_tombstone else "object"

@@ -30,6 +30,7 @@ consistency guarantees").
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.hardware.node import Node
@@ -48,9 +49,15 @@ from repro.ramcloud.errors import (
 )
 from repro.ramcloud.consistency import SYNC_RF
 from repro.ramcloud.hashtable import HashTable
+from repro.ramcloud.indexing import (
+    SortedIndexEntries,
+    encode_entry_key,
+    indexlet_for_entry_key,
+)
 from repro.ramcloud.log import Log
 from repro.ramcloud.segment import LogEntry, Segment
 from repro.ramcloud.tablets import TabletStatus, key_hash
+from repro.ramcloud.tenancy import TenantThrottle
 from repro.sim.distributions import RandomStream
 from repro.sim.kernel import Interrupt, Process, Simulator
 from repro.sim.racecheck import shared, task_boundary
@@ -160,6 +167,37 @@ class RamCloudServer(RpcService):
                                  obj=self.log, owner=self))
         self.race = shared(sim, f"{self.server_id}:tablets")
 
+        # ---- secondary indexes (repro.ramcloud.indexing) ----
+        # index_table_id → indexlet boundaries, installed by the
+        # coordinator at create_index/enlist time (and by a recovery
+        # plan).  Empty for index-free runs: every hot-path guard below
+        # is a single falsy-dict check, so such runs stay bit-identical.
+        self.index_configs: Dict[int, Tuple[str, ...]] = {}
+        # The sorted entry-key lists range Search scans; maintained in
+        # lock-step with the hash table under log_lock.
+        self.index_entries = SortedIndexEntries()
+        self.index_entries.race = shared(sim, f"{self.server_id}:index",
+                                         obj=self.index_entries, owner=self)
+        # Index-entry maintenance RPCs get their own queue and worker,
+        # spawned lazily by the first install_index_config: a data
+        # master blocks a worker while its index entries land, so index
+        # appends must not queue behind client ops (same circular-wait
+        # argument as backup_worker_threads — index workers only ever
+        # wait on backup workers, which never wait on anyone).
+        self._index_queue: Optional[Store] = None
+        self.index_inserts = 0
+        self.index_removes = 0
+        self.searches_served = 0
+
+        # ---- multi-tenant tables (repro.ramcloud.tenancy) ----
+        # table_id → tenant default consistency level; table_id →
+        # dispatch-path token bucket.  Both empty unless the
+        # coordinator installs a tenant, keeping untenanted runs (and
+        # SYNC_RF-default tenants with no admission cap) bit-identical.
+        self._tenant_defaults: Dict[int, str] = {}
+        self._tenant_throttles: Dict[int, TenantThrottle] = {}
+        self.requests_throttled = 0
+
         # ---- backup state ----
         self.replicas: Dict[Tuple[str, int], SegmentReplica] = {}
         # master_id → highest object version this backup has applied
@@ -251,7 +289,10 @@ class RamCloudServer(RpcService):
             return
         self.killed = True
         self.shutdown(NodeUnreachable(f"{self.server_id} crashed"))
-        for request in self.worker_queue.drain() + self.backup_queue.drain():
+        queued = self.worker_queue.drain() + self.backup_queue.drain()
+        if self._index_queue is not None:
+            queued += self._index_queue.drain()
+        for request in queued:
             if not request.reply.triggered:
                 request.fail(NodeUnreachable(f"{self.server_id} crashed"))
         for proc in self._threads + self._background:
@@ -407,6 +448,45 @@ class RamCloudServer(RpcService):
             return
 
     # ------------------------------------------------------------------
+    # secondary indexes / tenancy installs (coordinator pushes)
+    # ------------------------------------------------------------------
+
+    def install_index_config(self, index_id: int,
+                             boundaries: Tuple[str, ...]) -> None:
+        """Install one index's indexlet boundaries (zero simulated time:
+        rides create_index, enlist, or a recovery plan — like
+        :meth:`apply_server_list`).  Idempotent.  The first install also
+        spawns this server's index worker, so index-free runs never
+        carry the extra thread or its events."""
+        if self.killed:
+            return
+        self.view_race.write("index_configs", relaxed=True)
+        self.index_configs[index_id] = tuple(boundaries)
+        if self._index_queue is None:
+            self._index_queue = Store(self.sim,
+                                      name=f"{self.server_id}:index-work",
+                                      lifo_getters=True)
+            self._threads.append(
+                self.sim.process(self._serve_queue(self._index_queue),
+                                 name=f"{self.name}:index-worker0"))
+
+    def install_tenant(self, table_id: int, name: str,
+                       default_level: Optional[str],
+                       admission_rate: float) -> None:
+        """Bind a table to its tenant's defaults (zero simulated time,
+        pushed at create_table/enlist).  A tenant with no explicit
+        default and no admission cap installs nothing the hot path can
+        observe — such tenants stay bit-identical to untenanted runs."""
+        if self.killed:
+            return
+        self.view_race.write("tenants", relaxed=True)
+        if default_level is not None:
+            self._tenant_defaults[table_id] = default_level
+        if not math.isinf(admission_rate):
+            self._tenant_throttles[table_id] = TenantThrottle(
+                name, admission_rate)
+
+    # ------------------------------------------------------------------
     # tablet ownership
     # ------------------------------------------------------------------
 
@@ -442,7 +522,7 @@ class RamCloudServer(RpcService):
                 f"client map epoch {epoch} predates ownership change "
                 f"(this master requires >= {self.min_client_epoch})")
         h = key_hash(key)
-        index = h % span
+        index = self._tablet_index_for(table_id, key, h, span)
         shard_count = self.tablet_shards.get((table_id, index), 1)
         shard = (h // span) % shard_count
         unit = (table_id, index, shard)
@@ -454,6 +534,18 @@ class RamCloudServer(RpcService):
                 f"{self.server_id} does not own tablet shard {unit}")
         if status == TabletStatus.RECOVERING:
             raise RetryLater(f"tablet shard {unit} is recovering")
+
+    def _tablet_index_for(self, table_id: int, key: str, h: int,
+                          span: int) -> int:
+        """First-level routing: hash for data tables, range (indexlet
+        boundaries) for hidden index tables.  The second level — the
+        recovery shard — stays hash-based for both, which is what lets
+        recovery split an indexlet over subshards unchanged."""
+        if self.index_configs:
+            boundaries = self.index_configs.get(table_id)
+            if boundaries is not None:
+                return indexlet_for_entry_key(boundaries, key)
+        return h % span
 
     # ------------------------------------------------------------------
     # replica placement
@@ -549,6 +641,19 @@ class RamCloudServer(RpcService):
         "recovery_read", "free_replica", "server_list", "backup_read",
     })
 
+    # Index-entry maintenance from other masters' write paths: served
+    # by the dedicated index worker (see install_index_config) so a
+    # fleet of masters blocking on each other's index appends cannot
+    # exhaust the shared worker pool in a circular wait.
+    _INDEX_OPS = frozenset({"index_write", "index_remove"})
+
+    # Client-facing data ops subject to per-tenant admission control
+    # (maintenance traffic — replication, index appends, recovery — is
+    # never throttled: stalling it would wedge the writers it serves).
+    _TENANT_OPS = frozenset({
+        "read", "write", "delete", "multiread", "search", "index_lookup",
+    })
+
     def _dispatch_loop(self) -> Generator:
         """The pinned polling thread: inbox → per-request handoff cost →
         worker queue.  Its core is accounted 100 % busy by pin_core().
@@ -590,6 +695,12 @@ class RamCloudServer(RpcService):
                 request.respond(("pong", self.server_list_version))
             elif request.op in self._BACKUP_OPS:
                 self.backup_queue.put(request)
+            elif request.op in self._INDEX_OPS:
+                # Installed before any index op can arrive (the
+                # coordinator pushes configs at create_index/enlist).
+                self._index_queue.put(request)
+            elif self._tenant_throttles and not self._admit_tenant(request):
+                pass  # failed fast with RetryLater inside _admit_tenant
             elif (self.config.overload_queue_limit is not None
                   and len(self.worker_queue)
                   >= self.config.overload_queue_limit):
@@ -625,6 +736,24 @@ class RamCloudServer(RpcService):
             # having already cleared the idle state).
             self.node.cpu.pinned_core_busy()
         yield self.sim.timeout(self.config.dispatch_wake_latency)
+
+    def _admit_tenant(self, request: RpcRequest) -> bool:
+        """Per-tenant admission on the dispatch path (only reached when
+        at least one tenant has a rate cap).  Non-blocking by design:
+        the dispatch thread must never sleep on a tenant's behalf, so
+        an over-budget request is failed with RetryLater immediately —
+        the client's normal backoff absorbs the drop — and counted on
+        the tenant's token bucket."""
+        if request.op not in self._TENANT_OPS:
+            return True
+        throttle = self._tenant_throttles.get(request.args[0])
+        if throttle is None or throttle.try_admit(self.sim.now):
+            return True
+        self.requests_throttled += 1
+        request.fail(RetryLater(
+            f"tenant {throttle.tenant} over its admission rate "
+            f"at {self.server_id}"))
+        return False
 
     def _drop_overloaded(self, request: RpcRequest) -> None:
         """Admission control past ``overload_queue_limit``: drop the
@@ -739,12 +868,18 @@ class RamCloudServer(RpcService):
                        value: Optional[bytes],
                        is_tombstone: bool,
                        expected_version: Optional[int] = None,
-                       require_exists: bool = False) -> Generator:
+                       require_exists: bool = False,
+                       index_keys: Optional[Tuple[Tuple[int, str], ...]]
+                       = None) -> Generator:
         """The serialized log-append critical section.
 
-        Returns ``(segment, entry, closed_segment)``.  The critical
-        section's CPU cost scales with concurrently-active workers —
-        the contention the paper blames for update-heavy collapse.
+        Returns ``(segment, entry, closed_segment, old_index_keys)``.
+        ``old_index_keys`` is the displaced (or deleted) entry's
+        ``index_keys`` — the write path diffs it against the new pairs
+        to decide which index entries to add and which became stale.
+        The critical section's CPU cost scales with concurrently-active
+        workers — the contention the paper blames for update-heavy
+        collapse.
 
         ``expected_version`` / ``require_exists`` are checked *inside*
         the lock, immediately after acquisition: checking them before
@@ -797,19 +932,31 @@ class RamCloudServer(RpcService):
                     version = self._next_version
                     segment, entry, closed = self.log.append(
                         table_id, key, value_size, version,
-                        value=value, is_tombstone=is_tombstone)
+                        value=value, is_tombstone=is_tombstone,
+                        index_keys=index_keys)
                 except LogOutOfMemory:
                     segment = None
                 else:
                     self._next_version += 1
                     if is_tombstone:
-                        hashtable.remove(table_id, key)
+                        displaced = hashtable.remove(table_id, key)
                     else:
-                        hashtable.insert(table_id, key, segment, entry)
+                        displaced = hashtable.insert(table_id, key,
+                                                     segment, entry)
+                    if self.index_configs and table_id in self.index_configs:
+                        # This append IS an index entry: the sorted
+                        # range structure moves in lock-step with the
+                        # hash table (same lock, same step).
+                        if is_tombstone:
+                            self.index_entries.remove(table_id, key)
+                        else:
+                            self.index_entries.insert(table_id, key)
+                    old_index_keys = (displaced.index_keys
+                                      if displaced is not None else None)
             finally:
                 log_lock.release(token)
             if segment is not None:
-                return segment, entry, closed
+                return segment, entry, closed, old_index_keys
             # Log full: stall until the cleaner frees space (RAMCloud
             # blocks writes behind the cleaner rather than failing).
             yield self.sim.timeout(0.02)
@@ -1032,17 +1179,23 @@ class RamCloudServer(RpcService):
             request.args[:6]
         epoch = request.args[6] if len(request.args) > 6 else None
         level = request.args[7] if len(request.args) > 7 else None
+        index_keys = request.args[8] if len(request.args) > 8 else None
         if level is None:
-            level = self.config.default_consistency
+            # Tenant default first (empty dict unless tenants exist),
+            # then the cluster-wide config default.
+            level = self._tenant_defaults.get(table_id,
+                                              self.config.default_consistency)
         try:
             self._check_ownership(table_id, key, span, epoch)
         except (WrongServer, RetryLater, StaleEpoch) as exc:
             request.fail(exc)
             return
         try:
-            segment, entry, closed = yield from self._append_locked(
-                table_id, key, value_size, value, is_tombstone=False,
-                expected_version=expected_version)
+            segment, entry, closed, old_index_keys = \
+                yield from self._append_locked(
+                    table_id, key, value_size, value, is_tombstone=False,
+                    expected_version=expected_version,
+                    index_keys=index_keys)
         except StaleVersion as exc:
             yield from self.node.cpu.execute(self.cost.read_service)
             request.fail(exc)
@@ -1052,6 +1205,19 @@ class RamCloudServer(RpcService):
         # intervene): the applied-prefix watermark the backups record.
         upto = len(segment.entries)
         yield from self.node.cpu.execute(self.cost.write_service)
+        # Index maintenance, crash-ordered: new entries land BEFORE the
+        # data record replicates (a crash can leave a dangling entry,
+        # which index_lookup validation filters — never a missing one
+        # for an acknowledged write); stale entries are removed only
+        # AFTER replication, so a crash in between leaves filterable
+        # garbage, not lost index coverage.
+        added = stale = ()
+        if index_keys or old_index_keys:
+            added, stale = self._diff_index_keys(index_keys, old_index_keys)
+        for index_id, secondary in added:
+            yield from self._index_entry_rpc(
+                "index_write", index_id, encode_entry_key(secondary, key),
+                level)
         if self.config.replication_factor > 0:
             if level == SYNC_RF:
                 yield from self._replicate_entry(segment, entry, upto)
@@ -1059,6 +1225,10 @@ class RamCloudServer(RpcService):
                 # ASYNC_BOUNDED / EVENTUAL: ack after the local append;
                 # the flusher replicates in batches within the bound.
                 yield from self._async_enqueue(segment, entry, upto)
+        for index_id, secondary in stale:
+            yield from self._index_entry_rpc(
+                "index_remove", index_id, encode_entry_key(secondary, key),
+                level)
         self.ops_completed += 1
         self.writes_completed += 1
         request.respond(entry.version)
@@ -1068,16 +1238,18 @@ class RamCloudServer(RpcService):
         epoch = request.args[3] if len(request.args) > 3 else None
         level = request.args[4] if len(request.args) > 4 else None
         if level is None:
-            level = self.config.default_consistency
+            level = self._tenant_defaults.get(table_id,
+                                              self.config.default_consistency)
         try:
             self._check_ownership(table_id, key, span, epoch)
         except (WrongServer, RetryLater, StaleEpoch) as exc:
             request.fail(exc)
             return
         try:
-            segment, entry, _closed = yield from self._append_locked(
-                table_id, key, 0, None, is_tombstone=True,
-                require_exists=True)
+            segment, entry, _closed, old_index_keys = \
+                yield from self._append_locked(
+                    table_id, key, 0, None, is_tombstone=True,
+                    require_exists=True)
         except ObjectDoesntExist as exc:
             request.fail(exc)
             return
@@ -1088,6 +1260,14 @@ class RamCloudServer(RpcService):
                 yield from self._replicate_entry(segment, entry, upto)
             else:
                 yield from self._async_enqueue(segment, entry, upto)
+        # Index entries come off only after the tombstone is durable: a
+        # crash in between leaves dangling entries that index_lookup
+        # validation filters, never a resurrected object.
+        if old_index_keys:
+            for index_id, secondary in old_index_keys:
+                yield from self._index_entry_rpc(
+                    "index_remove", index_id,
+                    encode_entry_key(secondary, key), level)
         self.ops_completed += 1
         self.writes_completed += 1
         request.respond(entry.version)
@@ -1113,6 +1293,205 @@ class RamCloudServer(RpcService):
                 results[key] = (entry.value, entry.version, entry.value_size)
         self.ops_completed += len(keys)
         self.reads_completed += len(keys)
+        request.respond(results)
+
+    # ------------------------------------------------------------------
+    # secondary indexes (repro.ramcloud.indexing)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _diff_index_keys(index_keys, old_index_keys):
+        """Diff a write's (index_id, secondary) pairs against the
+        displaced entry's: returns ``(added, stale)``."""
+        new_pairs = tuple(index_keys or ())
+        old_pairs = tuple(old_index_keys or ())
+        added = tuple(p for p in new_pairs if p not in old_pairs)
+        stale = tuple(p for p in old_pairs if p not in new_pairs)
+        return added, stale
+
+    def _index_entry_rpc(self, op: str, index_id: int, entry_key: str,
+                         level: Optional[str]) -> Generator:
+        """Apply one index-entry mutation at the owning indexlet master
+        (the synchronous index maintenance of the write path).
+
+        Routing peeks the coordinator's tablet map — the same modeling
+        shortcut as ``lookup_server``; a stale peek fails at the target
+        with WrongServer/RetryLater and is retried against a fresh one.
+        Removes tolerate ObjectDoesntExist: a crash window (or a replay
+        racing a migration) can have taken the entry off already.
+        """
+        for _attempt in range(64):
+            if self.killed or self.fenced:
+                return
+            route = self.coordinator.index_entry_route(index_id, entry_key)
+            if route is None:
+                return  # index dropped while the write was in flight
+            owner_id, span = route
+            target = self.coordinator.lookup_server(owner_id)
+            if target is None:
+                yield self.sim.timeout(0.01)
+                continue
+            yield from self.node.cpu.execute(self.cost.index_maintain_send)
+            call = target.call(
+                self.node, op,
+                args=(index_id, entry_key, span, None, level),
+                size_bytes=len(entry_key) + 64, response_bytes=64,
+                timeout=self.config.rpc_timeout,
+            )
+            try:
+                # The write-path worker spins on the indexlet's ack,
+                # exactly like a replication ack wait.
+                yield from self.node.cpu.spinning(call)
+                return
+            except ObjectDoesntExist:
+                return
+            except (WrongServer, RetryLater, NodeUnreachable, RpcTimeout):
+                yield self.sim.timeout(0.01)
+        raise RetryLater(
+            f"index {index_id} entry unreachable from {self.server_id}")
+
+    def _handle_index_write(self, request: RpcRequest) -> Generator:
+        """Append one index entry to this indexlet's log (sent by a
+        data master's write path).  The entry is an ordinary log
+        record: replicated at the write's consistency level, relocated
+        by the cleaner, replayed by crash recovery."""
+        index_id, entry_key, span, epoch, level = request.args
+        if level is None:
+            level = self._tenant_defaults.get(index_id,
+                                              self.config.default_consistency)
+        try:
+            self._check_ownership(index_id, entry_key, span, epoch)
+        except (WrongServer, RetryLater, StaleEpoch) as exc:
+            request.fail(exc)
+            return
+        segment, entry, _closed, _old = yield from self._append_locked(
+            index_id, entry_key, 0, None, is_tombstone=False)
+        upto = len(segment.entries)
+        yield from self.node.cpu.execute(self.cost.write_service)
+        if self.config.replication_factor > 0:
+            if level == SYNC_RF:
+                yield from self._replicate_entry(segment, entry, upto)
+            else:
+                yield from self._async_enqueue(segment, entry, upto)
+        self.writes_completed += 1
+        self.index_inserts += 1
+        request.respond(entry.version)
+
+    def _handle_index_remove(self, request: RpcRequest) -> Generator:
+        """Tombstone one index entry (a data delete, or an overwrite
+        that changed the secondary key)."""
+        index_id, entry_key, span, epoch, level = request.args
+        if level is None:
+            level = self._tenant_defaults.get(index_id,
+                                              self.config.default_consistency)
+        try:
+            self._check_ownership(index_id, entry_key, span, epoch)
+        except (WrongServer, RetryLater, StaleEpoch) as exc:
+            request.fail(exc)
+            return
+        try:
+            segment, entry, _closed, _old = yield from self._append_locked(
+                index_id, entry_key, 0, None, is_tombstone=True,
+                require_exists=True)
+        except ObjectDoesntExist as exc:
+            request.fail(exc)
+            return
+        upto = len(segment.entries)
+        yield from self.node.cpu.execute(self.cost.write_service)
+        if self.config.replication_factor > 0:
+            if level == SYNC_RF:
+                yield from self._replicate_entry(segment, entry, upto)
+            else:
+                yield from self._async_enqueue(segment, entry, upto)
+        self.writes_completed += 1
+        self.index_removes += 1
+        request.respond(entry.version)
+
+    def _handle_search(self, request: RpcRequest) -> Generator:
+        """Range lookup over one indexlet *shard*: entry keys in
+        ``[lo, hi)``, clipped to the indexlet's upper boundary, at most
+        ``limit`` of them (``truncated`` tells the client to continue
+        from the last returned key).  The client fans out across an
+        indexlet's shards and walks indexlets in boundary order."""
+        index_id, lo, hi, limit, span, shard, epoch = request.args
+        if self.fenced:
+            request.fail(WrongServer(
+                f"{self.server_id} is fenced (evicted from the cluster)"))
+            return
+        if epoch is not None and epoch < self.min_client_epoch:
+            request.fail(StaleEpoch(
+                f"client map epoch {epoch} predates ownership change "
+                f"(this master requires >= {self.min_client_epoch})"))
+            return
+        boundaries = self.index_configs.get(index_id)
+        if boundaries is None:
+            request.fail(WrongServer(
+                f"{self.server_id} has no indexlet map for index "
+                f"{index_id}"))
+            return
+        indexlet = indexlet_for_entry_key(boundaries, lo)
+        unit = (index_id, indexlet, shard)
+        if self.race.enabled:
+            self.race.read(f"{unit[0]}.{unit[1]}.{unit[2]}")
+        status = self.tablets.get(unit)
+        if status is None:
+            request.fail(WrongServer(
+                f"{self.server_id} does not own indexlet shard {unit}"))
+            return
+        if status == TabletStatus.RECOVERING:
+            request.fail(RetryLater(f"indexlet shard {unit} is recovering"))
+            return
+        hi_eff = hi
+        if indexlet + 1 < len(boundaries) and boundaries[indexlet + 1] < hi:
+            hi_eff = boundaries[indexlet + 1]
+        shard_count = self.tablet_shards.get((index_id, indexlet), 1)
+        scanned = self.index_entries.range(index_id, lo, hi_eff)
+        matches = []
+        truncated = False
+        for entry_key in scanned:
+            if shard_count > 1 and ((key_hash(entry_key) // span)
+                                    % shard_count != shard):
+                continue
+            if len(matches) >= limit:
+                truncated = True
+                break
+            matches.append(entry_key)
+        yield from self.node.cpu.execute(
+            self.cost.search_base
+            + self.cost.search_per_entry * max(1, len(scanned)))
+        self.ops_completed += 1
+        self.reads_completed += 1
+        self.searches_served += 1
+        request.respond((tuple(matches), truncated))
+
+    def _handle_index_lookup(self, request: RpcRequest) -> Generator:
+        """Validate-and-fetch for search results: for each
+        ``(primary, index_id, secondary)`` item, return the object only
+        if it still carries that secondary key — the filter that makes
+        dangling index entries (crash windows, concurrent deletes)
+        invisible to readers."""
+        table_id, items, span = request.args[:3]
+        epoch = request.args[3] if len(request.args) > 3 else None
+        yield from self.node.cpu.execute(
+            self.cost.multiread_batch_overhead
+            + self.cost.multiread_per_key * len(items))
+        results = {}
+        for primary, index_id, secondary in items:
+            try:
+                self._check_ownership(table_id, primary, span, epoch)
+            except (WrongServer, RetryLater, StaleEpoch) as exc:
+                request.fail(exc)
+                return
+            found = self.hashtable.lookup(table_id, primary)
+            if found is None:
+                continue
+            entry = found[1]
+            pairs = entry.index_keys
+            if pairs is not None and (index_id, secondary) in pairs:
+                results[primary] = (entry.value, entry.version,
+                                    entry.value_size)
+        self.ops_completed += len(items)
+        self.reads_completed += len(items)
         request.respond(results)
 
     # ------------------------------------------------------------------
@@ -1290,7 +1669,8 @@ class RamCloudServer(RpcService):
                     if not entry.live and not entry.is_tombstone:
                         entries[i] = LogEntry(
                             entry.table_id, entry.key, entry.value_size,
-                            entry.version, value=entry.value)
+                            entry.version, value=entry.value,
+                            index_keys=entry.index_keys)
                     if not truncated:
                         break
         request.respond((entries, served))
@@ -1378,9 +1758,12 @@ class RamCloudServer(RpcService):
             for entry in entries:
                 segment, new_entry, _closed = self.log.append(
                     entry.table_id, entry.key, entry.value_size,
-                    entry.version, value=entry.value)
+                    entry.version, value=entry.value,
+                    index_keys=entry.index_keys)
                 self.hashtable.insert(entry.table_id, entry.key,
                                       segment, new_entry)
+                if self.index_configs and entry.table_id in self.index_configs:
+                    self.index_entries.insert(entry.table_id, entry.key)
         finally:
             self.log_lock.release(token)
         self.take_tablet(unit, shard_count, ready=True)
@@ -1393,11 +1776,18 @@ class RamCloudServer(RpcService):
         table_id, index, shard = unit
         if self.tablets.get(unit) is None:
             raise WrongServer(f"{self.server_id} does not own {unit}")
+        # Index tables route tablet membership by key range, data
+        # tables by hash — the shard level is hash-based for both.
+        boundaries = (self.index_configs.get(table_id)
+                      if self.index_configs else None)
         moving = []
         nbytes = 0
         for key in list(self.hashtable.keys_for_table(table_id)):
             h = key_hash(key)
-            if h % span != index:
+            if boundaries is not None:
+                if indexlet_for_entry_key(boundaries, key) != index:
+                    continue
+            elif h % span != index:
                 continue
             if (h // span) % shard_count != shard:
                 continue
@@ -1427,6 +1817,8 @@ class RamCloudServer(RpcService):
         try:
             for entry in moving:
                 self.hashtable.remove(entry.table_id, entry.key)
+                if self.index_configs and entry.table_id in self.index_configs:
+                    self.index_entries.remove(entry.table_id, entry.key)
         finally:
             self.log_lock.release(token)
         self.drop_tablet(unit)
@@ -1497,6 +1889,14 @@ class RamCloudServer(RpcService):
         assignments = plan["segments"]  # [(segment_id, backup_id, nbytes)]
         share = plan.get("share", 1.0)
         pipeline_width = plan.get("pipeline_width", 3)
+        # Indexlet boundaries for any index tables in this partition:
+        # the recovery master must know them to range-route replayed
+        # entries (and to serve Search once it takes ownership).  An
+        # index is recovered exactly like data — never rebuilt by
+        # scanning the base table.
+        for index_id in sorted(plan.get("index_ranges", ())):
+            self.install_index_config(index_id,
+                                      plan["index_ranges"][index_id])
 
         # (table_id, index) → (shard_count, set of shards we recover)
         unit_filter: Dict[Tuple[int, int], Tuple[int, set]] = {}
@@ -1602,7 +2002,9 @@ class RamCloudServer(RpcService):
                 continue
             span = spans[entry.table_id]
             h = key_hash(entry.key)
-            spec = unit_filter.get((entry.table_id, h % span))
+            tablet_index = self._tablet_index_for(entry.table_id, entry.key,
+                                                  h, span)
+            spec = unit_filter.get((entry.table_id, tablet_index))
             if spec is None:
                 continue
             shard_count, shards = spec
@@ -1643,9 +2045,13 @@ class RamCloudServer(RpcService):
                 for entry in mine:
                     segment, new_entry, _closed = self.log.append(
                         entry.table_id, entry.key, entry.value_size,
-                        entry.version, value=entry.value)
+                        entry.version, value=entry.value,
+                        index_keys=entry.index_keys)
                     self.hashtable.insert(entry.table_id, entry.key,
                                           segment, new_entry)
+                    if (self.index_configs
+                            and entry.table_id in self.index_configs):
+                        self.index_entries.insert(entry.table_id, entry.key)
                     # A recovered object keeps its acknowledged version,
                     # so this master's counter must advance past it —
                     # otherwise a post-recovery write could re-issue an
@@ -1742,9 +2148,14 @@ class RamCloudServer(RpcService):
             for entry in live:
                 if not entry.live:
                     continue  # overwritten while we copied
+                # Index entries are log records too: the cleaner
+                # relocates them like any object, carrying the record's
+                # secondary keys forward.  The sorted per-index view is
+                # keyed by entry key, which relocation does not change.
                 segment, new_entry, _closed = self.log.append(
                     entry.table_id, entry.key, entry.value_size,
-                    entry.version, value=entry.value, privileged=True)
+                    entry.version, value=entry.value, privileged=True,
+                    index_keys=entry.index_keys)
                 entry.live = False
                 self.hashtable.relocate(entry.table_id, entry.key,
                                         segment, new_entry)
@@ -1793,19 +2204,25 @@ class RamCloudServer(RpcService):
         segments populated, backup replicas placed and flushed —
         without simulating millions of load RPCs.
 
-        ``items`` is an iterable of ``(table_id, key, value_size)``.
-        Returns the number of objects loaded.
+        ``items`` is an iterable of ``(table_id, key, value_size)`` or
+        ``(table_id, key, value_size, index_keys)`` tuples.  Returns the
+        number of objects loaded.
         """
         count = 0
         self._bulk_loading = True
         try:
             self._ensure_head_replicated()
-            for table_id, key, value_size in items:
+            for item in items:
+                table_id, key, value_size = item[:3]
+                index_keys = item[3] if len(item) > 3 else None
                 version = self._next_version
                 self._next_version += 1
                 segment, entry, _closed = self.log.append(
-                    table_id, key, value_size, version)
+                    table_id, key, value_size, version,
+                    index_keys=index_keys)
                 self.hashtable.insert(table_id, key, segment, entry)
+                if self.index_configs and table_id in self.index_configs:
+                    self.index_entries.insert(table_id, key)
                 count += 1
         finally:
             self._bulk_loading = False
@@ -1842,4 +2259,8 @@ class RamCloudServer(RpcService):
         "free_replica": _handle_free_replica,
         "recover_partition": _handle_recover_partition,
         "migrate_in": _handle_migrate_in,
+        "search": _handle_search,
+        "index_lookup": _handle_index_lookup,
+        "index_write": _handle_index_write,
+        "index_remove": _handle_index_remove,
     }

@@ -252,7 +252,12 @@ class TabletMapSnapshot:
 
     ``live_servers`` is the live server-id tuple (enlistment order) at
     snapshot time — EVENTUAL reads use it to pick a deterministic
-    backup candidate for a key without any extra RNG draw."""
+    backup candidate for a key without any extra RNG draw.
+
+    ``indexes`` maps a hidden index table's id to its
+    :class:`~repro.ramcloud.indexing.IndexDescriptor`; index tablets
+    (indexlets) route by key *range*, not hash, so clients must consult
+    it before ``tablet_for_key``.  Empty unless indexes exist."""
 
     epoch: int
     tables_by_name: Dict[str, Table]
@@ -260,11 +265,17 @@ class TabletMapSnapshot:
     tablets: Dict[Tuple[int, int], Tablet]
     membership_version: int = 0
     live_servers: Tuple[str, ...] = ()
+    indexes: Dict[int, object] = field(default_factory=dict)
 
     def tablet_for_key(self, table_id: int, key: str) -> Tablet:
-        """Route a key to its tablet in this snapshot."""
+        """Route a key to its tablet in this snapshot (range-based for
+        index tables, hash-based otherwise)."""
         table = self.tables_by_id.get(table_id)
         if table is None:
             raise KeyError(f"no table id {table_id}")
+        if self.indexes:
+            desc = self.indexes.get(table_id)
+            if desc is not None:
+                return self.tablets[(table_id, desc.indexlet_for(key))]
         index = key_hash(key) % table.span
         return self.tablets[(table_id, index)]

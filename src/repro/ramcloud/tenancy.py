@@ -1,0 +1,117 @@
+"""Multi-tenant tables: namespaces, admission control, SLA breakout.
+
+A *tenant* is a named slice of the cluster: its tables (and their
+hidden index tables) live under a ``tenant/`` name prefix, carry the
+tenant's default consistency level (García-Recuero's client-centric
+framing — the tenant picks the contract, individual requests may still
+override), and are subject to per-tenant admission control on every
+master's dispatch path.
+
+Admission reuses the power-cap throttle's token-bucket slot arithmetic
+(:class:`repro.cluster.powercap.AdmissionThrottle`), but where the
+power cap *paces* cooperative clients, tenant admission must not block
+the dispatch thread — an over-budget request is failed with
+``RetryLater`` immediately and counted as a throttle drop, and the
+client's normal retry/backoff absorbs it.  Rates are per master, so a
+tenant spread over N masters gets N× the configured rate (document the
+multiplier instead of coordinating buckets across servers).
+
+Everything here is opt-in: with no tenants registered, servers carry an
+empty throttle dict and an empty defaults dict, the dispatch path takes
+one falsy-dict branch, and runs stay bit-identical to single-tenant
+builds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.ramcloud.consistency import validate_level
+
+__all__ = ["TenantSpec", "TenantStats", "TenantThrottle", "tenant_table_name"]
+
+
+def tenant_table_name(tenant: Optional[str], name: str) -> str:
+    """The namespaced table name (``tenant/name``; bare name if none)."""
+    if tenant is None:
+        return name
+    return f"{tenant}/{name}"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Configuration for one tenant.
+
+    ``default_consistency`` is the level applied when a request carries
+    none (``None`` defers to the server config's default, which keeps a
+    plain SYNC_RF tenant bit-identical to an untenanted run).
+    ``admission_rate`` is ops/s *per master*; ``inf`` disables the
+    bucket entirely so no throttle object is even created.
+    """
+
+    name: str
+    default_consistency: Optional[str] = None
+    admission_rate: float = math.inf
+
+    def __post_init__(self):
+        if not self.name or "/" in self.name:
+            raise ValueError(f"bad tenant name {self.name!r}")
+        if self.default_consistency is not None:
+            validate_level(self.default_consistency)
+        if self.admission_rate <= 0:
+            raise ValueError(
+                f"admission rate must be positive, got {self.admission_rate}")
+
+
+class TenantThrottle:
+    """A per-master, per-tenant token bucket for the dispatch path.
+
+    Same slot arithmetic as the power cap's ``AdmissionThrottle``, but
+    non-blocking: :meth:`try_admit` either claims the next slot or
+    refuses, it never returns a delay — the dispatch thread must not
+    sleep on a tenant's behalf.  Only the dispatch thread touches the
+    slot counter, so no race handle is needed.
+    """
+
+    __slots__ = ("tenant", "rate", "_next_slot", "drops")
+
+    def __init__(self, tenant: str, rate: float):
+        self.tenant = tenant
+        self.rate = rate
+        self._next_slot = 0.0
+        #: Requests refused at dispatch (the tenant's SLA breakout).
+        self.drops = 0
+
+    def try_admit(self, now: float) -> bool:
+        """Claim the next admission slot if it is due, else refuse."""
+        if math.isinf(self.rate):
+            return True
+        if self._next_slot > now:
+            self.drops += 1
+            return False
+        self._next_slot = now + 1.0 / self.rate
+        return True
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant SLA breakout aggregated over one experiment."""
+
+    ops: int = 0
+    p99_latency: float = 0.0
+    throttle_drops: int = 0
+    bytes_moved: int = 0
+    client_errors: int = 0
+    mean_latency: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "ops": self.ops,
+            "p99_latency": self.p99_latency,
+            "throttle_drops": self.throttle_drops,
+            "bytes_moved": self.bytes_moved,
+            "client_errors": self.client_errors,
+            "mean_latency": self.mean_latency,
+        }

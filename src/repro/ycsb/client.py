@@ -20,6 +20,7 @@ from typing import Generator, Optional
 from repro.net.rpc import RpcTimeout
 from repro.ramcloud.client import RamCloudClient
 from repro.ramcloud.errors import ObjectDoesntExist
+from repro.ramcloud.indexing import secondary_key
 from repro.sim.distributions import RandomStream
 from repro.sim.kernel import Simulator
 from repro.ycsb.keyspace import LatestKeyChooser, make_key_chooser
@@ -41,7 +42,8 @@ class YcsbClient:  # simlint: disable=PERF001 O(clients) service object; __dict_
                  table_id: int, workload: WorkloadSpec,
                  stream: RandomStream,
                  client_overhead: float = CLIENT_OVERHEAD,
-                 give_up_after: Optional[float] = None):
+                 give_up_after: Optional[float] = None,
+                 index_id: Optional[int] = None):
         self.sim = sim
         self.rc = rc_client
         self.table_id = table_id
@@ -65,6 +67,10 @@ class YcsbClient:  # simlint: disable=PERF001 O(clients) service object; __dict_
         # static ``target_ops_per_second`` pacing below.  None (the
         # default) leaves the paper's Fig. 13 token bucket untouched.
         self.throttle = None
+        # Secondary index over the table (indexed workload mixes).
+        # None means writes carry no index entries and the iscan/
+        # ilookup ops are never drawn — bit-identical to before.
+        self.index_id = index_id
         self.keys = make_key_chooser(workload.request_distribution,
                                      workload.num_records, stream)
         self._insert_counter = workload.num_records
@@ -100,6 +106,12 @@ class YcsbClient:  # simlint: disable=PERF001 O(clients) service object; __dict_
         roll -= w.insert_proportion
         if roll < w.scan_proportion:
             return "scan"
+        roll -= w.scan_proportion
+        if roll < w.index_scan_proportion:
+            return "iscan"
+        roll -= w.index_scan_proportion
+        if roll < w.index_lookup_proportion:
+            return "ilookup"
         return "rmw"
 
     def _next_insert_key(self) -> str:
@@ -125,7 +137,8 @@ class YcsbClient:  # simlint: disable=PERF001 O(clients) service object; __dict_
         # op → recorder, built once (not per completed operation).
         recorders = {"read": stats.reads, "update": stats.updates,
                      "insert": stats.inserts, "scan": stats.scans,
-                     "rmw": stats.updates}
+                     "rmw": stats.updates, "iscan": stats.index_ops,
+                     "ilookup": stats.index_ops}
         for i in range(w.ops_per_client):
             if self.throttle is not None:
                 # Dynamic pacing: the power-cap controller moves the
@@ -176,6 +189,16 @@ class YcsbClient:  # simlint: disable=PERF001 O(clients) service object; __dict_
         stats.finished_at = sim.now
         return stats
 
+    def _index_entries_for(self, key: str):
+        """The (index_id, secondary) pairs this record carries, or None
+        on unindexed runs.  The secondary key is derived from the
+        record number (the experiment preload uses the same mapping),
+        so an update rewrites the same pairs and maintains the index
+        consistently."""
+        if self.index_id is None:
+            return None
+        return ((self.index_id, secondary_key(int(key[4:]))),)
+
     def _execute(self, op: str) -> Generator:
         w = self.workload
         level = self._choose_level() if self._consistency_mix else None
@@ -183,11 +206,15 @@ class YcsbClient:  # simlint: disable=PERF001 O(clients) service object; __dict_
             yield from self.rc.read(self.table_id, self.keys.next_key(),
                                     level=level)
         elif op == "update":
-            yield from self.rc.write(self.table_id, self.keys.next_key(),
-                                     w.record_size, level=level)
+            key = self.keys.next_key()
+            yield from self.rc.write(self.table_id, key,
+                                     w.record_size, level=level,
+                                     index_entries=self._index_entries_for(key))
         elif op == "insert":
-            yield from self.rc.write(self.table_id, self._next_insert_key(),
-                                     w.record_size, level=level)
+            key = self._next_insert_key()
+            yield from self.rc.write(self.table_id, key,
+                                     w.record_size, level=level,
+                                     index_entries=self._index_entries_for(key))
         elif op == "scan":
             # YCSB scan: from a random start key, fetch a uniformly
             # random number of consecutive records (mapped onto
@@ -197,10 +224,25 @@ class YcsbClient:  # simlint: disable=PERF001 O(clients) service object; __dict_
             keys = [f"user{(start + i) % w.num_records}"
                     for i in range(length)]
             yield from self.rc.multiread(self.table_id, keys)
+        elif op == "iscan":
+            # Workload E over the secondary index: a random start key,
+            # a uniformly random run length, served by the range Search
+            # RPC with indexlet fan-out.
+            start = self.stream.randint(0, w.num_records - 1)
+            length = self.stream.randint(1, w.max_scan_length)
+            yield from self.rc.search(self.index_id, secondary_key(start),
+                                      secondary_key(start + length),
+                                      limit=length)
+        elif op == "ilookup":
+            # Point lookup by secondary key (a width-one Search).
+            i = self.stream.randint(0, w.num_records - 1)
+            yield from self.rc.search(self.index_id, secondary_key(i),
+                                      secondary_key(i + 1), limit=4)
         elif op == "rmw":
             key = self.keys.next_key()
             yield from self.rc.read(self.table_id, key, level=level)
             yield from self.rc.write(self.table_id, key, w.record_size,
-                                     level=level)
+                                     level=level,
+                                     index_entries=self._index_entries_for(key))
         else:  # pragma: no cover - _choose_op is exhaustive
             raise ValueError(f"unknown op {op!r}")

@@ -61,14 +61,17 @@ class LatencyRecorder:
 class OperationStats:
     """Per-client roll-up across operation types."""
 
-    __slots__ = ("reads", "updates", "inserts", "scans", "started_at",
-                 "finished_at", "errors")
+    __slots__ = ("reads", "updates", "inserts", "scans", "index_ops",
+                 "started_at", "finished_at", "errors")
 
     def __init__(self):
         self.reads = LatencyRecorder("read")
         self.updates = LatencyRecorder("update")
         self.inserts = LatencyRecorder("insert")
         self.scans = LatencyRecorder("scan")
+        # Secondary-index operations (range Search and indexed point
+        # lookups); empty on unindexed workloads.
+        self.index_ops = LatencyRecorder("index")
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.errors = 0
@@ -77,7 +80,7 @@ class OperationStats:
     def total_ops(self) -> int:
         """Completed operations across all types."""
         return (len(self.reads) + len(self.updates) + len(self.inserts)
-                + len(self.scans))
+                + len(self.scans) + len(self.index_ops))
 
     @property
     def runtime(self) -> float:
@@ -97,5 +100,6 @@ class OperationStats:
         """All op types merged into one time-sorted recorder."""
         merged = LatencyRecorder("all")
         merged.samples = sorted(self.reads.samples + self.updates.samples
-                                + self.inserts.samples + self.scans.samples)
+                                + self.inserts.samples + self.scans.samples
+                                + self.index_ops.samples)
         return merged

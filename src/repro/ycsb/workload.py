@@ -24,7 +24,9 @@ __all__ = [
     "WORKLOAD_B",
     "WORKLOAD_C",
     "WORKLOAD_D",
+    "WORKLOAD_E_INDEXED",
     "WORKLOAD_F",
+    "WORKLOAD_LOOKUP_HEAVY",
 ]
 
 
@@ -38,6 +40,14 @@ class WorkloadSpec:
     insert_proportion: float = 0.0
     read_modify_write_proportion: float = 0.0
     scan_proportion: float = 0.0
+    # Secondary-index operations: range scans over an index (workload E
+    # on an index instead of MultiRead) and point lookups by secondary
+    # key.  Either being non-zero (or num_indexlets > 0) makes the
+    # experiment harness create an index and carry secondary keys on
+    # every write; all-zero keeps runs bit-identical to today.
+    index_scan_proportion: float = 0.0
+    index_lookup_proportion: float = 0.0
+    num_indexlets: int = 0
     max_scan_length: int = 100
     num_records: int = 100_000
     record_size: int = 1024
@@ -57,10 +67,19 @@ class WorkloadSpec:
         total = (self.read_proportion + self.update_proportion
                  + self.insert_proportion
                  + self.read_modify_write_proportion
-                 + self.scan_proportion)
+                 + self.scan_proportion
+                 + self.index_scan_proportion
+                 + self.index_lookup_proportion)
         if abs(total - 1.0) > 1e-9:
             raise ValueError(
                 f"operation proportions must sum to 1, got {total}")
+        if self.num_indexlets < 0:
+            raise ValueError("num_indexlets cannot be negative")
+        if ((self.index_scan_proportion > 0
+             or self.index_lookup_proportion > 0)
+                and self.num_indexlets < 1):
+            raise ValueError(
+                "indexed operations need num_indexlets >= 1")
         if self.max_scan_length < 1:
             raise ValueError("max_scan_length must be >= 1")
         if self.num_records < 1:
@@ -121,3 +140,16 @@ WORKLOAD_E = WorkloadSpec(name="E", scan_proportion=0.95,
                           max_scan_length=100)
 WORKLOAD_F = WorkloadSpec(name="F", read_proportion=0.5,
                           read_modify_write_proportion=0.5)
+# Indexed variants (§X: "one could think of scans to assess the
+# indexing mechanism"): E over a secondary index instead of MultiRead,
+# and a point-lookup-heavy mix against the same index.
+WORKLOAD_E_INDEXED = WorkloadSpec(name="E-indexed",
+                                  index_scan_proportion=0.95,
+                                  insert_proportion=0.05,
+                                  max_scan_length=100,
+                                  num_indexlets=2)
+WORKLOAD_LOOKUP_HEAVY = WorkloadSpec(name="lookup-heavy",
+                                     index_lookup_proportion=0.8,
+                                     read_proportion=0.15,
+                                     update_proportion=0.05,
+                                     num_indexlets=2)

@@ -115,6 +115,27 @@ class RepairQueue:
             yield sim.timeout(0.1)
 
 
+class IndexedAppender:
+    def write_indexed(self, sim, mutex, replicate, record, entries):
+        # SIM006-clean (the index-maintenance idiom): the data record
+        # and its index entries are appended together under the log
+        # lock *before* the replication yield, and the post-RPC write
+        # lands on a different field (the replicated watermark) — no
+        # field is written on both sides of an unlocked yield.
+        token = mutex.acquire()
+        try:
+            yield token
+        except BaseException:
+            mutex.abort(token)
+            raise
+        try:
+            self.entries_live += 1 + len(entries)
+        finally:
+            mutex.release(token)
+        yield from replicate(record)
+        self.replicated_upto = self.replicated_upto + 1
+
+
 class BatchedReplicator:
     def flush_once(self, sim, ship):
         # SIM006-clean (the batched-replication idiom): the pending

@@ -79,7 +79,7 @@ def test_json_format_is_machine_readable():
     assert proc.returncode == 1
     report = json.loads(proc.stdout)
     assert report["errors"] == []
-    assert len(report["findings"]) == 3
+    assert len(report["findings"]) == 4
     for finding in report["findings"]:
         assert finding["code"] == "SIM006"
         assert finding["path"].endswith("bad_sim006.py")

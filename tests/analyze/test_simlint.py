@@ -309,7 +309,7 @@ class TestSim005:
 class TestSim006:
     def test_bad_fixture_fires_per_torn_counter(self):
         findings = lint_fixture("bad_sim006.py")
-        assert codes(findings) == ["SIM006", "SIM006", "SIM006"]
+        assert codes(findings) == ["SIM006"] * 4
         assert "self.total_bytes" in findings[0].message
         assert "no lock held" in findings[0].message
         # The repair-loop anti-idiom: a counter torn around the
@@ -318,6 +318,9 @@ class TestSim006:
         # The batched-replication anti-idiom: the pending-bytes gauge
         # debited on both sides of the flush RPC.
         assert "self.pending_bytes" in findings[2].message
+        # The index-maintenance anti-idiom: a torn "append data record
+        # + append index record" pair around the replication yield.
+        assert "self.entries_live" in findings[3].message
 
     def test_lock_held_across_yield_is_clean(self):
         assert lint_snippet("""

@@ -20,7 +20,7 @@ def plan_for(num_servers, tables=1, records=2000, rf=1, seed=5):
     stats = RecoveryStats(crashed_id=victim.server_id,
                           detected_at=cluster.sim.now,
                           started_at=cluster.sim.now)
-    partitions, segments, spans = (
+    partitions, segments, spans, _index_ranges = (
         cluster.coordinator._recovery_plan(victim.server_id, stats))
     return cluster, victim, partitions, segments, spans, stats
 
@@ -84,7 +84,7 @@ class TestPartitioning:
         from repro.ramcloud.coordinator import RecoveryStats
         stats = RecoveryStats(crashed_id=victim.server_id,
                               detected_at=0.0, started_at=0.0)
-        partitions, segments, spans = (
+        partitions, segments, spans, _index_ranges = (
             cluster.coordinator._recovery_plan(victim.server_id, stats))
         assert partitions == {}
         assert segments == []

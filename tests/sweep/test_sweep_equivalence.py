@@ -36,6 +36,10 @@ PLANS = {
                                servers=2, clients=2, fractions=(0.5,)),
     "frontier": lambda: plan_for("frontier", TINY, rfs=(1,), servers=3,
                                  clients=2),
+    "fig_index": lambda: plan_for("fig_index", TINY, indexlet_counts=(2,),
+                                  servers=2, clients=2),
+    "tenant_mix": lambda: plan_for("tenant_mix", TINY, servers=2,
+                                   clients=2),
 }
 
 

@@ -48,19 +48,23 @@ SCHEMA = 1
 # the same cell across seeds through the parallel sweep runner
 # (repro.experiments.sweep) — aggregate events/sec over all workers, so
 # it tracks the multi-process speedup on top of the kernel's.
-BENCHES = ("fig4", "fig4_debug", "fig4_sweep")
+# ``fig_index`` is the secondary-index cell: the lookup-heavy mix over
+# a 2-indexlet index, exercising the Search fan-out and the index
+# maintenance on the write path.
+BENCHES = ("fig4", "fig4_debug", "fig4_sweep", "fig_index")
 
 
 def _build_spec(servers: int, clients: int, ops: Optional[int],
-                scale_name: str):
+                scale_name: str, indexed: bool = False):
     from repro.cluster import ClusterSpec, ExperimentSpec
     from repro.experiments.scale import _SCALES
     from repro.ramcloud.config import ServerConfig
-    from repro.ycsb.workload import WORKLOAD_A
+    from repro.ycsb.workload import WORKLOAD_A, WORKLOAD_LOOKUP_HEAVY
 
     scale = _SCALES[scale_name]
-    workload = WORKLOAD_A.scaled(num_records=scale.num_records,
-                                 ops_per_client=scale.ops_per_client)
+    base = WORKLOAD_LOOKUP_HEAVY if indexed else WORKLOAD_A
+    workload = base.scaled(num_records=scale.num_records,
+                           ops_per_client=scale.ops_per_client)
     if ops is not None:
         workload = workload.scaled(num_records=scale.num_records,
                                    ops_per_client=ops)
@@ -78,7 +82,8 @@ def run_bench(name: str, scale: str, servers: int, clients: int,
     from repro.cluster import run_experiment
 
     debug = name.endswith("_debug")
-    spec = _build_spec(servers, clients, ops, scale)
+    spec = _build_spec(servers, clients, ops, scale,
+                       indexed=name == "fig_index")
     previous = os.environ.get("REPRO_SIM_DEBUG")  # simlint: disable=DET002 bench harness pins+restores the knob like the sweep does
     os.environ["REPRO_SIM_DEBUG"] = "1" if debug else "0"  # simlint: disable=DET002 bench harness pins+restores the knob like the sweep does
     try:
